@@ -1,0 +1,27 @@
+"""Benchmark/regeneration harness for experiment E4 (LFLR vs global CPR).
+
+Paper anchor: §I / §II-C / §III-C -- explicit PDE time stepping recovers
+locally from process loss with the right answer and at a per-failure
+cost far below a global checkpoint/restart.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments import e4_lflr_vs_cpr
+
+
+def test_e4_lflr_vs_cpr(benchmark):
+    """Regenerate the E4 table."""
+    result = benchmark.pedantic(
+        lambda: e4_lflr_vs_cpr.run(
+            n_ranks=4, n_global=48, n_steps=30, failure_counts=(0, 1, 2)
+        ),
+        rounds=1, iterations=1,
+    )
+    report(result)
+    rows = {row["n_failures"]: row for row in result.table.to_dicts()}
+    assert all(row["lflr_correct"] for row in rows.values())
+    assert rows[1]["overhead_ratio"] > 1.0
+    benchmark.extra_info["overhead_ratio_one_failure"] = rows[1]["overhead_ratio"]

@@ -1,0 +1,27 @@
+"""Benchmark/regeneration harness for experiment E5 (coarse-model recovery).
+
+Paper anchor: §III-C -- implicit-method state lost with a failed rank can
+be rebuilt from a redundantly stored coarse model accurately enough to
+bootstrap recovery.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments import e5_coarse_recovery
+
+
+def test_e5_coarse_recovery(benchmark):
+    """Regenerate the E5 table."""
+    result = benchmark.pedantic(
+        lambda: e5_coarse_recovery.run(
+            n_points=128, coarsening_factors=(2, 4, 8)
+        ),
+        rounds=1, iterations=1,
+    )
+    report(result)
+    summary = result.summary
+    assert summary["coarse_4_error"] < summary["zero_bootstrap_error"]
+    assert summary["coarse_4_extra_iters"] <= summary["zero_bootstrap_extra_iters"]
+    benchmark.extra_info["coarse_4_error"] = summary["coarse_4_error"]

@@ -1,0 +1,28 @@
+"""Benchmark/regeneration harness for experiment E6 (FT-GMRES).
+
+Paper anchor: §II-D / §III-D -- a reliable outer iteration around an
+unreliable inner GMRES keeps the solver robust while most data and work
+run at the bulk (unreliable) level.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments import e6_ftgmres
+
+
+def test_e6_ftgmres(benchmark):
+    """Regenerate the E6 table."""
+    result = benchmark.pedantic(
+        lambda: e6_ftgmres.run(
+            grid=12, fault_probabilities=(0.0, 0.05, 0.1), n_trials=3
+        ),
+        rounds=1, iterations=1,
+    )
+    report(result)
+    assert result.summary["ftgmres_0.1_converged"] == 1.0
+    assert result.summary["ftgmres_0.1_unreliable_fraction"] > 0.5
+    benchmark.extra_info["unreliable_fraction"] = result.summary[
+        "ftgmres_0.1_unreliable_fraction"
+    ]

@@ -1,0 +1,29 @@
+"""Benchmark/regeneration harness for experiment E7 (efficiency at scale).
+
+Paper anchor: §I / §IV -- the efficiency of global checkpoint/restart
+collapses as machines grow while local-recovery efficiency stays near
+its redundancy overhead, extending viability to cheaper, less reliable
+systems.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments import e7_efficiency
+
+
+def test_e7_efficiency(benchmark):
+    """Regenerate the E7 tables."""
+    result = benchmark.pedantic(
+        lambda: e7_efficiency.run(
+            node_counts=(1_000, 10_000, 100_000, 1_000_000)
+        ),
+        rounds=1, iterations=1,
+    )
+    report(result)
+    print(result.summary["sweep_table"])
+    assert result.summary["lflr_eff_1000000"] > result.summary["cpr_eff_1000000"]
+    assert result.summary["cpr_eff_1000"] > result.summary["cpr_eff_1000000"]
+    benchmark.extra_info["lflr_eff_at_1M_nodes"] = result.summary["lflr_eff_1000000"]
+    benchmark.extra_info["cpr_eff_at_1M_nodes"] = result.summary["cpr_eff_1000000"]

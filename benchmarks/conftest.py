@@ -1,0 +1,33 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_e*.py`` module regenerates one experiment of EXPERIMENTS.md
+(in a configuration small enough to run in seconds) under
+pytest-benchmark, prints the reproduced table, and attaches the headline
+numbers to the benchmark's ``extra_info`` so they appear in the saved
+benchmark JSON.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _silence_overflow_warnings():
+    """Fault-injection benchmarks intentionally create overflows; keep the
+    output readable."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        yield
+
+
+def report(result) -> None:
+    """Print an experiment result table under the benchmark output."""
+    print()
+    print(result.render())

@@ -1,0 +1,36 @@
+"""LFLR example: locally restarted explicit heat equation.
+
+Runs the distributed heat solver three times -- failure free, with one
+rank failure, and with two spaced failures -- verifying that local
+recovery reproduces the failure-free answer exactly, and reports the
+virtual-time overhead of each recovery (compare with the cost of a
+global restart reported by the E4 experiment).
+
+Run with:  python examples/lflr_heat_equation.py
+"""
+
+import numpy as np
+
+from repro.faults import FailurePlan
+from repro.lflr import run_lflr_heat
+from repro.machine import MachineModel
+
+if __name__ == "__main__":
+    machine = MachineModel(flop_rate=1e9, latency=1e-7, bandwidth=1e9,
+                           local_recovery_overhead=1e-4)
+    clean = run_lflr_heat(6, n_global=96, n_steps=60, machine=machine)
+    print(f"failure-free run: virtual time {clean.virtual_time:.3e}s")
+
+    one = FailurePlan.single(clean.virtual_time * 0.4, 3)
+    spacing = clean.virtual_time * 0.3 + 200 * machine.local_recovery_overhead
+    two = FailurePlan([(clean.virtual_time * 0.25, 1),
+                       (clean.virtual_time * 0.25 + spacing, 4)])
+
+    for label, plan in [("one failure", one), ("two failures", two)]:
+        result = run_lflr_heat(6, n_global=96, n_steps=60, machine=machine,
+                               failure_plan=plan)
+        correct = np.allclose(result.field, clean.field, atol=1e-13)
+        overhead = result.virtual_time - clean.virtual_time
+        print(f"{label:>12}: recoveries={result.n_recoveries}  "
+              f"rolled-back steps={result.steps_rolled_back}  "
+              f"correct={correct}  recovery overhead={overhead:.3e}s")

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists
+only so that legacy (non-PEP-517) editable installs work on older
+setuptools/pip combinations without network access.
+"""
+
+from setuptools import setup
+
+setup()

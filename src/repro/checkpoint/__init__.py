@@ -1,0 +1,32 @@
+"""Global checkpoint/restart (CPR) -- the baseline the paper moves beyond.
+
+The paper's starting point (§I) is that applications have historically
+relied on "checkpoint-restart (CPR): occasionally storing a snapshot of
+application state and restarting from that saved state", and that this
+model stops scaling.  To make that comparison concrete we implement the
+baseline:
+
+* :mod:`repro.checkpoint.store` -- an in-memory checkpoint store with a
+  cost model for writing/reading global snapshots.
+* :mod:`repro.checkpoint.cpr` -- a CPR execution driver: run a
+  step-based application, checkpoint every ``k`` steps, and on a
+  failure lose *everything* since the last checkpoint, pay the restart
+  cost, and recompute (experiment E4's baseline).
+* :mod:`repro.checkpoint.daly` -- re-export of the Young/Daly analytic
+  efficiency model from :mod:`repro.machine.efficiency` (experiment
+  E7).
+"""
+
+from repro.checkpoint.store import CheckpointStore, Checkpoint
+from repro.checkpoint.cpr import CprResult, run_cpr_stepped
+from repro.checkpoint.daly import daly_optimal_interval, cpr_efficiency, lflr_efficiency
+
+__all__ = [
+    "CheckpointStore",
+    "Checkpoint",
+    "CprResult",
+    "run_cpr_stepped",
+    "daly_optimal_interval",
+    "cpr_efficiency",
+    "lflr_efficiency",
+]

@@ -1,0 +1,22 @@
+"""Analytic CPR efficiency models (re-exported).
+
+The Young/Daly optimal checkpoint interval and the first-order
+efficiency models live in :mod:`repro.machine.efficiency`; they are
+re-exported here so that everything checkpoint-related can be imported
+from :mod:`repro.checkpoint`, which is where readers of the paper will
+look for it.
+"""
+
+from repro.machine.efficiency import (
+    cpr_efficiency,
+    daly_optimal_interval,
+    efficiency_crossover_mtbf,
+    lflr_efficiency,
+)
+
+__all__ = [
+    "daly_optimal_interval",
+    "cpr_efficiency",
+    "lflr_efficiency",
+    "efficiency_crossover_mtbf",
+]

@@ -1,0 +1,30 @@
+"""Experiment drivers.
+
+One module per experiment of EXPERIMENTS.md (E1-E7); each exposes a
+``run(...)`` function returning an :class:`ExperimentResult` whose
+table is exactly what the corresponding benchmark prints.  The drivers
+are deliberately parameterized so the benchmarks can run a quick
+configuration while the tables in EXPERIMENTS.md use a fuller one.
+"""
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments import (
+    e1_sdc_detection,
+    e2_abft,
+    e3_pipelined,
+    e4_lflr_vs_cpr,
+    e5_coarse_recovery,
+    e6_ftgmres,
+    e7_efficiency,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "e1_sdc_detection",
+    "e2_abft",
+    "e3_pipelined",
+    "e4_lflr_vs_cpr",
+    "e5_coarse_recovery",
+    "e6_ftgmres",
+    "e7_efficiency",
+]

@@ -1,0 +1,55 @@
+"""Shared experiment infrastructure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.utils.tables import Table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """What every experiment driver returns.
+
+    Attributes
+    ----------
+    experiment:
+        Identifier ("E1" ... "E7").
+    claim:
+        One-sentence statement of the paper claim being tested.
+    table:
+        The reproduced table (see EXPERIMENTS.md for the recorded copy).
+    summary:
+        Headline scalars extracted from the table (detection rate,
+        speedup at the largest scale, crossover point, ...), used by the
+        tests that assert the qualitative claim holds.
+    parameters:
+        The parameters the experiment was run with, for provenance.
+    """
+
+    experiment: str
+    claim: str
+    table: Table
+    summary: Dict[str, Any] = field(default_factory=dict)
+    parameters: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Human-readable rendering (claim, parameters, table, summary)."""
+        lines = [f"[{self.experiment}] {self.claim}", ""]
+        if self.parameters:
+            lines.append("parameters: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.parameters.items())
+            ))
+        lines.append(self.table.render())
+        if self.summary:
+            lines.append("")
+            lines.append("summary: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.summary.items())
+            ))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

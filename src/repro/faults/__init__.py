@@ -1,0 +1,73 @@
+"""Fault models and fault-injection machinery.
+
+The paper's premise is that future systems will expose applications to
+two classes of faults:
+
+* **soft faults / silent data corruption (SDC)** -- bit flips in data
+  or logic that do not crash the program but silently change values;
+* **hard faults** -- loss of a process (node crash).
+
+This subpackage provides both, in a form the resilient-algorithm layers
+can reason about:
+
+* :mod:`repro.faults.bitflip` -- IEEE-754 bit manipulation on scalars
+  and NumPy arrays.
+* :mod:`repro.faults.events` -- fault-event records and campaign
+  results.
+* :mod:`repro.faults.schedule` -- deterministic and Poisson-process
+  fault schedules in virtual time or iteration counts.
+* :mod:`repro.faults.injector` -- targeted injectors that corrupt
+  arrays, either unconditionally or according to a schedule and a
+  *reliability domain* (see :mod:`repro.srp`).
+* :mod:`repro.faults.process` -- process-failure (MTBF) models for
+  hard faults.
+* :mod:`repro.faults.sdc` -- higher-level silent-data-corruption
+  campaign helpers used by the experiments.
+"""
+
+from repro.faults.bitflip import (
+    flip_bit_float64,
+    flip_bit_array,
+    flip_random_bit,
+    bits_of,
+    float_from_bits,
+    relative_perturbation,
+)
+from repro.faults.events import FaultEvent, FaultRecord, CampaignResult
+from repro.faults.schedule import (
+    FaultSchedule,
+    DeterministicSchedule,
+    PoissonSchedule,
+    BernoulliPerCallSchedule,
+    NeverSchedule,
+)
+from repro.faults.injector import ArrayInjector, TargetedInjector, InjectionSession
+from repro.faults.process import ProcessFailureModel, ExponentialFailureModel, WeibullFailureModel, FailurePlan
+from repro.faults.sdc import SdcCampaign, classify_outcome, OUTCOME_KINDS
+
+__all__ = [
+    "flip_bit_float64",
+    "flip_bit_array",
+    "flip_random_bit",
+    "bits_of",
+    "float_from_bits",
+    "relative_perturbation",
+    "FaultEvent",
+    "FaultRecord",
+    "CampaignResult",
+    "FaultSchedule",
+    "DeterministicSchedule",
+    "PoissonSchedule",
+    "BernoulliPerCallSchedule",
+    "NeverSchedule",
+    "ArrayInjector",
+    "TargetedInjector",
+    "InjectionSession",
+    "ProcessFailureModel",
+    "ExponentialFailureModel",
+    "WeibullFailureModel",
+    "FailurePlan",
+    "SdcCampaign",
+    "classify_outcome",
+    "OUTCOME_KINDS",
+]

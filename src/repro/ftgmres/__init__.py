@@ -1,0 +1,23 @@
+"""Fault-tolerant GMRES via selective reliability (paper §III-D).
+
+FT-GMRES (Bridges, Ferreira, Heroux, Hoemmen, "Fault-tolerant linear
+solvers via selective reliability") casts the solver in an outer-inner
+form: a **reliable** flexible-GMRES outer iteration wraps an
+**unreliable** inner GMRES used as a variable preconditioner.  Most of
+the flops and data live in the inner solver and may be corrupted by
+faults; the outer iteration runs in the (small, expensive) reliable
+domain, inspects what the inner solve returns, and can use or discard
+it -- so convergence is preserved no matter what happens inside.
+
+* :mod:`repro.ftgmres.inner` -- the unreliable inner solver wrapper
+  (GMRES executed inside the SRP unreliable domain, with fault
+  injection into its operator applications).
+* :mod:`repro.ftgmres.outer` -- :func:`ft_gmres`, the user-facing
+  solver combining the reliable FGMRES outer loop with the unreliable
+  inner solver, plus bookkeeping of where the work went.
+"""
+
+from repro.ftgmres.inner import UnreliableInnerSolver
+from repro.ftgmres.outer import ft_gmres
+
+__all__ = ["UnreliableInnerSolver", "ft_gmres"]

@@ -1,0 +1,113 @@
+"""The unreliable inner solver of FT-GMRES.
+
+Wraps a (restarted) GMRES solve that is executed entirely inside the
+SRP *unreliable* domain: every application of the operator may be
+corrupted by the domain's fault injector.  The wrapper exposes the
+counters experiment E6 needs -- how many inner flops were performed
+unreliably, how many faults were injected, and how often the inner
+result was so bad that the reliable outer iteration chose to discard
+it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.krylov.gmres import gmres
+from repro.linalg.csr import CsrMatrix
+from repro.srp.context import SelectiveReliabilityEnvironment
+from repro.utils.validation import check_integer, check_positive
+
+__all__ = ["UnreliableInnerSolver"]
+
+
+class UnreliableInnerSolver:
+    """A GMRES inner solve executed in the unreliable SRP domain.
+
+    Parameters
+    ----------
+    matrix:
+        The system matrix (CSR or dense); the inner solver approximately
+        inverts it.
+    environment:
+        The :class:`~repro.srp.context.SelectiveReliabilityEnvironment`
+        whose unreliable domain supplies fault injection.
+    inner_tol:
+        Relative tolerance of each inner solve (loose by design; the
+        outer iteration supplies the accuracy).
+    inner_maxiter, inner_restart:
+        Iteration limits of each inner solve.
+    preconditioner:
+        Optional preconditioner used inside the inner solve.
+    """
+
+    def __init__(
+        self,
+        matrix: Union[CsrMatrix, np.ndarray],
+        environment: SelectiveReliabilityEnvironment,
+        *,
+        inner_tol: float = 1e-2,
+        inner_maxiter: int = 20,
+        inner_restart: int = 20,
+        preconditioner=None,
+    ):
+        check_positive(inner_tol, "inner_tol")
+        check_integer(inner_maxiter, "inner_maxiter")
+        check_integer(inner_restart, "inner_restart")
+        self.matrix = matrix
+        self.environment = environment
+        self.inner_tol = float(inner_tol)
+        self.inner_maxiter = int(inner_maxiter)
+        self.inner_restart = int(inner_restart)
+        self.preconditioner = preconditioner
+        self.inner_solves = 0
+        self.inner_iterations = 0
+        self.inner_flops = 0.0
+        self._nnz = matrix.nnz if isinstance(matrix, CsrMatrix) else int(np.count_nonzero(matrix))
+
+    def _unreliable_operator(self, domain):
+        """An operator whose every application runs in the unreliable domain."""
+
+        def apply(x: np.ndarray) -> np.ndarray:
+            if isinstance(self.matrix, CsrMatrix):
+                result = self.matrix.matvec(x)
+            else:
+                result = self.matrix @ np.asarray(x, dtype=np.float64)
+            self.inner_flops += 2.0 * self._nnz
+            return domain.touch(result, now=float(self.inner_solves))
+
+        return apply
+
+    def __call__(self, v: np.ndarray) -> np.ndarray:
+        """Approximately solve ``A z = v`` unreliably; return ``z``.
+
+        This is the signature FGMRES expects of its ``inner_solve``
+        argument, so an :class:`UnreliableInnerSolver` can be passed
+        directly to :func:`repro.krylov.fgmres.fgmres`.
+        """
+        self.inner_solves += 1
+        v = np.asarray(v, dtype=np.float64)
+        with self.environment.unreliable() as domain:
+            operator = self._unreliable_operator(domain)
+            result = gmres(
+                operator,
+                v,
+                tol=self.inner_tol,
+                restart=self.inner_restart,
+                maxiter=self.inner_maxiter,
+                preconditioner=self.preconditioner,
+            )
+        self.inner_iterations += result.iterations
+        z = np.asarray(result.x, dtype=np.float64)
+        return z
+
+    def stats(self) -> dict:
+        """Counters for experiment tables."""
+        return {
+            "inner_solves": self.inner_solves,
+            "inner_iterations": self.inner_iterations,
+            "inner_flops": self.inner_flops,
+            "faults_injected": self.environment.faults_injected(),
+        }

@@ -1,0 +1,141 @@
+"""The FT-GMRES driver: reliable outer, unreliable inner.
+
+:func:`ft_gmres` assembles the pieces: a
+:class:`~repro.srp.context.SelectiveReliabilityEnvironment` supplies
+the unreliable domain (with fault injection at the requested rate), an
+:class:`~repro.ftgmres.inner.UnreliableInnerSolver` runs the bulk of
+the work inside it, and the **reliable** outer loop is
+:func:`repro.krylov.fgmres.fgmres` -- flexible GMRES, whose
+least-squares construction guarantees the outer residual never
+increases no matter what the inner solver returns (a corrupted inner
+result at worst wastes one outer iteration).
+
+The returned :class:`~repro.krylov.result.SolveResult` carries, in
+``info``, the selective-reliability accounting experiment E6 reports:
+fraction of flops done unreliably, number of injected faults, and the
+estimated cost versus an all-reliable (e.g. all-TMR) execution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.ftgmres.inner import UnreliableInnerSolver
+from repro.krylov.fgmres import fgmres
+from repro.krylov.result import SolveResult
+from repro.linalg.csr import CsrMatrix
+from repro.srp.context import SelectiveReliabilityEnvironment
+from repro.srp.cost import ReliabilityCostModel
+from repro.utils.validation import check_probability
+
+__all__ = ["ft_gmres"]
+
+
+def ft_gmres(
+    matrix: Union[CsrMatrix, np.ndarray],
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    *,
+    tol: float = 1e-8,
+    outer_maxiter: int = 50,
+    outer_restart: int = 50,
+    inner_tol: float = 1e-2,
+    inner_maxiter: int = 20,
+    inner_restart: int = 20,
+    fault_probability: float = 0.0,
+    bit_range=None,
+    seed: Optional[int] = None,
+    preconditioner=None,
+    environment: Optional[SelectiveReliabilityEnvironment] = None,
+    cost_model: Optional[ReliabilityCostModel] = None,
+) -> SolveResult:
+    """Solve ``A x = b`` with fault-tolerant (selective-reliability) GMRES.
+
+    Parameters
+    ----------
+    matrix, b, x0:
+        The linear system (sequential NumPy data).
+    tol:
+        Outer (true) relative residual tolerance.
+    outer_maxiter, outer_restart:
+        Limits of the reliable outer FGMRES iteration.
+    inner_tol, inner_maxiter, inner_restart:
+        Parameters of each unreliable inner GMRES solve.
+    fault_probability:
+        Probability that any single unreliable operator application is
+        corrupted by a bit flip (the E6 sweep variable).
+    bit_range:
+        Restrict injected flips to these bit positions (``None`` = all).
+    seed:
+        Seed of the injection stream.
+    preconditioner:
+        Optional preconditioner used inside the inner solves.
+    environment, cost_model:
+        Supply pre-built SRP objects (otherwise created internally).
+
+    Returns
+    -------
+    SolveResult
+        ``info`` contains ``inner_stats``, ``srp_summary`` and
+        ``srp_cost`` alongside the usual FGMRES information.
+    """
+    check_probability(fault_probability, "fault_probability")
+    if environment is None:
+        environment = SelectiveReliabilityEnvironment(
+            fault_probability=fault_probability,
+            seed=seed,
+            bit_range=bit_range,
+            cost_model=cost_model,
+        )
+    inner = UnreliableInnerSolver(
+        matrix,
+        environment,
+        inner_tol=inner_tol,
+        inner_maxiter=inner_maxiter,
+        inner_restart=inner_restart,
+        preconditioner=preconditioner,
+    )
+
+    b = np.asarray(b, dtype=np.float64)
+    nnz = matrix.nnz if isinstance(matrix, CsrMatrix) else int(np.count_nonzero(matrix))
+
+    outer_flops = 0.0
+
+    def reliable_operator(x: np.ndarray) -> np.ndarray:
+        # The outer iteration's own operator applications run reliably.
+        nonlocal outer_flops
+        outer_flops += 2.0 * nnz
+        if isinstance(matrix, CsrMatrix):
+            return matrix.matvec(x)
+        return matrix @ np.asarray(x, dtype=np.float64)
+
+    result = fgmres(
+        reliable_operator,
+        b,
+        x0=x0,
+        tol=tol,
+        restart=outer_restart,
+        maxiter=outer_maxiter,
+        inner_solve=inner,
+    )
+
+    # Account the outer work as reliable flops in the SRP environment so
+    # the cost summary reflects the actual split.
+    environment.reliable_domain.flops += outer_flops
+    environment.unreliable_domain.flops += inner.inner_flops
+
+    srp_summary = environment.summary()
+    srp_cost = environment.cost_summary()
+    result.info.update(
+        {
+            "inner_stats": inner.stats(),
+            "srp_summary": srp_summary,
+            "srp_cost": srp_cost,
+            "outer_flops": outer_flops,
+            "unreliable_fraction_flops": 1.0 - srp_summary["reliable_fraction_flops"],
+        }
+    )
+    result.detected_faults = int(srp_summary["faults_injected"])
+    return result

@@ -1,0 +1,45 @@
+"""Krylov subspace solvers.
+
+Baseline iterative solvers plus the latency-tolerant (pipelined)
+variants motivated by the RBSP programming model:
+
+* :mod:`repro.krylov.result` -- the :class:`SolveResult` returned by
+  every solver.
+* :mod:`repro.krylov.ops` -- a small dispatch layer so the same solver
+  source runs on plain NumPy vectors and on
+  :class:`~repro.linalg.distributed.DistributedVector` objects over the
+  simulated runtime.
+* :mod:`repro.krylov.arnoldi` -- the Arnoldi process (shared by GMRES
+  and the SDC-detecting GMRES of :mod:`repro.skeptical`).
+* :mod:`repro.krylov.gmres` -- restarted GMRES with right
+  preconditioning and iteration hooks.
+* :mod:`repro.krylov.fgmres` -- flexible GMRES (the reliable *outer*
+  solver of FT-GMRES).
+* :mod:`repro.krylov.cg` -- conjugate gradients.
+* :mod:`repro.krylov.pipelined_gmres` -- one-step pipelined GMRES in
+  the spirit of Ghysels et al.'s p(l)-GMRES: classical Gram-Schmidt
+  with a single non-blocking reduction per iteration overlapped with
+  the next matrix-vector product.
+* :mod:`repro.krylov.pipelined_cg` -- pipelined conjugate gradients
+  (Ghysels & Vanroose), one overlapped reduction per iteration.
+"""
+
+from repro.krylov.result import SolveResult
+from repro.krylov.arnoldi import arnoldi_step, ArnoldiBreakdown
+from repro.krylov.gmres import gmres, GmresState
+from repro.krylov.fgmres import fgmres
+from repro.krylov.cg import cg
+from repro.krylov.pipelined_gmres import pipelined_gmres
+from repro.krylov.pipelined_cg import pipelined_cg
+
+__all__ = [
+    "SolveResult",
+    "arnoldi_step",
+    "ArnoldiBreakdown",
+    "gmres",
+    "GmresState",
+    "fgmres",
+    "cg",
+    "pipelined_gmres",
+    "pipelined_cg",
+]

@@ -1,0 +1,115 @@
+"""The Arnoldi process.
+
+One Arnoldi step -- multiply the newest basis vector by the operator,
+orthogonalize against the existing basis, normalize -- is the kernel
+GMRES is built from, and it is also where the SDC-detecting GMRES of
+the skeptical-programming layer attaches its invariant checks (the
+Hessenberg entries bound the operator norm, and the basis should stay
+orthonormal).
+
+The implementation here operates on a dense NumPy basis (columns are
+basis vectors) because the SkP checks need cheap access to the basis as
+a matrix; the generic (possibly distributed) GMRES in
+:mod:`repro.krylov.gmres` carries its basis as a list of vectors
+instead and inlines the same recurrence through the ops layer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.linalg.blas import classical_gram_schmidt_step, modified_gram_schmidt_step
+
+__all__ = ["ArnoldiBreakdown", "arnoldi_step"]
+
+
+class ArnoldiBreakdown(Exception):
+    """The new Krylov vector vanished (happy or unhappy breakdown)."""
+
+    def __init__(self, step: int, norm: float):
+        super().__init__(f"Arnoldi breakdown at step {step}: |w| = {norm:.3e}")
+        self.step = step
+        self.norm = norm
+
+
+def arnoldi_step(
+    apply_operator: Callable[[np.ndarray], np.ndarray],
+    basis: np.ndarray,
+    hessenberg: np.ndarray,
+    step: int,
+    *,
+    reorthogonalize: bool = False,
+    gram_schmidt: str = "modified",
+    breakdown_tol: float = 1e-14,
+    perturb: Optional[Callable[[np.ndarray, int], np.ndarray]] = None,
+) -> float:
+    """Perform Arnoldi step ``step`` in place.
+
+    Parameters
+    ----------
+    apply_operator:
+        Function computing ``A @ v`` for a 1-D vector.
+    basis:
+        ``n x (m+1)`` array whose first ``step+1`` columns hold the
+        current orthonormal basis; column ``step+1`` receives the new
+        vector.
+    hessenberg:
+        ``(m+1) x m`` upper-Hessenberg array; column ``step`` receives
+        the new coefficients.
+    step:
+        Zero-based iteration index.
+    reorthogonalize:
+        Perform a second orthogonalization pass (more robust to rounding
+        and to small injected errors).
+    gram_schmidt:
+        ``"modified"`` (default) or ``"classical"``.
+    breakdown_tol:
+        Relative tolerance below which the new vector counts as zero.
+    perturb:
+        Optional hook called with ``(w, step)`` after the operator
+        application and before orthogonalization; fault injectors use it
+        to corrupt the computation exactly where a bit flip in the
+        matvec would land.
+
+    Returns
+    -------
+    float
+        The norm ``h[step+1, step]`` of the orthogonalized vector.
+
+    Raises
+    ------
+    ArnoldiBreakdown
+        If the new vector's norm falls below ``breakdown_tol`` times the
+        norm of ``A v`` (the caller decides whether this is a happy
+        breakdown, i.e. the solution has been found).
+    """
+    if gram_schmidt not in ("modified", "classical"):
+        raise ValueError("gram_schmidt must be 'modified' or 'classical'")
+    n_basis = step + 1
+    v = basis[:, step]
+    w = np.asarray(apply_operator(v), dtype=np.float64)
+    if w.shape != v.shape:
+        raise ValueError("operator changed the vector length")
+    if perturb is not None:
+        w = np.asarray(perturb(w, step), dtype=np.float64)
+    norm_before = float(np.linalg.norm(w))
+    if gram_schmidt == "modified":
+        w, coefficients = modified_gram_schmidt_step(basis, w, n_basis)
+    else:
+        w, coefficients = classical_gram_schmidt_step(basis, w, n_basis)
+    hessenberg[:n_basis, step] = coefficients
+    if reorthogonalize:
+        w, extra = (
+            modified_gram_schmidt_step(basis, w, n_basis)
+            if gram_schmidt == "modified"
+            else classical_gram_schmidt_step(basis, w, n_basis)
+        )
+        hessenberg[:n_basis, step] += extra
+    h_next = float(np.linalg.norm(w))
+    hessenberg[n_basis, step] = h_next
+    if not np.isfinite(h_next) or h_next <= breakdown_tol * max(norm_before, 1.0):
+        raise ArnoldiBreakdown(step, h_next)
+    basis[:, step + 1] = w / h_next
+    return h_next

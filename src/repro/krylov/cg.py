@@ -1,0 +1,112 @@
+"""Preconditioned conjugate gradients.
+
+The symmetric-positive-definite workhorse, used by the implicit PDE
+time stepper (backward Euler on the heat equation) and as the baseline
+against which :mod:`repro.krylov.pipelined_cg` is compared.  Each
+iteration performs **two** blocking global reductions (the
+``r^T z`` and ``p^T A p`` inner products) plus one for the convergence
+norm -- the synchronization pattern whose latency sensitivity motivates
+the RBSP model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.krylov import ops
+from repro.krylov.result import SolveResult
+
+__all__ = ["cg"]
+
+
+def cg(
+    operator,
+    b,
+    x0=None,
+    *,
+    tol: float = 1e-8,
+    atol: float = 0.0,
+    maxiter: int = 1000,
+    preconditioner=None,
+    iteration_hook: Optional[Callable[[int, float], None]] = None,
+) -> SolveResult:
+    """Solve the SPD system ``A x = b`` with preconditioned CG.
+
+    Parameters
+    ----------
+    operator, b, x0, tol, atol, maxiter, preconditioner:
+        As in :func:`repro.krylov.gmres.gmres` (the preconditioner is
+        applied symmetrically through the standard PCG recurrence).
+    iteration_hook:
+        Optional callback ``hook(iteration, residual_norm)``.
+
+    Returns
+    -------
+    SolveResult
+        ``info["alphas"]`` and ``info["betas"]`` record the CG
+        coefficients; skeptical checks use their positivity as an SPD
+        invariant.
+    """
+    if maxiter <= 0:
+        raise ValueError("maxiter must be positive")
+    b_norm = ops.norm(b)
+    target = max(tol * b_norm, atol)
+    if target == 0.0:
+        target = tol
+
+    x = ops.copy_vector(x0) if x0 is not None else ops.zeros_like(b)
+    r = ops.axpby(1.0, b, -1.0, ops.matvec(operator, x))
+    z = ops.apply_preconditioner(preconditioner, r)
+    p = ops.copy_vector(z)
+    rz = ops.dot(r, z)
+    residual = ops.norm(r)
+    residual_norms: List[float] = [residual]
+    alphas: List[float] = []
+    betas: List[float] = []
+    converged = residual <= target
+    breakdown = False
+    iteration = 0
+
+    while not converged and not breakdown and iteration < maxiter:
+        ap = ops.matvec(operator, p)
+        p_ap = ops.dot(p, ap)
+        if p_ap <= 0.0 or not np.isfinite(p_ap):
+            # Loss of positive definiteness: either the operator is not
+            # SPD or a fault corrupted the recurrence.
+            breakdown = True
+            break
+        alpha = rz / p_ap
+        alphas.append(float(alpha))
+        x = ops.axpby(1.0, x, float(alpha), p)
+        r = ops.axpby(1.0, r, -float(alpha), ap)
+        residual = ops.norm(r)
+        iteration += 1
+        residual_norms.append(residual)
+        if iteration_hook is not None:
+            iteration_hook(iteration, residual)
+        if not np.isfinite(residual):
+            breakdown = True
+            break
+        if residual <= target:
+            converged = True
+            break
+        z = ops.apply_preconditioner(preconditioner, r)
+        rz_next = ops.dot(r, z)
+        if not np.isfinite(rz_next):
+            breakdown = True
+            break
+        beta = rz_next / rz
+        betas.append(float(beta))
+        rz = rz_next
+        p = ops.axpby(1.0, z, float(beta), p)
+
+    return SolveResult(
+        x=x,
+        converged=converged,
+        iterations=iteration,
+        residual_norms=residual_norms,
+        breakdown=breakdown,
+        info={"alphas": alphas, "betas": betas, "target": target},
+    )

@@ -1,0 +1,183 @@
+"""Flexible GMRES (FGMRES).
+
+FGMRES allows the preconditioner to *change from iteration to
+iteration* -- including being another iterative solver -- by storing
+the preconditioned vectors ``z_j = M_j^{-1} v_j`` explicitly and
+forming the solution update from them.  This is exactly the structure
+the paper's "reliable outer iterations" (Section III-D) require: the
+outer FGMRES runs in reliable mode and is provably tolerant of an
+inner solver that returns *anything* (even garbage produced by faults),
+because a bad ``z_j`` can at worst fail to reduce the residual -- the
+outer least-squares problem never amplifies it.
+
+:mod:`repro.ftgmres` builds the full fault-tolerant solver on top of
+this routine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+import numpy as np
+
+from repro.krylov import ops
+from repro.krylov.result import SolveResult
+from repro.linalg.blas import apply_givens, back_substitution, givens_rotation
+
+__all__ = ["fgmres"]
+
+
+def fgmres(
+    operator,
+    b,
+    x0=None,
+    *,
+    tol: float = 1e-8,
+    atol: float = 0.0,
+    restart: int = 30,
+    maxiter: int = 300,
+    inner_solve: Optional[Callable[[Any], Any]] = None,
+    iteration_hook: Optional[Callable[[int, float], None]] = None,
+) -> SolveResult:
+    """Solve ``A x = b`` with flexible (variable-preconditioner) GMRES.
+
+    Parameters
+    ----------
+    operator:
+        The matrix ``A`` (any type accepted by :mod:`repro.krylov.ops`).
+    b, x0, tol, atol, restart, maxiter:
+        As in :func:`repro.krylov.gmres.gmres`.
+    inner_solve:
+        Callable mapping a basis vector ``v_j`` to a preconditioned
+        vector ``z_j`` (typically an approximate solve of
+        ``A z = v_j``).  ``None`` means ``z_j = v_j`` (unpreconditioned,
+        equivalent to plain GMRES).
+    iteration_hook:
+        Optional callback ``hook(total_iteration, residual_norm)``.
+
+    Returns
+    -------
+    SolveResult
+        ``info["z_norms"]`` records the norms of the inner-solve
+        outputs, which the FT-GMRES experiments use to show that faulty
+        inner solves were absorbed rather than amplified.
+    """
+    if restart <= 0 or maxiter <= 0:
+        raise ValueError("restart and maxiter must be positive")
+
+    b_norm = ops.norm(b)
+    target = max(tol * b_norm, atol)
+    if target == 0.0:
+        target = tol
+
+    x = ops.copy_vector(x0) if x0 is not None else ops.zeros_like(b)
+    residual_norms: List[float] = []
+    z_norms: List[float] = []
+    total_iteration = 0
+    converged = False
+    breakdown = False
+    outer = 0
+
+    while total_iteration < maxiter and not converged and not breakdown:
+        r = ops.axpby(1.0, b, -1.0, ops.matvec(operator, x))
+        beta = ops.norm(r)
+        if not residual_norms:
+            residual_norms.append(beta)
+        if beta <= target:
+            converged = True
+            break
+        m = min(restart, maxiter - total_iteration)
+        basis: List[Any] = [ops.scale(1.0 / beta, r)]
+        z_vectors: List[Any] = []
+        hessenberg = np.zeros((m + 1, m), dtype=np.float64)
+        givens: List[tuple] = []
+        g = np.zeros(m + 1, dtype=np.float64)
+        g[0] = beta
+        inner_used = 0
+        cycle_residual = beta
+
+        for j in range(m):
+            v = basis[j]
+            z = inner_solve(v) if inner_solve is not None else ops.copy_vector(v)
+            # The reliable outer iteration inspects what the (possibly
+            # unreliable) inner solve returned and discards unusable
+            # results, replacing them with the unpreconditioned vector --
+            # the "analyzed and used or discarded" behaviour of the
+            # paper's reliable-outer formulation.  Unusable means
+            # non-finite, or so large that applying the operator would
+            # overflow and poison the reliable outer state.
+            z_local = ops.to_local(z)
+            z_norm = float(np.linalg.norm(z_local)) if np.all(np.isfinite(z_local)) else float("inf")
+            v_norm = ops.norm(v)
+            if (
+                not np.isfinite(z_norm)
+                or z_norm == 0.0
+                or z_norm > 1e120
+                or z_norm > 1e16 * max(v_norm, 1.0)
+            ):
+                z = ops.copy_vector(v)
+            with np.errstate(over="ignore", invalid="ignore"):
+                w = ops.matvec(operator, z)
+            if not np.all(np.isfinite(ops.to_local(w))):
+                z = ops.copy_vector(v)
+                w = ops.matvec(operator, z)
+            z_vectors.append(z)
+            z_norms.append(ops.norm(z))
+            for i in range(j + 1):
+                hessenberg[i, j] = ops.dot(basis[i], w)
+                w = ops.axpby(1.0, w, -hessenberg[i, j], basis[i])
+            h_next = ops.norm(w)
+            hessenberg[j + 1, j] = h_next
+            happy = h_next <= 1e-14 * max(cycle_residual, 1.0)
+            basis.append(
+                ops.scale(1.0 / h_next, w) if not happy else ops.zeros_like(w)
+            )
+            for i, (c, s) in enumerate(givens):
+                hessenberg[i, j], hessenberg[i + 1, j] = apply_givens(
+                    c, s, hessenberg[i, j], hessenberg[i + 1, j]
+                )
+            c, s = givens_rotation(hessenberg[j, j], hessenberg[j + 1, j])
+            givens.append((c, s))
+            hessenberg[j, j], hessenberg[j + 1, j] = apply_givens(
+                c, s, hessenberg[j, j], hessenberg[j + 1, j]
+            )
+            g[j], g[j + 1] = apply_givens(c, s, g[j], g[j + 1])
+            cycle_residual = abs(g[j + 1])
+            inner_used = j + 1
+            total_iteration += 1
+            residual_norms.append(cycle_residual)
+            if iteration_hook is not None:
+                iteration_hook(total_iteration, cycle_residual)
+            if not np.isfinite(cycle_residual):
+                breakdown = True
+                break
+            if cycle_residual <= target or happy or total_iteration >= maxiter:
+                break
+
+        if inner_used > 0 and not breakdown:
+            try:
+                y = back_substitution(hessenberg[:inner_used, :inner_used], g[:inner_used])
+            except np.linalg.LinAlgError:
+                breakdown = True
+                y = None
+            if y is not None and np.all(np.isfinite(y)):
+                for i in range(inner_used):
+                    x = ops.axpby(1.0, x, float(y[i]), z_vectors[i])
+            else:
+                breakdown = True
+
+        true_residual = ops.norm(ops.axpby(1.0, b, -1.0, ops.matvec(operator, x)))
+        if residual_norms:
+            residual_norms[-1] = true_residual
+        if true_residual <= target:
+            converged = True
+        outer += 1
+
+    return SolveResult(
+        x=x,
+        converged=converged,
+        iterations=total_iteration,
+        residual_norms=residual_norms,
+        breakdown=breakdown,
+        info={"restarts": outer, "target": target, "z_norms": z_norms},
+    )

@@ -1,0 +1,227 @@
+"""Restarted GMRES with right preconditioning and iteration hooks.
+
+This is the baseline nonsymmetric solver of the toolkit.  It is written
+against the :mod:`repro.krylov.ops` dispatch layer so the same code
+runs sequentially (NumPy vectors) and on the simulated distributed
+runtime.  Two extension points matter for the resilience work:
+
+* ``iteration_hook(state)`` is called once per inner iteration with a
+  :class:`GmresState` view of the solver internals.  The skeptical
+  monitor uses it both to *inject* faults (writes into the basis or
+  Hessenberg matrix) and to *check* invariants.
+* ``operator`` may be any callable, which is how the SRP layer slips an
+  unreliable operator underneath the solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+import numpy as np
+
+from repro.krylov import ops
+from repro.krylov.result import SolveResult
+from repro.linalg.blas import apply_givens, back_substitution, givens_rotation
+
+__all__ = ["gmres", "GmresState"]
+
+
+@dataclass
+class GmresState:
+    """Mutable view of the GMRES internals passed to iteration hooks.
+
+    Attributes
+    ----------
+    outer:
+        Restart cycle number (0-based).
+    inner:
+        Inner iteration within the cycle (0-based).
+    total_iteration:
+        Global iteration counter across restarts.
+    basis:
+        List of Krylov basis vectors built so far in this cycle
+        (``inner + 2`` entries after the current step).
+    hessenberg:
+        The ``(m+1) x m`` Hessenberg array of this cycle.
+    residual_norm:
+        Current (recurrence-based) residual norm estimate.
+    """
+
+    outer: int
+    inner: int
+    total_iteration: int
+    basis: List[Any]
+    hessenberg: np.ndarray
+    residual_norm: float
+
+
+def gmres(
+    operator,
+    b,
+    x0=None,
+    *,
+    tol: float = 1e-8,
+    atol: float = 0.0,
+    restart: int = 30,
+    maxiter: int = 1000,
+    preconditioner=None,
+    iteration_hook: Optional[Callable[[GmresState], None]] = None,
+    gram_schmidt: str = "modified",
+) -> SolveResult:
+    """Solve ``A x = b`` with restarted, right-preconditioned GMRES.
+
+    Parameters
+    ----------
+    operator:
+        The matrix ``A`` (:class:`~repro.linalg.csr.CsrMatrix`, dense
+        ndarray, callable, or
+        :class:`~repro.linalg.distributed.DistributedRowMatrix`).
+    b:
+        Right-hand side (NumPy vector or
+        :class:`~repro.linalg.distributed.DistributedVector`).
+    x0:
+        Initial guess (defaults to zero).
+    tol, atol:
+        Convergence when ``|r| <= max(tol * |b|, atol)``.
+    restart:
+        Maximum Krylov subspace dimension per cycle.
+    maxiter:
+        Maximum total inner iterations.
+    preconditioner:
+        Right preconditioner ``M`` applied as ``A M^{-1} y = b``.
+    iteration_hook:
+        Callback invoked after every inner iteration with a
+        :class:`GmresState`; may mutate ``basis``/``hessenberg`` (that
+        is how faults are injected for the SDC experiments).
+    gram_schmidt:
+        ``"modified"`` or ``"classical"`` orthogonalization.
+
+    Returns
+    -------
+    SolveResult
+    """
+    if restart <= 0:
+        raise ValueError("restart must be positive")
+    if maxiter <= 0:
+        raise ValueError("maxiter must be positive")
+    if gram_schmidt not in ("modified", "classical"):
+        raise ValueError("gram_schmidt must be 'modified' or 'classical'")
+
+    b_norm = ops.norm(b)
+    target = max(tol * b_norm, atol)
+    if target == 0.0:
+        target = tol
+
+    x = ops.copy_vector(x0) if x0 is not None else ops.zeros_like(b)
+    residual_norms: List[float] = []
+    total_iteration = 0
+    breakdown = False
+    converged = False
+
+    outer = 0
+    while total_iteration < maxiter and not converged and not breakdown:
+        # Residual of the current iterate.
+        r = ops.axpby(1.0, b, -1.0, ops.matvec(operator, x))
+        beta = ops.norm(r)
+        if not residual_norms:
+            residual_norms.append(beta)
+        if beta <= target:
+            converged = True
+            break
+        m = min(restart, maxiter - total_iteration)
+        basis: List[Any] = [ops.scale(1.0 / beta, r)]
+        hessenberg = np.zeros((m + 1, m), dtype=np.float64)
+        givens: List[tuple] = []
+        g = np.zeros(m + 1, dtype=np.float64)
+        g[0] = beta
+        inner_used = 0
+        cycle_residual = beta
+
+        for j in range(m):
+            # Arnoldi step with right preconditioning: w = A M^{-1} v_j.
+            z = ops.apply_preconditioner(preconditioner, basis[j])
+            w = ops.matvec(operator, z)
+            for i in range(j + 1):
+                hessenberg[i, j] = ops.dot(basis[i], w)
+                w = ops.axpby(1.0, w, -hessenberg[i, j], basis[i])
+            h_next = ops.norm(w)
+            hessenberg[j + 1, j] = h_next
+            happy = h_next <= 1e-14 * max(cycle_residual, 1.0)
+            if not happy:
+                basis.append(ops.scale(1.0 / h_next, w))
+            else:
+                basis.append(ops.zeros_like(w))
+
+            # Apply previous Givens rotations to the new column.
+            for i, (c, s) in enumerate(givens):
+                hessenberg[i, j], hessenberg[i + 1, j] = apply_givens(
+                    c, s, hessenberg[i, j], hessenberg[i + 1, j]
+                )
+            c, s = givens_rotation(hessenberg[j, j], hessenberg[j + 1, j])
+            givens.append((c, s))
+            hessenberg[j, j], hessenberg[j + 1, j] = apply_givens(
+                c, s, hessenberg[j, j], hessenberg[j + 1, j]
+            )
+            g[j], g[j + 1] = apply_givens(c, s, g[j], g[j + 1])
+            cycle_residual = abs(g[j + 1])
+
+            inner_used = j + 1
+            total_iteration += 1
+            residual_norms.append(cycle_residual)
+
+            if iteration_hook is not None:
+                iteration_hook(
+                    GmresState(
+                        outer=outer,
+                        inner=j,
+                        total_iteration=total_iteration,
+                        basis=basis,
+                        hessenberg=hessenberg,
+                        residual_norm=cycle_residual,
+                    )
+                )
+
+            if not np.isfinite(cycle_residual):
+                breakdown = True
+                break
+            if cycle_residual <= target or happy:
+                break
+            if total_iteration >= maxiter:
+                break
+
+        # Form the cycle's correction: solve the small least-squares system.
+        if inner_used > 0:
+            try:
+                y = back_substitution(hessenberg[:inner_used, :inner_used], g[:inner_used])
+            except np.linalg.LinAlgError:
+                breakdown = True
+                y = None
+            if y is not None and np.all(np.isfinite(y)):
+                update = ops.zeros_like(x)
+                for i in range(inner_used):
+                    update = ops.axpby(1.0, update, float(y[i]), basis[i])
+                update = ops.apply_preconditioner(preconditioner, update)
+                x = ops.axpby(1.0, x, 1.0, update)
+            else:
+                breakdown = True
+
+        # True residual check at the cycle boundary.
+        true_residual = ops.norm(ops.axpby(1.0, b, -1.0, ops.matvec(operator, x)))
+        residual_norms[-1] = true_residual
+        if true_residual <= target:
+            converged = True
+        outer += 1
+
+    return SolveResult(
+        x=x,
+        converged=converged,
+        iterations=total_iteration,
+        residual_norms=residual_norms,
+        breakdown=breakdown,
+        info={
+            "restarts": outer,
+            "target": target,
+            "gram_schmidt": gram_schmidt,
+        },
+    )

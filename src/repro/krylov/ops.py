@@ -1,0 +1,153 @@
+"""Type-dispatch layer for the Krylov solvers.
+
+The solvers are written once against these helpers and therefore run
+unchanged on
+
+* plain NumPy vectors with a :class:`~repro.linalg.csr.CsrMatrix`,
+  dense ndarray or callable operator (sequential execution), and
+* :class:`~repro.linalg.distributed.DistributedVector` operands with a
+  :class:`~repro.linalg.distributed.DistributedRowMatrix` operator
+  (execution over the simulated MPI runtime, with every global
+  reduction paying the collective cost of the machine model).
+
+Only the operations the solvers need are provided; anything fancier
+belongs in :mod:`repro.linalg`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Union
+
+import numpy as np
+
+from repro.linalg.csr import CsrMatrix
+from repro.linalg.distributed import DistributedRowMatrix, DistributedVector
+from repro.simmpi.requests import CompletedRequest
+
+__all__ = [
+    "is_distributed",
+    "matvec",
+    "dot",
+    "idot",
+    "norm",
+    "axpby",
+    "scale",
+    "copy_vector",
+    "zeros_like",
+    "to_local",
+    "apply_preconditioner",
+    "vector_size",
+]
+
+Operator = Union[CsrMatrix, np.ndarray, Callable, DistributedRowMatrix]
+Vector = Union[np.ndarray, DistributedVector]
+
+
+def is_distributed(vector: Any) -> bool:
+    """Whether ``vector`` is a distributed vector."""
+    return isinstance(vector, DistributedVector)
+
+
+def matvec(operator: Operator, x: Vector) -> Vector:
+    """Apply the operator to a vector, dispatching on types."""
+    if isinstance(x, DistributedVector):
+        if isinstance(operator, DistributedRowMatrix):
+            return operator.matvec(x)
+        if callable(operator):
+            return operator(x)
+        raise TypeError(
+            "distributed vectors require a DistributedRowMatrix or callable operator"
+        )
+    if isinstance(operator, CsrMatrix):
+        return operator.matvec(np.asarray(x, dtype=np.float64))
+    if isinstance(operator, np.ndarray):
+        return operator @ np.asarray(x, dtype=np.float64)
+    if callable(operator):
+        return operator(x)
+    raise TypeError(f"unsupported operator type {type(operator).__name__}")
+
+
+def dot(x: Vector, y: Vector) -> float:
+    """Global inner product."""
+    if isinstance(x, DistributedVector):
+        return x.dot(y)
+    return float(np.asarray(x, dtype=np.float64) @ np.asarray(y, dtype=np.float64))
+
+
+def idot(x: Vector, y: Vector):
+    """Non-blocking global inner product.
+
+    Returns an object with ``.wait()``; sequential vectors return a
+    pre-completed request so solver code can be written uniformly.
+    """
+    if isinstance(x, DistributedVector):
+        return x.idot(y)
+    return CompletedRequest(dot(x, y), operation="idot")
+
+
+def norm(x: Vector) -> float:
+    """Global 2-norm."""
+    if isinstance(x, DistributedVector):
+        return x.norm()
+    return float(np.linalg.norm(np.asarray(x, dtype=np.float64)))
+
+
+def axpby(alpha: float, x: Vector, beta: float, y: Vector) -> Vector:
+    """Return ``alpha * x + beta * y`` as a new vector."""
+    if isinstance(x, DistributedVector):
+        result = x.copy().scale(alpha)
+        result.axpy(beta, y)
+        return result
+    return alpha * np.asarray(x, dtype=np.float64) + beta * np.asarray(y, dtype=np.float64)
+
+
+def scale(alpha: float, x: Vector) -> Vector:
+    """Return ``alpha * x`` as a new vector."""
+    if isinstance(x, DistributedVector):
+        return x.copy().scale(alpha)
+    return alpha * np.asarray(x, dtype=np.float64)
+
+
+def copy_vector(x: Vector) -> Vector:
+    """Deep copy."""
+    if isinstance(x, DistributedVector):
+        return x.copy()
+    return np.array(x, dtype=np.float64, copy=True)
+
+
+def zeros_like(x: Vector) -> Vector:
+    """A zero vector with the same shape/distribution as ``x``."""
+    if isinstance(x, DistributedVector):
+        return DistributedVector.zeros_like(x)
+    return np.zeros_like(np.asarray(x, dtype=np.float64))
+
+
+def to_local(x: Vector) -> np.ndarray:
+    """Return the local (or full, for sequential) NumPy data of ``x``."""
+    if isinstance(x, DistributedVector):
+        return x.local
+    return np.asarray(x, dtype=np.float64)
+
+
+def vector_size(x: Vector) -> int:
+    """Global length of the vector."""
+    if isinstance(x, DistributedVector):
+        return x.global_size
+    return int(np.asarray(x).size)
+
+
+def apply_preconditioner(preconditioner, x: Vector) -> Vector:
+    """Apply ``M^{-1}`` to a vector, handling the no-preconditioner case.
+
+    For distributed vectors the preconditioner must itself accept and
+    return :class:`DistributedVector` (e.g. a diagonal preconditioner
+    built from :meth:`DistributedRowMatrix.diagonal`); callables are
+    applied directly in both cases.
+    """
+    if preconditioner is None:
+        return copy_vector(x)
+    if callable(preconditioner) and not hasattr(preconditioner, "apply"):
+        return preconditioner(x)
+    if isinstance(x, DistributedVector):
+        return preconditioner(x) if callable(preconditioner) else preconditioner.apply(x)
+    return preconditioner.apply(to_local(x)) if hasattr(preconditioner, "apply") else preconditioner(x)

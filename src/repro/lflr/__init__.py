@@ -1,0 +1,38 @@
+"""Local Failure, Local Recovery (LFLR) -- paper §II-C and §III-C.
+
+The LFLR model has two ingredients the paper spells out:
+
+1. "store specific data persistently for each MPI process" -- the
+   :class:`~repro.lflr.store.PersistentStore`, which keeps each rank's
+   registered state locally *and* mirrors it to a partner rank so it
+   survives the owner's death;
+2. "a recovery function can be registered, such that, if a process
+   fails, a new process is started and assigned to the rank of the
+   failed process, and the user's recovery function is called" -- the
+   :class:`~repro.lflr.manager.LFLRManager`, which detects failures
+   (via the ULFM-style errors of the simulated runtime), respawns
+   replacements, re-establishes collective communication, and invokes
+   the registered recovery function with the restored persistent data.
+
+On top of those, :mod:`repro.lflr.explicit` provides the locally
+restarted explicit heat-equation driver of experiment E4 and
+:mod:`repro.lflr.coarse` the redundantly stored coarse model used for
+implicit-method recovery (experiment E5).
+"""
+
+from repro.lflr.store import PersistentStore, StoreEntry
+from repro.lflr.manager import LFLRManager, RecoveryOutcome
+from repro.lflr.explicit import LflrHeatResult, run_lflr_heat
+from repro.lflr.coarse import CoarseModelStore, restrict_field, prolong_field
+
+__all__ = [
+    "PersistentStore",
+    "StoreEntry",
+    "LFLRManager",
+    "RecoveryOutcome",
+    "LflrHeatResult",
+    "run_lflr_heat",
+    "CoarseModelStore",
+    "restrict_field",
+    "prolong_field",
+]

@@ -1,0 +1,90 @@
+"""Sparse linear algebra substrate.
+
+Everything the Krylov solvers and PDE discretizations need is built
+here from scratch on top of NumPy (SciPy is used only as a test
+oracle):
+
+* :mod:`repro.linalg.csr` -- compressed-sparse-row matrices with
+  matvec, transpose-matvec, row/diagonal extraction and conversion
+  helpers.
+* :mod:`repro.linalg.matgen` -- model-problem generators: 1-D/2-D/3-D
+  Poisson, convection-diffusion, and random SPD matrices.
+* :mod:`repro.linalg.blas` -- the handful of dense kernels the solvers
+  need (axpy, Givens rotations, back substitution, classical and
+  modified Gram-Schmidt).
+* :mod:`repro.linalg.precond` -- Jacobi, SSOR, polynomial (Neumann)
+  and block-Jacobi preconditioners.
+* :mod:`repro.linalg.checksum` -- Huang & Abraham checksum-encoded
+  matrix operations (the classic ABFT scheme the paper cites as the
+  root of algorithm-based fault tolerance).
+* :mod:`repro.linalg.distributed` -- row-distributed matrices and
+  vectors over the simulated MPI runtime.
+"""
+
+from repro.linalg.csr import CsrMatrix
+from repro.linalg.matgen import (
+    poisson_1d,
+    poisson_2d,
+    poisson_3d,
+    convection_diffusion_2d,
+    random_spd,
+    diagonally_dominant,
+    tridiagonal,
+)
+from repro.linalg.blas import (
+    axpy,
+    givens_rotation,
+    apply_givens,
+    back_substitution,
+    modified_gram_schmidt_step,
+    classical_gram_schmidt_step,
+)
+from repro.linalg.precond import (
+    Preconditioner,
+    IdentityPreconditioner,
+    JacobiPreconditioner,
+    SsorPreconditioner,
+    NeumannPolynomialPreconditioner,
+    BlockJacobiPreconditioner,
+)
+from repro.linalg.checksum import (
+    ChecksummedMatrix,
+    checksum_vector,
+    verify_checksum,
+    checked_matvec,
+    checked_matmul,
+    correct_single_error,
+)
+from repro.linalg.distributed import DistributedVector, DistributedRowMatrix, block_ranges
+
+__all__ = [
+    "CsrMatrix",
+    "poisson_1d",
+    "poisson_2d",
+    "poisson_3d",
+    "convection_diffusion_2d",
+    "random_spd",
+    "diagonally_dominant",
+    "tridiagonal",
+    "axpy",
+    "givens_rotation",
+    "apply_givens",
+    "back_substitution",
+    "modified_gram_schmidt_step",
+    "classical_gram_schmidt_step",
+    "Preconditioner",
+    "IdentityPreconditioner",
+    "JacobiPreconditioner",
+    "SsorPreconditioner",
+    "NeumannPolynomialPreconditioner",
+    "BlockJacobiPreconditioner",
+    "ChecksummedMatrix",
+    "checksum_vector",
+    "verify_checksum",
+    "checked_matvec",
+    "checked_matmul",
+    "correct_single_error",
+    "DistributedVector",
+    "DistributedRowMatrix",
+    "block_ranges",
+]

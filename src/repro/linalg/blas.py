@@ -1,0 +1,120 @@
+"""Dense kernels used by the Krylov solvers.
+
+Only the handful of operations GMRES/CG need beyond plain NumPy are
+implemented: Givens rotations (for the incremental QR of the Hessenberg
+matrix), back substitution, axpy and the two Gram-Schmidt variants.
+Keeping them here (rather than inlined in the solvers) lets the
+skeptical-programming layer wrap and check them, and lets the tests
+exercise them in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_array_1d
+
+__all__ = [
+    "axpy",
+    "givens_rotation",
+    "apply_givens",
+    "back_substitution",
+    "modified_gram_schmidt_step",
+    "classical_gram_schmidt_step",
+]
+
+
+def axpy(alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Return ``alpha * x + y`` (out of place)."""
+    x = check_array_1d(x, "x", dtype=np.float64)
+    y = check_array_1d(y, "y", dtype=np.float64)
+    if x.size != y.size:
+        raise ValueError("x and y must have the same length")
+    return alpha * x + y
+
+
+def givens_rotation(a: float, b: float) -> Tuple[float, float]:
+    """Return ``(c, s)`` such that ``[c s; -s c] @ [a; b] = [r; 0]``.
+
+    Uses the numerically careful formulation that avoids overflow for
+    large ``|a|`` or ``|b|``.
+    """
+    a = float(a)
+    b = float(b)
+    if b == 0.0:
+        return 1.0, 0.0
+    if a == 0.0:
+        return 0.0, 1.0
+    if abs(b) > abs(a):
+        t = a / b
+        s = 1.0 / np.sqrt(1.0 + t * t)
+        c = s * t
+    else:
+        t = b / a
+        c = 1.0 / np.sqrt(1.0 + t * t)
+        s = c * t
+    return float(c), float(s)
+
+
+def apply_givens(c: float, s: float, a: float, b: float) -> Tuple[float, float]:
+    """Apply the rotation ``(c, s)`` to the pair ``(a, b)``."""
+    return float(c * a + s * b), float(-s * a + c * b)
+
+
+def back_substitution(upper: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``R y = rhs`` for upper-triangular ``R``.
+
+    Raises ``np.linalg.LinAlgError`` when a diagonal entry is zero (the
+    Hessenberg QR broke down), so callers can treat breakdown
+    explicitly rather than silently dividing by zero.
+    """
+    upper = np.asarray(upper, dtype=np.float64)
+    rhs = check_array_1d(rhs, "rhs", dtype=np.float64)
+    n = rhs.size
+    if upper.shape[0] < n or upper.shape[1] < n:
+        raise ValueError("triangular factor too small for the right-hand side")
+    y = np.zeros(n, dtype=np.float64)
+    for i in range(n - 1, -1, -1):
+        pivot = upper[i, i]
+        if pivot == 0.0 or not np.isfinite(pivot):
+            raise np.linalg.LinAlgError(f"zero or non-finite pivot at row {i}")
+        y[i] = (rhs[i] - upper[i, i + 1 : n] @ y[i + 1 : n]) / pivot
+    return y
+
+
+def modified_gram_schmidt_step(
+    basis: np.ndarray, w: np.ndarray, n_vectors: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Orthogonalize ``w`` against the first ``n_vectors`` columns of ``basis``.
+
+    Modified Gram-Schmidt: projections are subtracted one at a time,
+    which is the numerically stable variant GMRES conventionally uses.
+
+    Returns ``(w_orth, coefficients)`` where ``coefficients[j]`` is the
+    projection of the *partially orthogonalized* ``w`` onto column j.
+    """
+    w = np.array(w, dtype=np.float64, copy=True)
+    coefficients = np.zeros(n_vectors, dtype=np.float64)
+    for j in range(n_vectors):
+        v = basis[:, j]
+        coefficients[j] = float(v @ w)
+        w -= coefficients[j] * v
+    return w, coefficients
+
+
+def classical_gram_schmidt_step(
+    basis: np.ndarray, w: np.ndarray, n_vectors: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Classical Gram-Schmidt step (all projections from the original w).
+
+    Less stable than MGS but needs only a single global reduction for
+    all the dot products, which is why latency-tolerant (pipelined)
+    Krylov variants prefer it -- exactly the trade the RBSP model makes
+    explicit.
+    """
+    w = np.asarray(w, dtype=np.float64)
+    coefficients = basis[:, :n_vectors].T @ w
+    w_orth = w - basis[:, :n_vectors] @ coefficients
+    return w_orth, coefficients

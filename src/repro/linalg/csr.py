@@ -1,0 +1,296 @@
+"""Compressed-sparse-row matrices.
+
+A small, dependency-free CSR implementation sufficient for the model
+problems and solvers of the toolkit.  The data layout is the usual
+triplet of arrays (``indptr``, ``indices``, ``data``); matvec is
+vectorized with :func:`numpy.add.reduceat` so it stays fast enough for
+the benchmark sizes without compiled extensions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.utils.validation import check_integer
+
+__all__ = ["CsrMatrix"]
+
+
+class CsrMatrix:
+    """A real matrix in compressed-sparse-row format.
+
+    Parameters
+    ----------
+    indptr:
+        Row-pointer array of length ``n_rows + 1``.
+    indices:
+        Column indices of stored entries (length ``nnz``).
+    data:
+        Stored values (length ``nnz``), coerced to float64.
+    shape:
+        ``(n_rows, n_cols)``.
+
+    Notes
+    -----
+    The constructor validates structural invariants (monotone
+    ``indptr``, in-range column indices).  Duplicate column indices in
+    a row are allowed and are summed implicitly by matvec, matching
+    conventional CSR semantics.
+    """
+
+    def __init__(
+        self,
+        indptr: Iterable[int],
+        indices: Iterable[int],
+        data: Iterable[float],
+        shape: Tuple[int, int],
+    ):
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        if n_rows < 0 or n_cols < 0:
+            raise ValueError("shape entries must be non-negative")
+        self.shape = (n_rows, n_cols)
+        self._validate()
+
+    def _validate(self) -> None:
+        n_rows, n_cols = self.shape
+        if self.indptr.ndim != 1 or self.indptr.size != n_rows + 1:
+            raise ValueError(
+                f"indptr must have length n_rows+1={n_rows + 1}, got {self.indptr.size}"
+            )
+        if self.indptr[0] != 0:
+            raise ValueError("indptr[0] must be 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        nnz = int(self.indptr[-1])
+        if self.indices.size != nnz or self.data.size != nnz:
+            raise ValueError(
+                f"indices/data must have length indptr[-1]={nnz}, "
+                f"got {self.indices.size}/{self.data.size}"
+            )
+        if nnz and (self.indices.min() < 0 or self.indices.max() >= n_cols):
+            raise ValueError("column indices out of range")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, *, tol: float = 0.0) -> "CsrMatrix":
+        """Build from a dense array, dropping entries with ``|a_ij| <= tol``."""
+        arr = np.asarray(dense, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValueError("from_dense expects a 2-D array")
+        mask = np.abs(arr) > tol
+        indptr = np.zeros(arr.shape[0] + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum(mask.sum(axis=1))
+        indices = np.nonzero(mask)[1]
+        data = arr[mask]
+        return cls(indptr, indices, data, arr.shape)
+
+    @classmethod
+    def from_coo(
+        cls,
+        rows: Iterable[int],
+        cols: Iterable[int],
+        values: Iterable[float],
+        shape: Tuple[int, int],
+    ) -> "CsrMatrix":
+        """Build from coordinate (triplet) format; duplicates are summed."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if not (rows.shape == cols.shape == values.shape):
+            raise ValueError("rows, cols and values must have the same length")
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        if rows.size and (rows.min() < 0 or rows.max() >= n_rows):
+            raise ValueError("row indices out of range")
+        if cols.size and (cols.min() < 0 or cols.max() >= n_cols):
+            raise ValueError("column indices out of range")
+        # Sum duplicates by sorting on (row, col).
+        order = np.lexsort((cols, rows))
+        rows, cols, values = rows[order], cols[order], values[order]
+        if rows.size:
+            keys = rows * n_cols + cols
+            unique_mask = np.empty(rows.size, dtype=bool)
+            unique_mask[0] = True
+            unique_mask[1:] = keys[1:] != keys[:-1]
+            group_ids = np.cumsum(unique_mask) - 1
+            summed = np.zeros(int(group_ids[-1]) + 1, dtype=np.float64)
+            np.add.at(summed, group_ids, values)
+            rows = rows[unique_mask]
+            cols = cols[unique_mask]
+            values = summed
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.add.at(indptr, rows + 1, 1)
+        indptr = np.cumsum(indptr)
+        return cls(indptr, cols, values, (n_rows, n_cols))
+
+    @classmethod
+    def identity(cls, n: int) -> "CsrMatrix":
+        """The n-by-n identity matrix."""
+        check_integer(n, "n")
+        indptr = np.arange(n + 1, dtype=np.int64)
+        indices = np.arange(n, dtype=np.int64)
+        data = np.ones(n, dtype=np.float64)
+        return cls(indptr, indices, data, (n, n))
+
+    @classmethod
+    def diagonal(cls, values: Iterable[float]) -> "CsrMatrix":
+        """A diagonal matrix with the given diagonal values."""
+        vals = np.asarray(values, dtype=np.float64)
+        n = vals.size
+        indptr = np.arange(n + 1, dtype=np.int64)
+        indices = np.arange(n, dtype=np.int64)
+        return cls(indptr, indices, vals.copy(), (n, n))
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indptr[-1])
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows."""
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        """Number of columns."""
+        return self.shape[1]
+
+    @property
+    def is_square(self) -> bool:
+        """Whether the matrix is square."""
+        return self.shape[0] == self.shape[1]
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Return ``A @ x`` for a 1-D vector ``x``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 1 or x.size != self.n_cols:
+            raise ValueError(
+                f"x must be a vector of length {self.n_cols}, got shape {x.shape}"
+            )
+        products = self.data * x[self.indices]
+        result = np.zeros(self.n_rows, dtype=np.float64)
+        # reduceat needs non-empty segments; handle empty rows by masking.
+        row_starts = self.indptr[:-1]
+        nonempty = np.diff(self.indptr) > 0
+        if products.size:
+            sums = np.add.reduceat(products, row_starts[nonempty])
+            result[nonempty] = sums
+        return result
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        """Return ``A.T @ y``."""
+        y = np.asarray(y, dtype=np.float64)
+        if y.ndim != 1 or y.size != self.n_rows:
+            raise ValueError(
+                f"y must be a vector of length {self.n_rows}, got shape {y.shape}"
+            )
+        result = np.zeros(self.n_cols, dtype=np.float64)
+        row_ids = np.repeat(np.arange(self.n_rows), np.diff(self.indptr))
+        np.add.at(result, self.indices, self.data * y[row_ids])
+        return result
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(x)
+
+    def diagonal_values(self) -> np.ndarray:
+        """Extract the main diagonal (zeros where no entry is stored)."""
+        diag = np.zeros(min(self.shape), dtype=np.float64)
+        for i in range(min(self.shape)):
+            start, end = self.indptr[i], self.indptr[i + 1]
+            row_cols = self.indices[start:end]
+            hits = np.nonzero(row_cols == i)[0]
+            if hits.size:
+                diag[i] = self.data[start:end][hits].sum()
+        return diag
+
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(columns, values)`` of row ``i``."""
+        check_integer(i, "i")
+        if not 0 <= i < self.n_rows:
+            raise IndexError(f"row {i} out of range")
+        start, end = self.indptr[i], self.indptr[i + 1]
+        return self.indices[start:end].copy(), self.data[start:end].copy()
+
+    def row_slice(self, start: int, stop: int) -> "CsrMatrix":
+        """Return rows ``start:stop`` as a new CSR matrix (same column space)."""
+        check_integer(start, "start")
+        check_integer(stop, "stop")
+        if not 0 <= start <= stop <= self.n_rows:
+            raise ValueError(f"invalid row slice [{start}, {stop})")
+        lo, hi = int(self.indptr[start]), int(self.indptr[stop])
+        indptr = self.indptr[start : stop + 1] - self.indptr[start]
+        return CsrMatrix(
+            indptr, self.indices[lo:hi].copy(), self.data[lo:hi].copy(),
+            (stop - start, self.n_cols),
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Return the dense equivalent (use only for small matrices/tests)."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        row_ids = np.repeat(np.arange(self.n_rows), np.diff(self.indptr))
+        np.add.at(dense, (row_ids, self.indices), self.data)
+        return dense
+
+    def transpose(self) -> "CsrMatrix":
+        """Return the transpose as a new CSR matrix."""
+        row_ids = np.repeat(np.arange(self.n_rows), np.diff(self.indptr))
+        return CsrMatrix.from_coo(
+            self.indices, row_ids, self.data, (self.n_cols, self.n_rows)
+        )
+
+    def scale_rows(self, factors: np.ndarray) -> "CsrMatrix":
+        """Return ``diag(factors) @ A`` as a new matrix."""
+        factors = np.asarray(factors, dtype=np.float64)
+        if factors.shape != (self.n_rows,):
+            raise ValueError("factors must have one entry per row")
+        row_ids = np.repeat(np.arange(self.n_rows), np.diff(self.indptr))
+        return CsrMatrix(
+            self.indptr.copy(), self.indices.copy(), self.data * factors[row_ids],
+            self.shape,
+        )
+
+    def copy(self) -> "CsrMatrix":
+        """Deep copy."""
+        return CsrMatrix(
+            self.indptr.copy(), self.indices.copy(), self.data.copy(), self.shape
+        )
+
+    def __add__(self, other: "CsrMatrix") -> "CsrMatrix":
+        if not isinstance(other, CsrMatrix):
+            return NotImplemented
+        if self.shape != other.shape:
+            raise ValueError("matrix shapes must match for addition")
+        self_rows = np.repeat(np.arange(self.n_rows), np.diff(self.indptr))
+        other_rows = np.repeat(np.arange(other.n_rows), np.diff(other.indptr))
+        return CsrMatrix.from_coo(
+            np.concatenate([self_rows, other_rows]),
+            np.concatenate([self.indices, other.indices]),
+            np.concatenate([self.data, other.data]),
+            self.shape,
+        )
+
+    def __mul__(self, scalar: Union[int, float]) -> "CsrMatrix":
+        if not isinstance(scalar, (int, float, np.floating, np.integer)):
+            return NotImplemented
+        return CsrMatrix(
+            self.indptr.copy(), self.indices.copy(), self.data * float(scalar),
+            self.shape,
+        )
+
+    __rmul__ = __mul__
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CsrMatrix(shape={self.shape}, nnz={self.nnz})"

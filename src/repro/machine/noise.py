@@ -1,0 +1,216 @@
+"""Performance-variability (noise) models.
+
+Section II-B of the paper argues that the first observable impact of
+decreasing hardware reliability is *performance variability*: error
+detection and correction in hardware and system software keeps the
+machine functionally correct but makes nominally equal work take
+unequal time.  Coupled with frequent synchronous collectives this
+destroys scalability.
+
+The noise models here add a stochastic term to each compute interval:
+
+* :class:`NoNoise` -- the idealized reliable digital machine.
+* :class:`ExponentialNoise` -- classic OS-noise model: with some
+  probability per operation a detour of exponentially distributed
+  length is taken.
+* :class:`BoundedParetoNoise` -- heavy-tailed noise, modelling rare
+  but long stalls (page migrations, ECC scrubbing storms).
+* :class:`EccStallNoise` -- stalls of fixed length occurring at a
+  Poisson rate proportional to the interval length, modelling ECC
+  correction events whose frequency grows as hardware reliability
+  drops.
+* :class:`CompositeNoise` -- sum of several models.
+
+All models are seeded explicitly so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_non_negative, check_probability, check_positive
+
+__all__ = [
+    "NoiseModel",
+    "NoNoise",
+    "ExponentialNoise",
+    "BoundedParetoNoise",
+    "EccStallNoise",
+    "CompositeNoise",
+]
+
+
+class NoiseModel:
+    """Base class for per-operation noise models."""
+
+    def sample(self, base_time: float, *, rank: Optional[int] = None) -> float:
+        """Return the extra delay added to an operation of length ``base_time``."""
+        raise NotImplementedError
+
+    def mean_overhead(self, base_time: float) -> float:
+        """Expected extra delay for an operation of length ``base_time``.
+
+        Used by the analytic scaling models, which need expectations
+        rather than samples.
+        """
+        raise NotImplementedError
+
+
+class NoNoise(NoiseModel):
+    """The reliable digital machine: zero variability."""
+
+    def sample(self, base_time: float, *, rank: Optional[int] = None) -> float:
+        return 0.0
+
+    def mean_overhead(self, base_time: float) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NoNoise()"
+
+
+class ExponentialNoise(NoiseModel):
+    """Exponential detours with a per-operation hit probability.
+
+    Parameters
+    ----------
+    probability:
+        Probability that an operation is hit by a noise event.
+    mean_duration:
+        Mean length of a noise event, in seconds.
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        probability: float,
+        mean_duration: float,
+        rng: Union[None, int, np.random.Generator] = None,
+    ):
+        self.probability = check_probability(probability, "probability")
+        self.mean_duration = check_non_negative(mean_duration, "mean_duration")
+        self._rng = as_generator(rng)
+
+    def sample(self, base_time: float, *, rank: Optional[int] = None) -> float:
+        if self.probability == 0.0 or self.mean_duration == 0.0:
+            return 0.0
+        if float(self._rng.random()) >= self.probability:
+            return 0.0
+        return float(self._rng.exponential(self.mean_duration))
+
+    def mean_overhead(self, base_time: float) -> float:
+        return self.probability * self.mean_duration
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ExponentialNoise(probability={self.probability}, "
+            f"mean_duration={self.mean_duration})"
+        )
+
+
+class BoundedParetoNoise(NoiseModel):
+    """Heavy-tailed stalls drawn from a bounded Pareto distribution.
+
+    Parameters
+    ----------
+    probability:
+        Per-operation hit probability.
+    minimum, maximum:
+        Support of the stall-length distribution in seconds.
+    alpha:
+        Pareto tail exponent (smaller = heavier tail).
+    """
+
+    def __init__(
+        self,
+        probability: float,
+        minimum: float,
+        maximum: float,
+        alpha: float = 1.2,
+        rng: Union[None, int, np.random.Generator] = None,
+    ):
+        self.probability = check_probability(probability, "probability")
+        self.minimum = check_positive(minimum, "minimum")
+        self.maximum = check_positive(maximum, "maximum")
+        if self.maximum <= self.minimum:
+            raise ValueError("maximum must exceed minimum")
+        self.alpha = check_positive(alpha, "alpha")
+        self._rng = as_generator(rng)
+
+    def _sample_stall(self) -> float:
+        # Inverse-CDF sampling of the bounded Pareto distribution.
+        u = float(self._rng.random())
+        lo, hi, a = self.minimum, self.maximum, self.alpha
+        num = u * (hi**a - lo**a) + lo**a
+        return float((lo**a * hi**a / num) ** (1.0 / a)) if a != 0 else lo
+
+    def sample(self, base_time: float, *, rank: Optional[int] = None) -> float:
+        if self.probability == 0.0:
+            return 0.0
+        if float(self._rng.random()) >= self.probability:
+            return 0.0
+        return self._sample_stall()
+
+    def mean_overhead(self, base_time: float) -> float:
+        lo, hi, a = self.minimum, self.maximum, self.alpha
+        if a == 1.0:
+            mean = (np.log(hi / lo) * lo * hi) / (hi - lo)
+        else:
+            mean = (
+                lo**a / (1 - (lo / hi) ** a) * a / (a - 1) * (1 / lo ** (a - 1) - 1 / hi ** (a - 1))
+            )
+        return self.probability * float(mean)
+
+
+class EccStallNoise(NoiseModel):
+    """Stalls whose *rate* grows with the length of the interval.
+
+    Models error detection/correction events: during an interval of
+    length ``base_time`` the hardware performs ECC corrections at rate
+    ``event_rate`` (events per second), each costing ``stall`` seconds.
+    This is the mechanism the paper identifies: as reliability drops,
+    correction events become more frequent and manifest as variability.
+    """
+
+    def __init__(
+        self,
+        event_rate: float,
+        stall: float,
+        rng: Union[None, int, np.random.Generator] = None,
+    ):
+        self.event_rate = check_non_negative(event_rate, "event_rate")
+        self.stall = check_non_negative(stall, "stall")
+        self._rng = as_generator(rng)
+
+    def sample(self, base_time: float, *, rank: Optional[int] = None) -> float:
+        check_non_negative(base_time, "base_time")
+        if self.event_rate == 0.0 or self.stall == 0.0 or base_time == 0.0:
+            return 0.0
+        events = int(self._rng.poisson(self.event_rate * base_time))
+        return events * self.stall
+
+    def mean_overhead(self, base_time: float) -> float:
+        return self.event_rate * base_time * self.stall
+
+
+class CompositeNoise(NoiseModel):
+    """Sum of several independent noise models."""
+
+    def __init__(self, models: Sequence[NoiseModel]):
+        models = tuple(models)
+        if not models:
+            raise ValueError("CompositeNoise needs at least one model")
+        for model in models:
+            if not isinstance(model, NoiseModel):
+                raise TypeError("all components must be NoiseModel instances")
+        self.models = models
+
+    def sample(self, base_time: float, *, rank: Optional[int] = None) -> float:
+        return sum(m.sample(base_time, rank=rank) for m in self.models)
+
+    def mean_overhead(self, base_time: float) -> float:
+        return sum(m.mean_overhead(base_time) for m in self.models)

@@ -1,0 +1,574 @@
+"""The simulated communicator.
+
+Each rank thread is handed one :class:`Comm` instance; all interaction
+between ranks goes through it.  The API deliberately mirrors the mpi4py
+lower-case (pickle-object) interface, restricted to the operations the
+resilient algorithms need, plus:
+
+* explicit virtual-time hooks (:meth:`Comm.compute`, :meth:`Comm.advance`)
+  driven by the machine model;
+* MPI-3 style non-blocking collectives (``iallreduce``, ``ibarrier``,
+  ``iallgather``) used by the RBSP / pipelined-Krylov algorithms;
+* ULFM-style failure reporting: any operation that depends on a dead
+  rank raises :class:`~repro.simmpi.errors.RankFailedError`;
+* :meth:`Comm.advance_epoch`, the communicator-repair step executed by
+  every participant after a recovery so that subsequent collectives
+  match again (ULFM ``shrink``/agree analogue).
+"""
+
+from __future__ import annotations
+
+import copy
+import sys
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.machine.collective_cost import (
+    allreduce_time,
+    barrier_time,
+    broadcast_time,
+)
+from repro.machine.model import MachineModel
+from repro.simmpi.clock import VirtualClock
+from repro.simmpi.errors import (
+    InvalidRankError,
+    ProcessDeathError,
+    RankFailedError,
+)
+from repro.simmpi.ops import ReduceOp, SUM
+from repro.simmpi.requests import CompletedRequest, Request
+from repro.simmpi.state import RuntimeState
+
+__all__ = ["Comm", "payload_nbytes"]
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Estimate the wire size of a payload in bytes.
+
+    NumPy arrays report their true buffer size; Python scalars count as
+    8 bytes; everything else falls back to ``sys.getsizeof``.  The
+    estimate only feeds the timing model, never correctness.
+    """
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (int, float, complex, bool, np.generic)):
+        return 8
+    if obj is None:
+        return 0
+    if isinstance(obj, (list, tuple)):
+        return sum(payload_nbytes(item) for item in obj)
+    return int(sys.getsizeof(obj))
+
+
+def _copy_payload(obj: Any) -> Any:
+    """Deep-copy a payload so ranks never share mutable state."""
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, (int, float, complex, bool, str, bytes, type(None), np.generic)):
+        return obj
+    return copy.deepcopy(obj)
+
+
+class Comm:
+    """Simulated communicator bound to one rank.
+
+    Instances are created by :class:`~repro.simmpi.runtime.SimRuntime`;
+    user code receives them as the first argument of the SPMD function.
+
+    Parameters
+    ----------
+    state:
+        Shared runtime state.
+    rank:
+        This rank's id in ``[0, size)``.
+    machine:
+        Machine model used for virtual-time accounting.
+    failure_times:
+        Sorted virtual times at which this rank is scheduled to die.
+    born_at:
+        Virtual time at which this incarnation of the rank started
+        (non-zero for respawned ranks).
+    """
+
+    def __init__(
+        self,
+        state: RuntimeState,
+        rank: int,
+        machine: MachineModel,
+        failure_times: Sequence[float] = (),
+        born_at: float = 0.0,
+    ):
+        self._state = state
+        self._rank = int(rank)
+        self._machine = machine
+        self._failure_times = sorted(float(t) for t in failure_times)
+        self.clock = VirtualClock(born_at)
+        self._born_at = float(born_at)
+        self._epoch = 0
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """This process's rank."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks the communicator was created with."""
+        return self._state.n_ranks
+
+    @property
+    def machine(self) -> MachineModel:
+        """The machine model in effect."""
+        return self._machine
+
+    @property
+    def epoch(self) -> int:
+        """Current communication epoch (bumped by recovery)."""
+        return self._epoch
+
+    @property
+    def log(self):
+        """The shared runtime event log."""
+        return self._state.log
+
+    def alive_ranks(self) -> List[int]:
+        """Sorted list of ranks currently alive."""
+        with self._state.condition:
+            return sorted(self._state.alive)
+
+    def dead_ranks(self) -> List[int]:
+        """Sorted list of ranks currently dead."""
+        with self._state.condition:
+            return sorted(self._state.dead)
+
+    def is_alive(self, rank: int) -> bool:
+        """Whether ``rank`` is currently alive."""
+        self._check_rank(rank)
+        return self._state.is_alive(rank)
+
+    def _check_rank(self, rank: int) -> None:
+        if not isinstance(rank, (int, np.integer)) or isinstance(rank, bool):
+            raise InvalidRankError(f"rank must be an integer, got {rank!r}")
+        if not 0 <= rank < self.size:
+            raise InvalidRankError(
+                f"rank {rank} out of range for communicator of size {self.size}"
+            )
+
+    # ------------------------------------------------------------------
+    # Virtual time
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Current virtual time of this rank."""
+        return self.clock.now
+
+    def compute(self, flops: float) -> float:
+        """Account for ``flops`` of local computation; returns new time.
+
+        A hard fault scheduled to strike *during* the interval manifests
+        at its end (the process dies mid-computation), so the failure
+        check runs both before and after the clock advance.
+        """
+        self._check_own_failure()
+        now = self.clock.advance(self._machine.compute_time(flops, rank=self._rank))
+        self._check_own_failure()
+        return now
+
+    def advance(self, seconds: float) -> float:
+        """Advance this rank's clock by an explicit busy interval.
+
+        Like :meth:`compute`, a fault scheduled within the interval
+        strikes at its end.
+        """
+        self._check_own_failure()
+        now = self.clock.advance(seconds)
+        self._check_own_failure()
+        return now
+
+    # ------------------------------------------------------------------
+    # Failure machinery
+    # ------------------------------------------------------------------
+    def _check_own_failure(self) -> None:
+        """Die if a scheduled hard fault has struck this incarnation."""
+        now = self.clock.now
+        for t in self._failure_times:
+            if t < self._born_at:
+                continue
+            key = (self._rank, t)
+            if key in self._state.consumed_failures:
+                continue
+            if t <= now:
+                with self._state.condition:
+                    self._state.consumed_failures.add(key)
+                raise ProcessDeathError(self._rank, now)
+            break
+
+    def pending_failure_time(self) -> Optional[float]:
+        """Next scheduled (unconsumed) failure time of this incarnation."""
+        for t in self._failure_times:
+            if t < self._born_at:
+                continue
+            if (self._rank, t) not in self._state.consumed_failures:
+                return t
+        return None
+
+    def revoke(self) -> None:
+        """Revoke the current epoch (ULFM ``MPI_Comm_revoke`` analogue).
+
+        Every rank still communicating in this epoch -- including ranks
+        blocked in a receive or collective posted before the failure
+        was noticed -- will observe a
+        :class:`~repro.simmpi.errors.RankFailedError` instead of
+        hanging.  Recovery protocols call this before advancing to a
+        new epoch.
+        """
+        self._state.revoke_epoch(self._epoch, rank=self._rank, time=self.clock.now)
+
+    def _check_revoked(self, operation: str) -> None:
+        if self._state.is_revoked(self._epoch):
+            with self._state.condition:
+                failed = set(self._state.dead)
+            raise RankFailedError(
+                failed,
+                f"{operation} (epoch revoked)",
+                detected_at=self.clock.now,
+            )
+
+    def advance_epoch(self, epoch: Optional[int] = None) -> int:
+        """Re-establish collective matching after a repair.
+
+        Every surviving and respawned rank must call this with the same
+        ``epoch`` value (or ``None`` to simply increment); afterwards
+        collectives are matched afresh, independent of how many
+        collectives each rank had executed before the failure.
+        """
+        if epoch is None:
+            epoch = self._epoch + 1
+        epoch = int(epoch)
+        if epoch <= self._epoch:
+            raise ValueError(
+                f"epoch must increase (current {self._epoch}, requested {epoch})"
+            )
+        self._epoch = epoch
+        self._seq = 0
+        return self._epoch
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking (buffered) send."""
+        self._check_own_failure()
+        self._check_revoked("send")
+        self._check_rank(dest)
+        if dest == self._rank:
+            raise InvalidRankError("send to self is not supported; use local state")
+        nbytes = payload_nbytes(obj)
+        cost = self._machine.message_time(nbytes)
+        with self._state.condition:
+            if dest in self._state.dead:
+                raise RankFailedError([dest], "send", detected_at=self.clock.now)
+            send_time = self.clock.now
+            available = send_time + cost
+            box = self._state.mailbox((self._epoch, self._rank, dest, int(tag)))
+            box.append((_copy_payload(obj), available))
+            self._state.condition.notify_all()
+        # Sender pays the message cost (eager protocol).
+        self.clock.advance(cost)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send; the payload is buffered immediately.
+
+        The sender does not pay the transmission time until the request
+        is waited on, modelling send/compute overlap.
+        """
+        self._check_own_failure()
+        self._check_revoked("isend")
+        self._check_rank(dest)
+        if dest == self._rank:
+            raise InvalidRankError("send to self is not supported; use local state")
+        nbytes = payload_nbytes(obj)
+        cost = self._machine.message_time(nbytes)
+        with self._state.condition:
+            if dest in self._state.dead:
+                raise RankFailedError([dest], "isend", detected_at=self.clock.now)
+            send_time = self.clock.now
+            available = send_time + cost
+            box = self._state.mailbox((self._epoch, self._rank, dest, int(tag)))
+            box.append((_copy_payload(obj), available))
+            self._state.condition.notify_all()
+        latency = self._machine.latency
+
+        def _complete(_req: Request) -> None:
+            # By wait time the transfer proceeded in the background; the
+            # sender only pays the injection latency if it has not
+            # already moved past it.
+            self.clock.wait_until(send_time + latency)
+            return None
+
+        return Request(_complete, operation="isend")
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive from ``source``."""
+        self._check_own_failure()
+        self._check_revoked("recv")
+        self._check_rank(source)
+        if source == self._rank:
+            raise InvalidRankError("recv from self is not supported")
+        key = (self._epoch, source, self._rank, int(tag))
+        with self._state.condition:
+            box = self._state.mailbox(key)
+
+            def ready() -> bool:
+                return (
+                    bool(box)
+                    or source in self._state.dead
+                    or self._state.is_revoked(self._epoch)
+                )
+
+            self._state.wait_for(ready, rank=self._rank, operation=f"recv(src={source})")
+            if not box:
+                if self._state.is_revoked(self._epoch):
+                    failed = set(self._state.dead)
+                    raise RankFailedError(
+                        failed, "recv (epoch revoked)", detected_at=self.clock.now
+                    )
+                raise RankFailedError([source], "recv", detected_at=self.clock.now)
+            payload, available = box.popleft()
+        self.clock.wait_until(available)
+        return payload
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Non-blocking receive; completion happens at :meth:`Request.wait`."""
+        self._check_own_failure()
+        self._check_rank(source)
+        if source == self._rank:
+            raise InvalidRankError("recv from self is not supported")
+
+        def _complete(_req: Request) -> Any:
+            return self.recv(source, tag)
+
+        return Request(_complete, operation="irecv")
+
+    def sendrecv(
+        self,
+        sendobj: Any,
+        dest: int,
+        source: int,
+        sendtag: int = 0,
+        recvtag: int = 0,
+    ) -> Any:
+        """Combined send and receive (the halo-exchange workhorse)."""
+        req = self.isend(sendobj, dest, tag=sendtag)
+        received = self.recv(source, tag=recvtag)
+        req.wait()
+        return received
+
+    # ------------------------------------------------------------------
+    # Collectives (built on a generic non-blocking core)
+    # ------------------------------------------------------------------
+    def _next_collective_key(self):
+        key = (self._epoch, self._seq)
+        self._seq += 1
+        return key
+
+    def _collective_cost(self, kind: str, n_ranks: int, nbytes: float) -> float:
+        if kind in ("barrier",):
+            return barrier_time(self._machine, n_ranks)
+        if kind in ("bcast", "scatter"):
+            return broadcast_time(self._machine, n_ranks, nbytes)
+        if kind in ("gather", "allgather"):
+            # gather modeled like a (reversed) broadcast tree plus payload
+            return broadcast_time(self._machine, n_ranks, nbytes)
+        return allreduce_time(self._machine, n_ranks, nbytes)
+
+    def _start_collective(
+        self,
+        kind: str,
+        value: Any,
+        *,
+        op: Optional[ReduceOp] = None,
+        root: Optional[int] = None,
+    ) -> Request:
+        """Post this rank's contribution and return a completion request."""
+        self._check_own_failure()
+        self._check_revoked(kind)
+        key = self._next_collective_key()
+        arrive = self.clock.now
+        nbytes = payload_nbytes(value)
+        with self._state.condition:
+            slot = self._state.collective_slot(key, kind, root)
+            slot.contributions[self._rank] = _copy_payload(value)
+            slot.arrival_times[self._rank] = arrive
+            self._maybe_finish_collective(slot, kind, op, root, nbytes)
+            self._state.condition.notify_all()
+
+        def _complete(_req: Request) -> Any:
+            with self._state.condition:
+
+                def ready() -> bool:
+                    if slot.done or slot.failed:
+                        return True
+                    if self._state.is_revoked(self._epoch):
+                        slot.failed = True
+                        slot.failed_ranks = set(self._state.dead)
+                        return True
+                    missing = slot.missing()
+                    if missing & self._state.dead:
+                        slot.failed = True
+                        slot.failed_ranks = set(missing & self._state.dead)
+                        return True
+                    # A participant may have died before the slot knew to
+                    # expect it (expected frozen at creation); also treat
+                    # "expected rank dead" as failure even if it had not
+                    # contributed yet.
+                    return False
+
+                self._state.wait_for(
+                    ready, rank=self._rank, operation=f"{kind}{key}"
+                )
+                if slot.failed and not slot.done:
+                    self._state.log.record(
+                        "collective_failed",
+                        time=self.clock.now,
+                        rank=self._rank,
+                        collective=kind,
+                        failed=sorted(slot.failed_ranks),
+                    )
+                    raise RankFailedError(
+                        slot.failed_ranks, kind, detected_at=self.clock.now
+                    )
+                completion = slot.completion_time
+                if root is None or self._rank == root or kind in ("bcast", "scatter"):
+                    result = slot.result
+                else:
+                    result = None
+            self.clock.wait_until(completion)
+            if kind == "gather" and root is not None and self._rank != root:
+                return None
+            if kind == "reduce" and root is not None and self._rank != root:
+                return None
+            if isinstance(result, np.ndarray):
+                return result.copy()
+            if isinstance(result, list):
+                return [_copy_payload(item) for item in result]
+            return _copy_payload(result)
+
+        return Request(_complete, operation=kind)
+
+    def _maybe_finish_collective(
+        self,
+        slot,
+        kind: str,
+        op: Optional[ReduceOp],
+        root: Optional[int],
+        nbytes: float,
+    ) -> None:
+        """If all expected live contributions are in, compute the result.
+
+        Caller must hold the lock.
+        """
+        missing = slot.missing()
+        if missing:
+            return
+        participants = sorted(slot.contributions.keys())
+        values = [slot.contributions[r] for r in participants]
+        if kind in ("allreduce", "reduce"):
+            reducer = op if op is not None else SUM
+            slot.result = reducer.reduce(values)
+        elif kind == "barrier":
+            slot.result = None
+        elif kind == "bcast":
+            slot.result = slot.contributions.get(root)
+        elif kind in ("gather", "allgather"):
+            slot.result = values
+        elif kind == "scatter":
+            chunks = slot.contributions.get(root)
+            if chunks is None or len(chunks) < len(participants):
+                raise ValueError(
+                    "scatter root must provide one chunk per participant"
+                )
+            slot.result = {
+                rank: chunks[i] for i, rank in enumerate(participants)
+            }
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown collective kind {kind!r}")
+        arrival_max = max(slot.arrival_times.values())
+        cost = self._collective_cost(kind, len(participants), nbytes)
+        slot.completion_time = arrival_max + cost
+        slot.done = True
+
+    # -- blocking forms -------------------------------------------------
+    def barrier(self) -> None:
+        """Synchronize all live ranks."""
+        self._start_collective("barrier", None).wait()
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        """Broadcast ``value`` from ``root``; all ranks return it."""
+        self._check_rank(root)
+        return self._start_collective("bcast", value if self._rank == root else None,
+                                      root=root).wait()
+
+    def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0) -> Any:
+        """Reduce to ``root``; non-root ranks return ``None``."""
+        self._check_rank(root)
+        return self._start_collective("reduce", value, op=op, root=root).wait()
+
+    def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
+        """Reduce and broadcast the result to every rank."""
+        return self._start_collective("allreduce", value, op=op).wait()
+
+    def gather(self, value: Any, root: int = 0) -> Optional[List[Any]]:
+        """Gather per-rank values into a list at ``root``."""
+        self._check_rank(root)
+        return self._start_collective("gather", value, root=root).wait()
+
+    def allgather(self, value: Any) -> List[Any]:
+        """Gather per-rank values into a list available on every rank."""
+        return self._start_collective("allgather", value).wait()
+
+    def scatter(self, values: Optional[Sequence[Any]], root: int = 0) -> Any:
+        """Scatter a sequence from ``root``; each rank gets one element."""
+        self._check_rank(root)
+        payload = list(values) if (self._rank == root and values is not None) else None
+        result = self._start_collective("scatter", payload, root=root).wait()
+        if isinstance(result, dict):
+            return result.get(self._rank)
+        return result
+
+    # -- non-blocking forms ----------------------------------------------
+    def iallreduce(self, value: Any, op: ReduceOp = SUM) -> Request:
+        """MPI-3 style non-blocking allreduce (the RBSP workhorse)."""
+        return self._start_collective("allreduce", value, op=op)
+
+    def ibarrier(self) -> Request:
+        """Non-blocking barrier."""
+        return self._start_collective("barrier", None)
+
+    def iallgather(self, value: Any) -> Request:
+        """Non-blocking allgather."""
+        return self._start_collective("allgather", value)
+
+    def ibcast(self, value: Any, root: int = 0) -> Request:
+        """Non-blocking broadcast."""
+        self._check_rank(root)
+        return self._start_collective(
+            "bcast", value if self._rank == root else None, root=root
+        )
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def single_rank(self) -> bool:
+        """True when the communicator has exactly one rank."""
+        return self.size == 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Comm(rank={self._rank}, size={self.size}, epoch={self._epoch}, "
+            f"t={self.clock.now:.6g})"
+        )

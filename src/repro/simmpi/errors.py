@@ -1,0 +1,82 @@
+"""Exception hierarchy of the simulated MPI runtime.
+
+The failure-notification design follows ULFM: a process failure is not
+delivered asynchronously; instead, any communication operation that
+*depends on* a failed process raises :class:`RankFailedError` in the
+surviving callers.  The failed process itself experiences
+:class:`ProcessDeathError`, which the runtime wrapper catches to mark
+the rank dead (application code normally never sees it).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional
+
+__all__ = [
+    "SimMpiError",
+    "InvalidRankError",
+    "ProcessDeathError",
+    "RankFailedError",
+    "SimDeadlockError",
+]
+
+
+class SimMpiError(RuntimeError):
+    """Base class of all simulated-MPI errors."""
+
+
+class InvalidRankError(SimMpiError, ValueError):
+    """A rank argument is outside ``[0, size)`` or otherwise invalid."""
+
+
+class ProcessDeathError(SimMpiError):
+    """Raised *inside* a rank when its scheduled hard fault strikes.
+
+    Application code should not catch this: the runtime wrapper uses it
+    to terminate the rank's thread and mark the rank dead.  Catching it
+    would amount to a process surviving its own crash.
+    """
+
+    def __init__(self, rank: int, time: float):
+        super().__init__(f"rank {rank} suffered a hard fault at t={time:.6g}s")
+        self.rank = rank
+        self.time = time
+
+
+class RankFailedError(SimMpiError):
+    """Raised in survivors when communication involves failed rank(s).
+
+    Mirrors ULFM's ``MPI_ERR_PROC_FAILED``: the operation did not
+    complete, and the set of ranks known to have failed is attached so
+    the recovery layer (e.g. :class:`repro.lflr.manager.LFLRManager`)
+    can decide what to do.
+    """
+
+    def __init__(self, failed_ranks: Iterable[int], operation: str = "communication",
+                 detected_at: Optional[float] = None):
+        failed = frozenset(int(r) for r in failed_ranks)
+        ranks_str = ", ".join(str(r) for r in sorted(failed))
+        super().__init__(
+            f"{operation} failed because rank(s) {{{ranks_str}}} are dead"
+        )
+        self.failed_ranks: FrozenSet[int] = failed
+        self.operation = operation
+        self.detected_at = detected_at
+
+
+class SimDeadlockError(SimMpiError):
+    """The runtime's wall-clock watchdog expired while a rank was waiting.
+
+    Indicates a bug in the simulated program (mismatched sends/receives
+    or collectives) rather than a modeled fault; raised so the test
+    suite fails fast instead of hanging.
+    """
+
+    def __init__(self, rank: int, operation: str, waited: float):
+        super().__init__(
+            f"rank {rank} waited {waited:.1f}s of wall-clock time in {operation}; "
+            "likely mismatched communication in the simulated program"
+        )
+        self.rank = rank
+        self.operation = operation
+        self.waited = waited

@@ -1,0 +1,303 @@
+"""SPMD execution of simulated ranks.
+
+:class:`SimRuntime` creates one thread per rank, hands each a
+:class:`~repro.simmpi.comm.Comm`, and runs the user's SPMD function.
+Hard faults (from a :class:`~repro.faults.process.FailurePlan`) surface
+inside the affected rank as
+:class:`~repro.simmpi.errors.ProcessDeathError`, which the runtime
+catches: the rank is marked dead, its thread exits, and all other ranks
+learn about it through their next dependent communication.
+
+The LFLR programming model additionally needs the ability to *replace*
+a failed rank: :meth:`SimRuntime.respawn` starts a new incarnation of a
+dead rank, typically running a user-registered recovery function (see
+:mod:`repro.lflr`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.faults.process import FailurePlan
+from repro.machine.model import MachineModel
+from repro.simmpi.comm import Comm
+from repro.simmpi.errors import ProcessDeathError, SimMpiError
+from repro.simmpi.state import RuntimeState
+from repro.utils.logging import EventLog
+from repro.utils.validation import check_integer
+
+__all__ = ["SimRuntime", "RankResult", "run_spmd"]
+
+
+@dataclass
+class RankResult:
+    """Outcome of one rank incarnation.
+
+    Attributes
+    ----------
+    rank:
+        The rank id.
+    value:
+        Return value of the SPMD/recovery function (``None`` if the
+        rank died or raised).
+    died:
+        Whether this incarnation was terminated by a hard fault.
+    death_time:
+        Virtual time of the hard fault, if any.
+    exception:
+        Unhandled exception raised by the rank function (excluding the
+        hard-fault mechanism), if any.
+    busy_time / idle_time / finish_time:
+        Virtual-time accounting read off the rank's clock at exit.
+    """
+
+    rank: int
+    value: Any = None
+    died: bool = False
+    death_time: Optional[float] = None
+    exception: Optional[BaseException] = None
+    busy_time: float = 0.0
+    idle_time: float = 0.0
+    finish_time: float = 0.0
+
+
+@dataclass
+class _RankThread:
+    thread: threading.Thread
+    comm: Comm
+    result: RankResult
+
+
+class SimRuntime:
+    """Owns the shared state and the rank threads of one simulated job.
+
+    Parameters
+    ----------
+    n_ranks:
+        Number of simulated MPI ranks.
+    machine:
+        Machine model used for virtual-time accounting (defaults to
+        :meth:`MachineModel.ideal`).
+    failure_plan:
+        Hard-fault plan; ``None`` means no rank ever dies.
+    watchdog:
+        Wall-clock seconds a rank may block in one operation before the
+        runtime declares the simulated program deadlocked.
+    """
+
+    def __init__(
+        self,
+        n_ranks: int,
+        machine: Optional[MachineModel] = None,
+        failure_plan: Optional[FailurePlan] = None,
+        *,
+        watchdog: float = 30.0,
+    ):
+        check_integer(n_ranks, "n_ranks")
+        if n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        self.n_ranks = int(n_ranks)
+        self.machine = machine if machine is not None else MachineModel.ideal()
+        self.failure_plan = failure_plan if failure_plan is not None else FailurePlan.none()
+        self.state = RuntimeState(self.n_ranks, watchdog=watchdog)
+        self._threads: Dict[int, _RankThread] = {}
+        self._extra_results: List[RankResult] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    @property
+    def log(self) -> EventLog:
+        """Shared event log (rank deaths, respawns, collective failures)."""
+        return self.state.log
+
+    def _failure_times_for(self, rank: int) -> List[float]:
+        return [f.time for f in self.failure_plan.failures_for_rank(rank)]
+
+    def _make_comm(self, rank: int, born_at: float = 0.0) -> Comm:
+        return Comm(
+            self.state,
+            rank,
+            self.machine,
+            failure_times=self._failure_times_for(rank),
+            born_at=born_at,
+        )
+
+    def _run_rank(
+        self,
+        comm: Comm,
+        func: Callable[..., Any],
+        args: Sequence[Any],
+        kwargs: Dict[str, Any],
+        result: RankResult,
+    ) -> None:
+        try:
+            result.value = func(comm, *args, **kwargs)
+        except ProcessDeathError as death:
+            result.died = True
+            result.death_time = death.time
+            self.state.mark_dead(comm.rank, death.time)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            result.exception = exc
+            # A crashed rank is as dead as a failed one from the other
+            # ranks' perspective; mark it so they do not hang.
+            self.state.mark_dead(comm.rank, comm.clock.now)
+        finally:
+            result.busy_time = comm.clock.busy_time
+            result.idle_time = comm.clock.idle_time
+            result.finish_time = comm.clock.now
+
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        func: Callable[..., Any],
+        *args: Any,
+        **kwargs: Any,
+    ) -> None:
+        """Launch all ranks running ``func(comm, *args, **kwargs)``.
+
+        Non-blocking; use :meth:`join` (or :meth:`run`, which does both)
+        to collect results.
+        """
+        if self._started:
+            raise SimMpiError("this runtime has already been started")
+        self._started = True
+        for rank in range(self.n_ranks):
+            comm = self._make_comm(rank)
+            result = RankResult(rank=rank)
+            thread = threading.Thread(
+                target=self._run_rank,
+                args=(comm, func, args, kwargs, result),
+                name=f"simrank-{rank}",
+                daemon=True,
+            )
+            self._threads[rank] = _RankThread(thread=thread, comm=comm, result=result)
+        for entry in self._threads.values():
+            entry.thread.start()
+
+    def respawn(
+        self,
+        rank: int,
+        func: Callable[..., Any],
+        *args: Any,
+        born_at: Optional[float] = None,
+        **kwargs: Any,
+    ) -> None:
+        """Start a replacement incarnation of a dead rank.
+
+        Parameters
+        ----------
+        rank:
+            The dead rank to replace.
+        func:
+            Recovery function run as ``func(comm, *args, **kwargs)``.
+        born_at:
+            Virtual start time of the new incarnation.  Defaults to the
+            latest clock among currently running ranks plus the machine
+            model's local-recovery overhead, modelling the respawn
+            latency.
+        """
+        check_integer(rank, "rank")
+        if rank not in self.state.dead:
+            raise SimMpiError(f"rank {rank} is not dead; cannot respawn it")
+        if born_at is None:
+            running = [
+                entry.comm.clock.now
+                for r, entry in self._threads.items()
+                if r in self.state.alive
+            ]
+            base = max(running) if running else self.state.death_times.get(rank, 0.0)
+            born_at = base + self.machine.local_recovery_overhead
+        comm = self._make_comm(rank, born_at=float(born_at))
+        result = RankResult(rank=rank)
+        thread = threading.Thread(
+            target=self._run_rank,
+            args=(comm, func, args, kwargs, result),
+            name=f"simrank-{rank}-respawn",
+            daemon=True,
+        )
+        # Preserve the original incarnation's result for reporting.
+        if rank in self._threads:
+            self._extra_results.append(self._threads[rank].result)
+        self._threads[rank] = _RankThread(thread=thread, comm=comm, result=result)
+        self.state.mark_alive(rank, float(born_at))
+        thread.start()
+
+    def join(self, timeout: float = 120.0) -> List[RankResult]:
+        """Wait for all rank threads and return their results.
+
+        Raises the first unhandled exception of any rank (deadlock and
+        programming errors should fail tests loudly); rank deaths from
+        the failure plan are *not* exceptions -- they are reported via
+        :attr:`RankResult.died`.
+        """
+        if not self._started:
+            raise SimMpiError("runtime was never started")
+        for entry in self._threads.values():
+            entry.thread.join(timeout=timeout)
+        for entry in self._threads.values():
+            if entry.thread.is_alive():
+                raise SimMpiError(
+                    f"rank {entry.result.rank} did not finish within {timeout}s of wall time"
+                )
+        results = [entry.result for entry in self._threads.values()]
+        for result in results:
+            if result.exception is not None:
+                raise result.exception
+        return sorted(results + self._extra_results, key=lambda r: r.rank)
+
+    def run(
+        self,
+        func: Callable[..., Any],
+        *args: Any,
+        timeout: float = 120.0,
+        **kwargs: Any,
+    ) -> List[RankResult]:
+        """Convenience: :meth:`start` followed by :meth:`join`."""
+        self.start(func, *args, **kwargs)
+        return self.join(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def values(self, results: Optional[List[RankResult]] = None) -> List[Any]:
+        """Return the per-rank return values in rank order."""
+        if results is None:
+            results = [entry.result for entry in self._threads.values()]
+        ordered = sorted(results, key=lambda r: r.rank)
+        return [r.value for r in ordered]
+
+    def max_finish_time(self) -> float:
+        """Latest virtual finish time over all rank incarnations."""
+        times = [entry.result.finish_time for entry in self._threads.values()]
+        times += [r.finish_time for r in self._extra_results]
+        return max(times) if times else 0.0
+
+
+def run_spmd(
+    n_ranks: int,
+    func: Callable[..., Any],
+    *args: Any,
+    machine: Optional[MachineModel] = None,
+    failure_plan: Optional[FailurePlan] = None,
+    watchdog: float = 30.0,
+    **kwargs: Any,
+) -> List[Any]:
+    """One-shot helper: run ``func`` on ``n_ranks`` ranks, return values.
+
+    This is the most common entry point for examples and tests::
+
+        def program(comm):
+            return comm.allreduce(comm.rank)
+
+        totals = run_spmd(4, program)   # [6, 6, 6, 6]
+    """
+    runtime = SimRuntime(
+        n_ranks, machine=machine, failure_plan=failure_plan, watchdog=watchdog
+    )
+    results = runtime.run(func, *args, **kwargs)
+    by_rank: Dict[int, Any] = {}
+    for result in results:
+        # Prefer a surviving incarnation's value over a dead one's.
+        if result.rank not in by_rank or not result.died:
+            by_rank[result.rank] = result.value
+    return [by_rank[rank] for rank in range(n_ranks)]

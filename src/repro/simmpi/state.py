@@ -1,0 +1,171 @@
+"""Shared state of the simulated runtime (internal module).
+
+One :class:`RuntimeState` instance is shared by all rank threads of a
+:class:`~repro.simmpi.runtime.SimRuntime`.  It owns the single lock /
+condition variable protecting mailboxes, collective slots and the
+alive/dead sets.  All blocking waits go through
+:meth:`RuntimeState.wait_for`, which enforces a wall-clock watchdog so
+mismatched simulated programs fail fast instead of hanging the test
+suite.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.simmpi.errors import SimDeadlockError
+from repro.utils.logging import EventLog
+
+__all__ = ["RuntimeState", "CollectiveSlot"]
+
+MailboxKey = Tuple[int, int, int, int]  # (epoch, src, dest, tag)
+CollectiveKey = Tuple[int, int]  # (epoch, sequence)
+
+
+@dataclass
+class CollectiveSlot:
+    """Book-keeping for one collective operation instance."""
+
+    kind: str
+    expected: Set[int]
+    root: Optional[int] = None
+    contributions: Dict[int, Any] = field(default_factory=dict)
+    arrival_times: Dict[int, float] = field(default_factory=dict)
+    done: bool = False
+    failed: bool = False
+    failed_ranks: Set[int] = field(default_factory=set)
+    result: Any = None
+    completion_time: float = 0.0
+
+    def missing(self) -> Set[int]:
+        """Ranks expected but not yet arrived."""
+        return self.expected - set(self.contributions.keys())
+
+
+class RuntimeState:
+    """All mutable state shared between simulated ranks."""
+
+    def __init__(self, n_ranks: int, *, watchdog: float = 30.0):
+        if n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        self.n_ranks = int(n_ranks)
+        self.watchdog = float(watchdog)
+        self.condition = threading.Condition()
+        self.alive: Set[int] = set(range(n_ranks))
+        self.dead: Set[int] = set()
+        self.mailboxes: Dict[MailboxKey, deque] = {}
+        self.collectives: Dict[CollectiveKey, CollectiveSlot] = {}
+        self.consumed_failures: Set[Tuple[int, float]] = set()
+        self.death_times: Dict[int, float] = {}
+        self.revoked_epochs: Set[int] = set()
+        self.log = EventLog()
+
+    def revoke_epoch(self, epoch: int, *, rank: int, time: float) -> None:
+        """ULFM-style revoke: fail all pending/future operations in ``epoch``.
+
+        Called by the recovery protocol so that ranks still blocked in
+        (or about to enter) pre-failure communication are interrupted
+        and observe the failure, instead of deadlocking while the other
+        survivors move to the recovery epoch.
+        """
+        with self.condition:
+            if epoch not in self.revoked_epochs:
+                self.revoked_epochs.add(int(epoch))
+                self.log.record("epoch_revoked", time=time, rank=rank, epoch=int(epoch))
+            self.condition.notify_all()
+
+    def is_revoked(self, epoch: int) -> bool:
+        """Whether communication in ``epoch`` has been revoked."""
+        return epoch in self.revoked_epochs
+
+    # ------------------------------------------------------------------
+    # Liveness
+    # ------------------------------------------------------------------
+    def mark_dead(self, rank: int, time: float) -> None:
+        """Record the death of a rank and wake all waiters."""
+        with self.condition:
+            self.alive.discard(rank)
+            self.dead.add(rank)
+            self.death_times[rank] = time
+            self.log.record("rank_death", time=time, rank=rank)
+            self.condition.notify_all()
+
+    def mark_alive(self, rank: int, time: float) -> None:
+        """Record that a (replacement) rank has joined."""
+        with self.condition:
+            self.dead.discard(rank)
+            self.alive.add(rank)
+            self.log.record("rank_respawn", time=time, rank=rank)
+            self.condition.notify_all()
+
+    def is_alive(self, rank: int) -> bool:
+        """Whether the rank is currently alive (no lock needed for reads)."""
+        return rank in self.alive
+
+    # ------------------------------------------------------------------
+    # Blocking helper
+    # ------------------------------------------------------------------
+    def wait_for(
+        self,
+        predicate: Callable[[], bool],
+        *,
+        rank: int,
+        operation: str,
+    ) -> None:
+        """Block until ``predicate()`` is true (caller must hold the lock).
+
+        Raises :class:`SimDeadlockError` if the wall-clock watchdog
+        expires first.  ``predicate`` is evaluated with the lock held.
+        """
+        deadline = _time.monotonic() + self.watchdog
+        while not predicate():
+            remaining = deadline - _time.monotonic()
+            if remaining <= 0:
+                raise SimDeadlockError(rank, operation, self.watchdog)
+            self.condition.wait(timeout=min(remaining, 0.25))
+
+    # ------------------------------------------------------------------
+    # Mailboxes
+    # ------------------------------------------------------------------
+    def mailbox(self, key: MailboxKey) -> deque:
+        """Return (creating if needed) the mailbox for ``key``.
+
+        Caller must hold the lock.
+        """
+        box = self.mailboxes.get(key)
+        if box is None:
+            box = deque()
+            self.mailboxes[key] = box
+        return box
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def collective_slot(
+        self, key: CollectiveKey, kind: str, root: Optional[int]
+    ) -> CollectiveSlot:
+        """Return (creating if needed) the slot for collective ``key``.
+
+        Every rank of the communicator is expected to participate
+        (MPI semantics: membership is fixed at communicator creation),
+        so a collective involving a dead member fails for the survivors
+        rather than silently completing without it.  Caller must hold
+        the lock.
+        """
+        slot = self.collectives.get(key)
+        if slot is None:
+            slot = CollectiveSlot(
+                kind=kind, expected=set(range(self.n_ranks)), root=root
+            )
+            self.collectives[key] = slot
+        else:
+            if slot.kind != kind:
+                raise RuntimeError(
+                    f"collective mismatch at {key}: {slot.kind} vs {kind} "
+                    "(ranks called different collectives in the same order slot)"
+                )
+        return slot

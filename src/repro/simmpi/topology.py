@@ -1,0 +1,152 @@
+"""Cartesian process topologies.
+
+The PDE substrates partition structured grids over ranks; this module
+provides the rank <-> grid-coordinate mapping and neighbour lookup that
+MPI's Cartesian communicators would normally supply.  It is a pure
+index-arithmetic helper -- no communication happens here -- so it is
+also usable outside the simulated runtime (e.g. by the analytic cost
+models, which need neighbour counts).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_integer
+
+__all__ = ["CartTopology", "balanced_dims"]
+
+
+def balanced_dims(n_ranks: int, ndim: int) -> Tuple[int, ...]:
+    """Factor ``n_ranks`` into ``ndim`` factors as evenly as possible.
+
+    The equivalent of ``MPI_Dims_create``: the product of the returned
+    factors equals ``n_ranks`` and the factors are as close to each
+    other as possible (sorted descending).
+    """
+    check_integer(n_ranks, "n_ranks")
+    check_integer(ndim, "ndim")
+    if n_ranks <= 0 or ndim <= 0:
+        raise ValueError("n_ranks and ndim must be positive")
+    dims = [1] * ndim
+    remaining = n_ranks
+    # Greedy: repeatedly pull the largest factor <= remaining**(1/slots).
+    for i in range(ndim - 1):
+        slots = ndim - i
+        target = int(round(remaining ** (1.0 / slots)))
+        best = 1
+        for candidate in range(target, 0, -1):
+            if remaining % candidate == 0:
+                best = candidate
+                break
+        # Also look upward in case rounding down missed a better factor.
+        for candidate in range(target + 1, remaining + 1):
+            if remaining % candidate == 0:
+                if abs(candidate - target) < abs(best - target):
+                    best = candidate
+                break
+        dims[i] = best
+        remaining //= best
+    dims[ndim - 1] = remaining
+    return tuple(sorted(dims, reverse=True))
+
+
+class CartTopology:
+    """A Cartesian layout of ranks.
+
+    Parameters
+    ----------
+    dims:
+        Number of ranks along each dimension.
+    periodic:
+        Per-dimension periodicity flags (default: non-periodic).
+    """
+
+    def __init__(self, dims: Sequence[int], periodic: Optional[Sequence[bool]] = None):
+        dims = tuple(int(d) for d in dims)
+        if not dims or any(d <= 0 for d in dims):
+            raise ValueError(f"dims must be positive integers, got {dims!r}")
+        self.dims = dims
+        if periodic is None:
+            periodic = tuple(False for _ in dims)
+        periodic = tuple(bool(p) for p in periodic)
+        if len(periodic) != len(dims):
+            raise ValueError("periodic must have one flag per dimension")
+        self.periodic = periodic
+
+    @classmethod
+    def balanced(cls, n_ranks: int, ndim: int, periodic: Optional[Sequence[bool]] = None) -> "CartTopology":
+        """Create a balanced topology for ``n_ranks`` ranks in ``ndim`` dims."""
+        return cls(balanced_dims(n_ranks, ndim), periodic=periodic)
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return len(self.dims)
+
+    @property
+    def size(self) -> int:
+        """Total number of ranks in the topology."""
+        return int(np.prod(self.dims))
+
+    def coords(self, rank: int) -> Tuple[int, ...]:
+        """Cartesian coordinates of ``rank`` (row-major ordering)."""
+        check_integer(rank, "rank")
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range for topology of size {self.size}")
+        return tuple(int(c) for c in np.unravel_index(rank, self.dims))
+
+    def rank(self, coords: Sequence[int]) -> int:
+        """Rank at the given coordinates (honouring periodicity)."""
+        coords = list(int(c) for c in coords)
+        if len(coords) != self.ndim:
+            raise ValueError("coords must have one entry per dimension")
+        for axis, c in enumerate(coords):
+            n = self.dims[axis]
+            if self.periodic[axis]:
+                coords[axis] = c % n
+            elif not 0 <= c < n:
+                raise ValueError(
+                    f"coordinate {c} out of range for non-periodic axis {axis} of size {n}"
+                )
+        return int(np.ravel_multi_index(coords, self.dims))
+
+    def shift(self, rank: int, axis: int, displacement: int) -> Optional[int]:
+        """Neighbour of ``rank`` along ``axis`` at the given displacement.
+
+        Returns ``None`` when the neighbour would fall off a
+        non-periodic boundary (the analogue of ``MPI_PROC_NULL``).
+        """
+        check_integer(axis, "axis")
+        if not 0 <= axis < self.ndim:
+            raise ValueError(f"axis {axis} out of range")
+        coords = list(self.coords(rank))
+        coords[axis] += int(displacement)
+        n = self.dims[axis]
+        if self.periodic[axis]:
+            coords[axis] %= n
+        elif not 0 <= coords[axis] < n:
+            return None
+        return self.rank(coords)
+
+    def neighbors(self, rank: int) -> List[int]:
+        """All face neighbours of ``rank`` (excluding ``None`` boundaries)."""
+        out: List[int] = []
+        for axis in range(self.ndim):
+            for disp in (-1, +1):
+                neighbor = self.shift(rank, axis, disp)
+                if neighbor is not None and neighbor != rank:
+                    out.append(neighbor)
+        # Deduplicate while preserving order (possible with tiny periodic dims).
+        seen = set()
+        unique = []
+        for r in out:
+            if r not in seen:
+                seen.add(r)
+                unique.append(r)
+        return unique
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CartTopology(dims={self.dims}, periodic={self.periodic})"

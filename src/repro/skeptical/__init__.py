@@ -1,0 +1,60 @@
+"""Skeptical Programming (SkP) -- paper §II-A and §III-A.
+
+"Almost all algorithm developers assume that their software will
+execute reliably or fail obviously by halting."  The SkP model replaces
+that assumption with cheap, occasional validation of mathematical
+properties the algorithm already implies: orthogonality of a Krylov
+basis, bounds on Hessenberg entries, conservation of mass/energy in a
+PDE step, monotone residual histories, checksum identities.
+
+This subpackage provides:
+
+* :mod:`repro.skeptical.checks` -- a library of invariant checks, each
+  returning a :class:`CheckResult` with a severity and an estimated
+  cost, so experiments can report overhead.
+* :mod:`repro.skeptical.policies` -- what to do when a check fires
+  (abort, roll back to a stored state, or continue because the error
+  will be damped), as the paper enumerates.
+* :mod:`repro.skeptical.monitor` -- :class:`SkepticalMonitor`, a
+  wrapper that attaches checks/policies to an iterative computation
+  via its iteration hook.
+* :mod:`repro.skeptical.abft` -- checksum-based operations (wrapping
+  :mod:`repro.linalg.checksum`) exposed as skeptical operators.
+* :mod:`repro.skeptical.gmres_sdc` -- the SDC-detecting GMRES in the
+  spirit of Elliott & Hoemmen's bit-flip-resilient GMRES.
+"""
+
+from repro.skeptical.checks import (
+    CheckResult,
+    orthogonality_check,
+    hessenberg_bound_check,
+    residual_consistency_check,
+    finite_check,
+    conservation_check,
+    monotonicity_check,
+    spd_coefficient_check,
+)
+from repro.skeptical.policies import ResponsePolicy, AbortPolicy, RollbackPolicy, AcceptIfDampedPolicy, SkepticalAbort
+from repro.skeptical.monitor import SkepticalMonitor
+from repro.skeptical.abft import AbftMatvecOperator, abft_matmul
+from repro.skeptical.gmres_sdc import sdc_detecting_gmres
+
+__all__ = [
+    "CheckResult",
+    "orthogonality_check",
+    "hessenberg_bound_check",
+    "residual_consistency_check",
+    "finite_check",
+    "conservation_check",
+    "monotonicity_check",
+    "spd_coefficient_check",
+    "ResponsePolicy",
+    "AbortPolicy",
+    "RollbackPolicy",
+    "AcceptIfDampedPolicy",
+    "SkepticalAbort",
+    "SkepticalMonitor",
+    "AbftMatvecOperator",
+    "abft_matmul",
+    "sdc_detecting_gmres",
+]

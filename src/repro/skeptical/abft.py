@@ -1,0 +1,129 @@
+"""Checksum (ABFT) operators exposed as skeptical building blocks.
+
+The classic algorithm-based fault tolerance of Huang & Abraham encodes
+checksums into the operands so that the *result* of a linear-algebra
+operation carries its own validity certificate.  The paper points out
+(§III-A) that "the meta data used to recover state can also be used to
+detect anomalous behavior" -- i.e. ABFT is skeptical programming with
+correction thrown in.
+
+Two forms are provided:
+
+* :class:`AbftMatvecOperator` -- wraps any matrix so every matvec is
+  checksum-verified (and optionally subject to fault injection), with
+  counters suitable for experiment E2; it can be handed directly to the
+  Krylov solvers as their operator.
+* :func:`abft_matmul` -- checked (and optionally corrected) dense
+  matrix multiplication, re-exported from :mod:`repro.linalg.checksum`
+  with injection plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.faults.injector import ArrayInjector
+from repro.linalg.checksum import ChecksummedMatrix, checked_matmul, verify_checksum
+from repro.linalg.csr import CsrMatrix
+from repro.utils.logging import EventLog
+
+__all__ = ["AbftMatvecOperator", "abft_matmul"]
+
+
+class AbftMatvecOperator:
+    """A matrix whose every application is checksum-verified.
+
+    Parameters
+    ----------
+    matrix:
+        The operand (CSR or dense).
+    injector:
+        Optional :class:`~repro.faults.injector.ArrayInjector` applied
+        to every raw product before verification -- this is how the E2
+        campaigns corrupt the computation.
+    rtol, atol:
+        Verification tolerances (see
+        :func:`repro.linalg.checksum.verify_checksum`).
+    recompute_on_failure:
+        When ``True`` a failed check triggers recomputation of the
+        product (detect-and-recover); when the recomputation also fails
+        the result is returned as-is and counted as an unrecovered
+        detection.
+    log:
+        Optional event log shared with the rest of the run.
+    """
+
+    def __init__(
+        self,
+        matrix: Union[CsrMatrix, np.ndarray],
+        *,
+        injector: Optional[ArrayInjector] = None,
+        rtol: float = 1e-8,
+        atol: float = 1e-12,
+        recompute_on_failure: bool = True,
+        log: Optional[EventLog] = None,
+    ):
+        self._wrapped = ChecksummedMatrix(matrix)
+        self.injector = injector
+        self.rtol = float(rtol)
+        self.atol = float(atol)
+        self.recompute_on_failure = bool(recompute_on_failure)
+        self.log = log if log is not None else EventLog()
+        self.applications = 0
+        self.detections = 0
+        self.recoveries = 0
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Shape of the wrapped matrix."""
+        return self._wrapped.shape
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Apply the operator with checksum verification."""
+        x = np.asarray(x, dtype=np.float64)
+        self.applications += 1
+        expected = self._wrapped.expected_result_checksum(x)
+        result = self._wrapped.matvec(x)
+        if self.injector is not None:
+            result = self.injector.maybe_inject(result, now=float(self.applications))
+        ok = verify_checksum(result, expected, rtol=self.rtol, atol=self.atol)
+        if ok:
+            return result
+        self.detections += 1
+        self.log.record("abft_detection", details_target="matvec",
+                        application=self.applications)
+        if self.recompute_on_failure:
+            clean = self._wrapped.matvec(x)
+            if verify_checksum(clean, expected, rtol=self.rtol, atol=self.atol):
+                self.recoveries += 1
+                return clean
+        return result
+
+    def stats(self) -> dict:
+        """Counters for experiment tables."""
+        return {
+            "applications": self.applications,
+            "detections": self.detections,
+            "recoveries": self.recoveries,
+        }
+
+
+def abft_matmul(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    corrupt=None,
+    correct: bool = True,
+    rtol: float = 1e-8,
+    atol: float = 1e-10,
+):
+    """Checked (and optionally corrected) matrix-matrix product.
+
+    Thin convenience wrapper over
+    :func:`repro.linalg.checksum.checked_matmul` so experiment code can
+    import everything SkP-related from :mod:`repro.skeptical`.
+    Returns ``(product, report)``.
+    """
+    return checked_matmul(a, b, corrupt=corrupt, correct=correct, rtol=rtol, atol=atol)

@@ -1,0 +1,35 @@
+"""Selective Reliability Programming (SRP) -- paper §II-D.
+
+SRP lets the programmer "declare specific data and compute regions to
+be more reliable than the bulk reliability of the underlying system".
+Since no commodity hardware exposes such a control, the reliability
+boundary is enforced in software:
+
+* :mod:`repro.srp.region` -- :class:`ReliabilityDomain` objects that
+  own a fault injector (for the unreliable domain) or none (for the
+  reliable domain), plus tracked array allocation so experiments can
+  report how much data lives in each domain.
+* :mod:`repro.srp.context` -- ``reliable()`` / ``unreliable()`` context
+  managers and the :class:`SelectiveReliabilityEnvironment` tying the
+  domains together.
+* :mod:`repro.srp.tmr` -- triple modular redundancy executor, the
+  expensive way to buy reliability that the paper notes "can still be
+  much faster than a fully unreliable approach".
+* :mod:`repro.srp.cost` -- the reliability cost model (time and energy
+  multipliers for reliable storage/compute) used to report the benefit
+  of keeping *most* work unreliable.
+"""
+
+from repro.srp.region import ReliabilityDomain, TrackedAllocation
+from repro.srp.context import SelectiveReliabilityEnvironment
+from repro.srp.tmr import tmr_execute, TmrDisagreement
+from repro.srp.cost import ReliabilityCostModel
+
+__all__ = [
+    "ReliabilityDomain",
+    "TrackedAllocation",
+    "SelectiveReliabilityEnvironment",
+    "tmr_execute",
+    "TmrDisagreement",
+    "ReliabilityCostModel",
+]

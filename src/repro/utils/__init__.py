@@ -1,0 +1,47 @@
+"""Shared utilities for the :mod:`repro` toolkit.
+
+The utilities layer is intentionally dependency-light (NumPy only) and
+is used by every other subpackage:
+
+* :mod:`repro.utils.rng` -- reproducible random-number stream factory.
+* :mod:`repro.utils.validation` -- argument-checking helpers with
+  consistent error messages.
+* :mod:`repro.utils.timing` -- wall-clock timers and simple counters
+  used by the experiment harness.
+* :mod:`repro.utils.tables` -- plain-text table formatting used by the
+  experiment and benchmark drivers so the reproduced "tables" print in
+  a uniform layout.
+* :mod:`repro.utils.logging` -- a tiny structured event log used by
+  fault injectors and resilience managers.
+"""
+
+from repro.utils.rng import RngFactory, spawn_rng
+from repro.utils.tables import Table
+from repro.utils.timing import Stopwatch, Counter
+from repro.utils.validation import (
+    require,
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_in,
+    check_array_1d,
+    check_square_matrix,
+)
+from repro.utils.logging import EventLog, Event
+
+__all__ = [
+    "RngFactory",
+    "spawn_rng",
+    "Table",
+    "Stopwatch",
+    "Counter",
+    "require",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in",
+    "check_array_1d",
+    "check_square_matrix",
+    "EventLog",
+    "Event",
+]

@@ -1,0 +1,117 @@
+"""Structured event logging.
+
+Fault injectors, skeptical monitors and resilience managers record what
+happened (a flip was injected, a check fired, a rank died, recovery
+completed) as :class:`Event` records in an :class:`EventLog`.  Tests
+and experiments then assert on the log rather than on printed output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["Event", "EventLog"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single structured log record.
+
+    Attributes
+    ----------
+    kind:
+        Short machine-readable category, e.g. ``"bitflip"``,
+        ``"check_failed"``, ``"rank_failure"``, ``"recovery"``.
+    time:
+        Virtual time at which the event occurred (seconds), or ``None``
+        when the producing component has no notion of time.
+    rank:
+        Simulated rank associated with the event, or ``None``.
+    details:
+        Free-form dictionary with event-specific fields.
+    """
+
+    kind: str
+    time: Optional[float] = None
+    rank: Optional[int] = None
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def matches(self, kind: Optional[str] = None, rank: Optional[int] = None) -> bool:
+        """Return ``True`` if the event matches the given filters."""
+        if kind is not None and self.kind != kind:
+            return False
+        if rank is not None and self.rank != rank:
+            return False
+        return True
+
+
+class EventLog:
+    """An append-only list of :class:`Event` records with query helpers."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    def record(
+        self,
+        kind: str,
+        *,
+        time: Optional[float] = None,
+        rank: Optional[int] = None,
+        **details: Any,
+    ) -> Event:
+        """Create, store and return a new event."""
+        event = Event(kind=kind, time=time, rank=rank, details=dict(details))
+        self._events.append(event)
+        return event
+
+    def append(self, event: Event) -> None:
+        """Append an existing event record."""
+        if not isinstance(event, Event):
+            raise TypeError("EventLog.append expects an Event")
+        self._events.append(event)
+
+    def extend(self, other: "EventLog") -> None:
+        """Append all events of another log."""
+        self._events.extend(other._events)
+
+    def select(
+        self,
+        kind: Optional[str] = None,
+        rank: Optional[int] = None,
+        predicate: Optional[Callable[[Event], bool]] = None,
+    ) -> List[Event]:
+        """Return events matching the given filters."""
+        out = []
+        for event in self._events:
+            if not event.matches(kind=kind, rank=rank):
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            out.append(event)
+        return out
+
+    def count(self, kind: Optional[str] = None, rank: Optional[int] = None) -> int:
+        """Count events matching the filters."""
+        return len(self.select(kind=kind, rank=rank))
+
+    def kinds(self) -> List[str]:
+        """Return the distinct event kinds, in first-seen order."""
+        seen: List[str] = []
+        for event in self._events:
+            if event.kind not in seen:
+                seen.append(event.kind)
+        return seen
+
+    def clear(self) -> None:
+        """Remove all events."""
+        self._events.clear()
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]

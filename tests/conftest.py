@@ -1,0 +1,51 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.linalg.matgen import convection_diffusion_2d, poisson_1d, poisson_2d
+from repro.machine.model import MachineModel
+
+
+@pytest.fixture
+def rng():
+    """A deterministic NumPy generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def poisson_small():
+    """A small SPD Poisson matrix (10x10 grid -> n = 100)."""
+    return poisson_2d(10)
+
+
+@pytest.fixture
+def poisson_tiny():
+    """A tiny 1-D Poisson matrix (n = 12)."""
+    return poisson_1d(12)
+
+
+@pytest.fixture
+def convdiff_small():
+    """A small nonsymmetric convection-diffusion matrix."""
+    return convection_diffusion_2d(8, peclet=8.0)
+
+
+@pytest.fixture
+def ideal_machine():
+    """A noise-free machine model with zero latency."""
+    return MachineModel.ideal()
+
+
+@pytest.fixture
+def fast_recovery_machine():
+    """A machine model with small recovery overheads, for failure tests."""
+    return MachineModel(
+        flop_rate=1e9,
+        latency=1e-7,
+        bandwidth=1e9,
+        local_recovery_overhead=1e-5,
+        restart_overhead=1e-3,
+    )

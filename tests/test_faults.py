@@ -1,0 +1,308 @@
+"""Tests for repro.faults (bit flips, schedules, injectors, process failures)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    ArrayInjector,
+    BernoulliPerCallSchedule,
+    CampaignResult,
+    DeterministicSchedule,
+    ExponentialFailureModel,
+    FailurePlan,
+    FaultEvent,
+    FaultRecord,
+    NeverSchedule,
+    PoissonSchedule,
+    SdcCampaign,
+    TargetedInjector,
+    WeibullFailureModel,
+    bits_of,
+    classify_outcome,
+    flip_bit_array,
+    flip_bit_float64,
+    flip_random_bit,
+    float_from_bits,
+    relative_perturbation,
+)
+from repro.faults.process import system_mtbf
+
+
+class TestBitflip:
+    def test_roundtrip_bits(self):
+        value = 3.14159
+        assert float_from_bits(bits_of(value)) == value
+
+    def test_flip_is_involution(self):
+        value = -42.5
+        for bit in (0, 13, 52, 60, 63):
+            flipped = flip_bit_float64(value, bit)
+            assert flipped != value
+            assert flip_bit_float64(flipped, bit) == value
+
+    def test_sign_bit_flip_negates(self):
+        assert flip_bit_float64(2.0, 63) == -2.0
+
+    def test_mantissa_flip_small_relative_error(self):
+        corrupted = flip_bit_float64(1.0, 0)
+        assert abs(corrupted - 1.0) < 1e-15
+
+    def test_exponent_flip_large_error(self):
+        corrupted = flip_bit_float64(1.0, 62)
+        assert relative_perturbation(1.0, corrupted) > 1e10 or corrupted == 0.0
+
+    def test_invalid_bit_rejected(self):
+        with pytest.raises(ValueError):
+            flip_bit_float64(1.0, 64)
+        with pytest.raises(ValueError):
+            flip_bit_float64(1.0, -1)
+
+    def test_flip_bit_array_out_of_place(self):
+        arr = np.ones(4)
+        out = flip_bit_array(arr, 2, 63)
+        assert out[2] == -1.0
+        assert arr[2] == 1.0
+
+    def test_flip_bit_array_inplace(self):
+        arr = np.ones(4)
+        flip_bit_array(arr, 1, 63, inplace=True)
+        assert arr[1] == -1.0
+
+    def test_flip_bit_array_multi_index(self):
+        arr = np.ones((2, 3))
+        out = flip_bit_array(arr, (1, 2), 63)
+        assert out[1, 2] == -1.0
+
+    def test_flip_bit_array_requires_float64(self):
+        with pytest.raises(TypeError):
+            flip_bit_array(np.ones(3, dtype=np.float32), 0, 1)
+
+    def test_flip_bit_array_bounds(self):
+        with pytest.raises(IndexError):
+            flip_bit_array(np.ones(3), 5, 1)
+
+    def test_flip_random_bit_deterministic_with_seed(self):
+        arr = np.linspace(1, 2, 8)
+        out1, idx1, bit1 = flip_random_bit(arr, rng=3)
+        out2, idx2, bit2 = flip_random_bit(arr, rng=3)
+        assert idx1 == idx2 and bit1 == bit2
+        assert np.array_equal(out1, out2)
+
+    def test_flip_random_bit_range_respected(self):
+        arr = np.ones(16)
+        _, _, bit = flip_random_bit(arr, rng=1, bit_range=(52, 62))
+        assert 52 <= bit <= 62
+
+    def test_flip_random_bit_empty_rejected(self):
+        with pytest.raises(ValueError):
+            flip_random_bit(np.zeros(0))
+
+    def test_relative_perturbation_nonfinite(self):
+        assert relative_perturbation(1.0, float("inf")) == float("inf")
+        assert relative_perturbation(1.0, float("nan")) == float("inf")
+
+
+class TestSchedules:
+    def test_never(self):
+        schedule = NeverSchedule()
+        assert schedule.due(1e9) == 0
+
+    def test_deterministic_fires_once_each(self):
+        schedule = DeterministicSchedule([1.0, 2.0, 2.0])
+        assert schedule.due(0.5) == 0
+        assert schedule.due(1.0) == 1
+        assert schedule.due(3.0) == 2
+        assert schedule.due(10.0) == 0
+        assert schedule.remaining == 0
+
+    def test_deterministic_reset(self):
+        schedule = DeterministicSchedule([1.0])
+        assert schedule.due(2.0) == 1
+        schedule.reset()
+        assert schedule.due(2.0) == 1
+
+    def test_deterministic_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DeterministicSchedule([-1.0])
+
+    def test_poisson_zero_rate_never_fires(self):
+        schedule = PoissonSchedule(0.0, rng=1)
+        assert schedule.due(1e6) == 0
+
+    def test_poisson_counts_grow_with_rate(self):
+        low = PoissonSchedule(0.1, rng=1, horizon=100.0)
+        high = PoissonSchedule(10.0, rng=1, horizon=100.0)
+        assert len(high.presampled_times) > len(low.presampled_times)
+
+    def test_poisson_lazy_mode(self):
+        schedule = PoissonSchedule(1.0, rng=5)
+        total = schedule.due(50.0)
+        assert 10 <= total <= 120  # loose statistical bounds
+
+    def test_bernoulli_probability_zero_and_one(self):
+        assert BernoulliPerCallSchedule(0.0, rng=1).due(0) == 0
+        always = BernoulliPerCallSchedule(1.0, rng=1)
+        assert always.due(0) == 1
+
+    def test_bernoulli_max_faults(self):
+        schedule = BernoulliPerCallSchedule(1.0, rng=1, max_faults=2)
+        assert sum(schedule.due(i) for i in range(10)) == 2
+        schedule.reset()
+        assert schedule.due(0) == 1
+
+
+class TestInjectors:
+    def test_array_injector_never_by_default(self):
+        arr = np.ones(10)
+        ArrayInjector().maybe_inject(arr)
+        assert np.all(arr == 1.0)
+
+    def test_array_injector_injects_on_schedule(self):
+        injector = ArrayInjector(DeterministicSchedule([1.0]), rng=2, target="v")
+        arr = np.ones(10)
+        injector.maybe_inject(arr, now=1.0)
+        assert injector.n_injected == 1
+        assert np.sum(arr != 1.0) == 1
+        event = injector.session.events[0]
+        assert event.target == "v" and event.kind == "bitflip"
+
+    def test_array_injector_bit_range(self):
+        injector = ArrayInjector(DeterministicSchedule([0.0]), rng=3, bit_range=(63, 63))
+        arr = np.ones(5)
+        injector.maybe_inject(arr, now=0.0)
+        assert np.sum(arr == -1.0) == 1
+
+    def test_array_injector_requires_float64(self):
+        injector = ArrayInjector(DeterministicSchedule([0.0]), rng=1)
+        with pytest.raises(TypeError):
+            injector.maybe_inject(np.ones(3, dtype=np.float32), now=0.0)
+
+    def test_array_injector_reset(self):
+        injector = ArrayInjector(DeterministicSchedule([0.0]), rng=1)
+        injector.maybe_inject(np.ones(3), now=0.0)
+        injector.reset()
+        assert injector.n_injected == 0
+        injector.maybe_inject(np.ones(3), now=0.0)
+        assert injector.n_injected == 1
+
+    def test_targeted_injector_fires_once_at_given_index(self):
+        injector = TargetedInjector(at=5, index=2, bit=63, target="h")
+        arr = np.ones(4)
+        injector.maybe_inject(arr, now=4)
+        assert np.all(arr == 1.0) and not injector.fired
+        injector.maybe_inject(arr, now=5)
+        assert arr[2] == -1.0 and injector.fired
+        injector.maybe_inject(arr, now=6)
+        assert injector.session.n_injected == 1
+
+    def test_targeted_injector_value_mode(self):
+        injector = TargetedInjector(at=0, index=1, value=99.0)
+        arr = np.zeros(3)
+        injector.maybe_inject(arr, now=0)
+        assert arr[1] == 99.0
+        assert injector.session.events[0].kind == "value"
+
+    def test_targeted_injector_out_of_bounds(self):
+        injector = TargetedInjector(at=0, index=10, bit=1)
+        with pytest.raises(IndexError):
+            injector.maybe_inject(np.zeros(3), now=0)
+
+
+class TestProcessFailureModels:
+    def test_exponential_mean(self):
+        model = ExponentialFailureModel(100.0)
+        assert model.node_mtbf() == 100.0
+        rng = np.random.default_rng(0)
+        samples = [model.sample_interarrival(rng) for _ in range(2000)]
+        assert abs(np.mean(samples) - 100.0) / 100.0 < 0.1
+
+    def test_weibull_mean_matches_formula(self):
+        model = WeibullFailureModel(scale=100.0, shape=1.0)
+        assert abs(model.node_mtbf() - 100.0) < 1e-9
+
+    def test_system_mtbf_scales_inversely(self):
+        assert system_mtbf(1000.0, 10) == 100.0
+        with pytest.raises(ValueError):
+            system_mtbf(1000.0, 0)
+
+    def test_failure_plan_sampling(self):
+        model = ExponentialFailureModel(5.0)
+        plan = FailurePlan.sample(model, n_ranks=4, horizon=20.0, rng=1)
+        assert all(f.time <= 20.0 for f in plan)
+        assert all(0 <= f.rank < 4 for f in plan)
+        # sorted by time
+        times = [f.time for f in plan]
+        assert times == sorted(times)
+
+    def test_failure_plan_single_and_none(self):
+        single = FailurePlan.single(1.0, 2)
+        assert len(single) == 1 and single.first_failure_time(2) == 1.0
+        assert single.first_failure_time(0) is None
+        assert len(FailurePlan.none()) == 0
+
+    def test_failure_plan_queries(self):
+        plan = FailurePlan([(1.0, 0), (2.0, 1), (3.0, 0)])
+        assert len(plan.failures_for_rank(0)) == 2
+        assert [f.rank for f in plan.failures_in(1.5, 3.0)] == [1, 0]
+
+    def test_failure_plan_max_failures(self):
+        model = ExponentialFailureModel(1.0)
+        plan = FailurePlan.sample(model, 4, 50.0, rng=0, max_failures=3)
+        assert len(plan) == 3
+
+    def test_failure_plan_validation(self):
+        with pytest.raises(ValueError):
+            FailurePlan([(-1.0, 0)])
+        with pytest.raises(ValueError):
+            FailurePlan([(1.0, -2)])
+
+
+class TestSdcClassification:
+    def test_outcomes(self):
+        assert classify_outcome(converged=True, error_norm=1e-10, tolerance=1e-6,
+                                detected=False) == "benign"
+        assert classify_outcome(converged=True, error_norm=1e-10, tolerance=1e-6,
+                                detected=True) == "detected"
+        assert classify_outcome(converged=True, error_norm=1.0, tolerance=1e-6,
+                                detected=False) == "sdc"
+        assert classify_outcome(converged=False, error_norm=1.0, tolerance=1e-6,
+                                detected=False) == "crash"
+        assert classify_outcome(converged=True, error_norm=1e-10, tolerance=1e-6,
+                                detected=True, corrected=True) == "corrected"
+
+    def test_nonfinite_error_is_never_benign(self):
+        outcome = classify_outcome(converged=True, error_norm=float("nan"),
+                                   tolerance=1e-6, detected=False)
+        assert outcome == "sdc"
+
+    def test_campaign_aggregation(self):
+        def run_once(trial):
+            return FaultRecord(detected=trial % 2 == 0,
+                               outcome="detected" if trial % 2 == 0 else "sdc",
+                               extra={"iters": trial})
+
+        result = SdcCampaign(run_once, 10).run(metadata={"tag": "t"})
+        assert result.n_runs == 10
+        assert result.detection_rate == 0.5
+        assert result.count_outcome("sdc") == 5
+        assert result.rate_outcome("detected") == 0.5
+        assert result.mean_extra("iters") == 4.5
+        assert result.outcomes() == {"detected": 5, "sdc": 5}
+
+    def test_campaign_validates_outcomes(self):
+        campaign = SdcCampaign(lambda t: FaultRecord(outcome="bogus"), 1)
+        with pytest.raises(ValueError):
+            campaign.run()
+
+    def test_campaign_requires_fault_record(self):
+        campaign = SdcCampaign(lambda t: "nope", 1)
+        with pytest.raises(TypeError):
+            campaign.run()
+
+    def test_empty_campaign_rates(self):
+        result = CampaignResult()
+        assert result.detection_rate == 0.0
+        assert result.rate_outcome("sdc") == 0.0
+        assert result.mean_extra("x", default=7.0) == 7.0

@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.faults.bitflip import flip_bit_array, flip_bit_float64
+from repro.linalg.blas import back_substitution, givens_rotation
+from repro.linalg.blas import apply_givens
+from repro.linalg.checksum import checked_matmul
+from repro.linalg.csr import CsrMatrix
+from repro.linalg.distributed import block_ranges
+from repro.lflr.coarse import prolong_field, restrict_field
+from repro.machine.efficiency import cpr_efficiency, daly_optimal_interval, lflr_efficiency
+from repro.simmpi.ops import MAX, MIN, SUM
+from repro.simmpi.topology import CartTopology, balanced_dims
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12
+)
+
+
+class TestBitflipProperties:
+    @given(value=finite_floats, bit=st.integers(0, 63))
+    def test_flip_twice_is_identity(self, value, bit):
+        once = flip_bit_float64(value, bit)
+        twice = flip_bit_float64(once, bit)
+        assert twice == value or (np.isnan(twice) and np.isnan(value))
+
+    @given(value=st.floats(allow_nan=False, allow_infinity=False), bit=st.integers(0, 63))
+    def test_flip_always_changes_the_pattern(self, value, bit):
+        flipped = flip_bit_float64(value, bit)
+        original_bits = np.float64(value).view(np.uint64)
+        flipped_bits = np.float64(flipped).view(np.uint64)
+        assert original_bits != flipped_bits
+
+    @given(
+        data=hnp.arrays(np.float64, st.integers(1, 30), elements=finite_floats),
+        bit=st.integers(0, 63),
+        seed=st.integers(0, 2**16),
+    )
+    def test_array_flip_touches_exactly_one_element(self, data, bit, seed):
+        rng = np.random.default_rng(seed)
+        index = int(rng.integers(0, data.size))
+        corrupted = flip_bit_array(data, index, bit)
+        same = corrupted.view(np.uint64) == data.view(np.uint64)
+        assert same.sum() == data.size - 1
+
+
+class TestCsrProperties:
+    @given(
+        dense=hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 12), st.integers(1, 12)),
+            elements=st.floats(allow_nan=False, allow_infinity=False,
+                               min_value=-100, max_value=100),
+        )
+    )
+    @settings(max_examples=50)
+    def test_dense_roundtrip_and_matvec(self, dense):
+        matrix = CsrMatrix.from_dense(dense)
+        assert np.allclose(matrix.to_dense(), dense)
+        x = np.ones(dense.shape[1])
+        assert np.allclose(matrix.matvec(x), dense @ x)
+
+    @given(
+        dense=hnp.arrays(
+            np.float64, st.tuples(st.integers(1, 10), st.integers(1, 10)),
+            elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50)
+    def test_transpose_involution(self, dense):
+        matrix = CsrMatrix.from_dense(dense)
+        assert np.allclose(matrix.transpose().transpose().to_dense(), dense)
+
+    @given(
+        dense=hnp.arrays(
+            np.float64, st.tuples(st.integers(1, 8), st.integers(1, 8)),
+            elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+        ),
+        y_seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=50)
+    def test_rmatvec_is_transpose_matvec(self, dense, y_seed):
+        matrix = CsrMatrix.from_dense(dense)
+        y = np.random.default_rng(y_seed).standard_normal(dense.shape[0])
+        assert np.allclose(matrix.rmatvec(y), dense.T @ y)
+
+
+class TestBlasProperties:
+    @given(a=finite_floats, b=finite_floats)
+    def test_givens_is_orthonormal_and_annihilates(self, a, b):
+        c, s = givens_rotation(a, b)
+        assert c * c + s * s == pytest.approx(1.0, abs=1e-12)
+        _, zero = apply_givens(c, s, a, b)
+        assert abs(zero) <= 1e-9 * max(abs(a), abs(b), 1.0)
+
+    @given(
+        n=st.integers(1, 8),
+        seed=st.integers(0, 10_000),
+    )
+    def test_back_substitution_solves_triangular_systems(self, n, seed):
+        rng = np.random.default_rng(seed)
+        upper = np.triu(rng.standard_normal((n, n))) + (n + 1) * np.eye(n)
+        rhs = rng.standard_normal(n)
+        y = back_substitution(upper, rhs)
+        assert np.allclose(upper[:n, :n] @ y, rhs, atol=1e-8)
+
+
+class TestChecksumProperties:
+    @given(
+        n=st.integers(2, 10),
+        seed=st.integers(0, 10_000),
+        scale=st.floats(min_value=0.1, max_value=1e3),
+    )
+    @settings(max_examples=40)
+    def test_single_corruption_always_detected_and_corrected(self, n, seed, scale):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        i, j = int(rng.integers(0, n)), int(rng.integers(0, n))
+
+        def corrupt(c):
+            c = c.copy()
+            c[i, j] += scale * (1.0 + abs(c[i, j]))
+            return c
+
+        product, report = checked_matmul(a, b, corrupt=corrupt, correct=True)
+        assert report.corrected
+        assert np.allclose(product, a @ b, atol=1e-6)
+
+    @given(n=st.integers(2, 12), seed=st.integers(0, 10_000))
+    @settings(max_examples=40)
+    def test_clean_product_never_flagged(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        _, report = checked_matmul(a, b)
+        assert report.ok
+
+
+class TestPartitionProperties:
+    @given(n=st.integers(0, 500), blocks=st.integers(1, 32))
+    def test_block_ranges_partition_exactly(self, n, blocks):
+        ranges = block_ranges(n, blocks)
+        assert len(ranges) == blocks
+        assert ranges[0][0] == 0 and ranges[-1][1] == n
+        sizes = [stop - start for start, stop in ranges]
+        assert sum(sizes) == n
+        assert max(sizes) - min(sizes) <= 1
+        for (s1, e1), (s2, e2) in zip(ranges, ranges[1:]):
+            assert e1 == s2
+
+    @given(n=st.integers(1, 256), ndim=st.integers(1, 3))
+    def test_balanced_dims_product(self, n, ndim):
+        dims = balanced_dims(n, ndim)
+        assert len(dims) == ndim
+        assert int(np.prod(dims)) == n
+
+    @given(
+        dims=st.tuples(st.integers(1, 5), st.integers(1, 5)),
+        periodic=st.tuples(st.booleans(), st.booleans()),
+    )
+    def test_topology_coords_rank_bijection(self, dims, periodic):
+        topo = CartTopology(dims, periodic=periodic)
+        seen = {topo.rank(topo.coords(r)) for r in range(topo.size)}
+        assert seen == set(range(topo.size))
+
+
+class TestReduceOpProperties:
+    @given(values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=20))
+    def test_sum_matches_python(self, values):
+        assert SUM.reduce(list(values)) == sum(values)
+
+    @given(values=st.lists(finite_floats, min_size=1, max_size=20))
+    def test_min_max_bracket_all_values(self, values):
+        low = MIN.reduce(list(values))
+        high = MAX.reduce(list(values))
+        assert low == min(values) and high == max(values)
+        assert all(low <= v <= high for v in values)
+
+
+class TestCoarseModelProperties:
+    @given(
+        n=st.integers(4, 128),
+        factor=st.integers(1, 8),
+        seed=st.integers(0, 1000),
+    )
+    def test_restrict_prolong_preserves_shape_and_constants(self, n, factor, seed):
+        rng = np.random.default_rng(seed)
+        constant = float(rng.uniform(-5, 5))
+        field = np.full(n, constant)
+        rebuilt = prolong_field(restrict_field(field, factor), n, factor)
+        assert rebuilt.shape == (n,)
+        assert np.allclose(rebuilt, constant)
+
+    @given(n=st.integers(4, 64), factor=st.integers(1, 6))
+    def test_restriction_reduces_size(self, n, factor):
+        coarse = restrict_field(np.arange(float(n)), factor)
+        assert coarse.size == int(np.ceil(n / factor))
+
+
+class TestEfficiencyProperties:
+    @given(
+        checkpoint=st.floats(min_value=1.0, max_value=1e4),
+        mtbf=st.floats(min_value=10.0, max_value=1e9),
+    )
+    def test_efficiencies_in_unit_interval(self, checkpoint, mtbf):
+        assert 0.0 <= cpr_efficiency(checkpoint, mtbf) <= 1.0
+        assert 0.0 <= lflr_efficiency(min(checkpoint, mtbf), mtbf) <= 1.0
+
+    @given(
+        checkpoint=st.floats(min_value=1.0, max_value=1e3),
+        mtbf=st.floats(min_value=1e3, max_value=1e8),
+    )
+    def test_daly_interval_positive_and_bounded(self, checkpoint, mtbf):
+        interval = daly_optimal_interval(checkpoint, mtbf)
+        assert interval >= checkpoint * 0.99
+        assert np.isfinite(interval)
+
+    @given(mtbf=st.floats(min_value=100.0, max_value=1e7))
+    def test_cpr_efficiency_monotone_in_checkpoint_cost(self, mtbf):
+        cheap = cpr_efficiency(1.0, mtbf)
+        expensive = cpr_efficiency(50.0, mtbf)
+        assert cheap >= expensive - 1e-12

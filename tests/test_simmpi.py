@@ -1,0 +1,514 @@
+"""Tests for the simulated MPI runtime."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import FailurePlan
+from repro.machine import MachineModel
+from repro.simmpi import (
+    CartTopology,
+    Comm,
+    RankFailedError,
+    SimDeadlockError,
+    SimRuntime,
+    VirtualClock,
+    run_spmd,
+)
+from repro.simmpi.errors import InvalidRankError
+from repro.simmpi.ops import LAND, LOR, MAX, MIN, PROD, SUM
+from repro.simmpi.topology import balanced_dims
+
+
+class TestVirtualClock:
+    def test_advance_and_busy(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        assert clock.now == 1.5 and clock.busy_time == 1.5
+
+    def test_wait_until_only_moves_forward(self):
+        clock = VirtualClock(1.0)
+        clock.wait_until(0.5)
+        assert clock.now == 1.0
+        clock.wait_until(2.0)
+        assert clock.now == 2.0 and clock.idle_time == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_copy_independent(self):
+        clock = VirtualClock()
+        clock.advance(1.0)
+        clone = clock.copy()
+        clone.advance(1.0)
+        assert clock.now == 1.0 and clone.now == 2.0
+
+
+class TestReduceOps:
+    def test_scalar_ops(self):
+        assert SUM.reduce([1, 2, 3]) == 6
+        assert PROD.reduce([2, 3, 4]) == 24
+        assert MAX.reduce([1, 5, 3]) == 5
+        assert MIN.reduce([1, 5, 3]) == 1
+        assert LAND.reduce([True, True, False]) is False
+        assert LOR.reduce([False, True]) is True
+
+    def test_array_ops(self):
+        arrays = [np.array([1.0, 2.0]), np.array([3.0, 4.0])]
+        assert np.array_equal(SUM.reduce(arrays), [4.0, 6.0])
+        assert np.array_equal(MAX.reduce(arrays), [3.0, 4.0])
+
+    def test_empty_reduce_returns_identity(self):
+        assert SUM.reduce([]) == 0
+        assert MIN.reduce([]) == float("inf")
+
+
+class TestCollectives:
+    def test_allreduce_sum_and_ops(self):
+        def program(comm):
+            total = comm.allreduce(comm.rank + 1)
+            biggest = comm.allreduce(comm.rank, op=MAX)
+            smallest = comm.allreduce(comm.rank, op=MIN)
+            return total, biggest, smallest
+
+        for values in run_spmd(4, program):
+            assert values == (10, 3, 0)
+
+    def test_allreduce_arrays(self):
+        def program(comm):
+            return comm.allreduce(np.full(3, float(comm.rank)))
+
+        results = run_spmd(3, program)
+        for arr in results:
+            assert np.array_equal(arr, [3.0, 3.0, 3.0])
+
+    def test_bcast(self):
+        def program(comm):
+            data = {"value": 42} if comm.rank == 0 else None
+            return comm.bcast(data, root=0)
+
+        assert all(v == {"value": 42} for v in run_spmd(3, program))
+
+    def test_reduce_root_only(self):
+        def program(comm):
+            return comm.reduce(comm.rank, op=SUM, root=1)
+
+        values = run_spmd(3, program)
+        assert values[1] == 3
+        assert values[0] is None and values[2] is None
+
+    def test_gather_and_allgather(self):
+        def program(comm):
+            gathered = comm.gather(comm.rank * 10, root=0)
+            everywhere = comm.allgather(comm.rank)
+            return gathered, everywhere
+
+        values = run_spmd(4, program)
+        assert values[0][0] == [0, 10, 20, 30]
+        assert values[2][0] is None
+        assert all(v[1] == [0, 1, 2, 3] for v in values)
+
+    def test_scatter(self):
+        def program(comm):
+            chunks = [f"chunk{i}" for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(chunks, root=0)
+
+        assert run_spmd(3, program) == ["chunk0", "chunk1", "chunk2"]
+
+    def test_barrier_synchronizes_clocks(self):
+        def program(comm):
+            comm.advance(0.1 * (comm.rank + 1))
+            comm.barrier()
+            return comm.now()
+
+        times = run_spmd(4, program, machine=MachineModel.ideal())
+        assert all(t == pytest.approx(0.4) for t in times)
+
+    def test_nonblocking_allreduce_overlap(self):
+        def program(comm):
+            request = comm.iallreduce(float(comm.rank))
+            comm.advance(0.5)
+            value = request.wait()
+            return value, comm.now()
+
+        machine = MachineModel(latency=1e-3)
+        results = run_spmd(4, program, machine=machine)
+        for value, t in results:
+            assert value == 6.0
+            # Overlapped work (0.5s) dwarfs the collective latency, so the
+            # completion time is essentially the work time.
+            assert t == pytest.approx(0.5, rel=1e-3)
+
+    def test_ibarrier_and_ibcast(self):
+        def program(comm):
+            req_barrier = comm.ibarrier()
+            req_bcast = comm.ibcast("hello" if comm.rank == 1 else None, root=1)
+            req_barrier.wait()
+            return req_bcast.wait()
+
+        assert run_spmd(3, program) == ["hello"] * 3
+
+    def test_single_rank_collectives(self):
+        def program(comm):
+            return (
+                comm.allreduce(5),
+                comm.allgather(7),
+                comm.bcast(3, root=0),
+                comm.single_rank(),
+            )
+
+        assert run_spmd(1, program) == [(5, [7], 3, True)]
+
+    def test_scatter_requires_enough_chunks(self):
+        def program(comm):
+            chunks = [1] if comm.rank == 0 else None
+            try:
+                comm.scatter(chunks, root=0)
+                return "no error"
+            except Exception as exc:  # noqa: BLE001
+                return type(exc).__name__
+
+        results = run_spmd(2, program)
+        assert "ValueError" in results
+
+
+class TestPointToPoint:
+    def test_send_recv_roundtrip(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(5.0), dest=1, tag=7)
+                return None
+            received = comm.recv(source=0, tag=7)
+            return received
+
+        values = run_spmd(2, program)
+        assert np.array_equal(values[1], np.arange(5.0))
+
+    def test_message_ordering_fifo(self):
+        def program(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.send(i, dest=1)
+                return None
+            return [comm.recv(source=0) for _ in range(5)]
+
+        assert run_spmd(2, program)[1] == [0, 1, 2, 3, 4]
+
+    def test_isend_irecv(self):
+        def program(comm):
+            if comm.rank == 0:
+                request = comm.isend({"x": 1}, dest=1)
+                request.wait()
+                return None
+            request = comm.irecv(source=0)
+            return request.wait()
+
+        assert run_spmd(2, program)[1] == {"x": 1}
+
+    def test_sendrecv_exchange(self):
+        def program(comm):
+            other = 1 - comm.rank
+            return comm.sendrecv(comm.rank, dest=other, source=other)
+
+        assert run_spmd(2, program) == [1, 0]
+
+    def test_payload_isolation(self):
+        def program(comm):
+            if comm.rank == 0:
+                data = np.ones(3)
+                comm.send(data, dest=1)
+                data[:] = 99.0
+                return None
+            received = comm.recv(source=0)
+            return received.copy()
+
+        assert np.array_equal(run_spmd(2, program)[1], np.ones(3))
+
+    def test_send_to_self_rejected(self):
+        def program(comm):
+            try:
+                comm.send(1, dest=comm.rank)
+                return "ok"
+            except InvalidRankError:
+                return "invalid"
+
+        assert run_spmd(2, program) == ["invalid", "invalid"]
+
+    def test_invalid_rank_rejected(self):
+        def program(comm):
+            try:
+                comm.recv(source=99)
+                return "ok"
+            except InvalidRankError:
+                return "invalid"
+
+        assert run_spmd(2, program) == ["invalid", "invalid"]
+
+    def test_virtual_time_send_cost(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(1000), dest=1)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+            return comm.now()
+
+        machine = MachineModel(latency=1e-3, bandwidth=1e6)
+        times = run_spmd(2, program, machine=machine)
+        expected = 1e-3 + 8000 / 1e6
+        assert times[0] == pytest.approx(expected)
+        assert times[1] == pytest.approx(expected)
+
+
+class TestDeadlockAndErrors:
+    def test_mismatched_recv_raises_deadlock(self):
+        def program(comm):
+            if comm.rank == 0:
+                try:
+                    comm.recv(source=1)
+                except SimDeadlockError:
+                    return "deadlock"
+            return "done"
+
+        runtime = SimRuntime(2, watchdog=1.0)
+        results = runtime.run(program)
+        assert results[0].value == "deadlock"
+
+    def test_collective_kind_mismatch_detected(self):
+        def program(comm):
+            try:
+                if comm.rank == 0:
+                    comm.allreduce(1)
+                else:
+                    comm.barrier()
+                return "ok"
+            except Exception as exc:  # noqa: BLE001
+                return type(exc).__name__
+
+        runtime = SimRuntime(2, watchdog=2.0)
+        results = runtime.run(program)
+        values = {r.value for r in results}
+        assert "RuntimeError" in values or "SimDeadlockError" in values
+
+
+class TestFailuresAndRecovery:
+    def test_dead_rank_detected_in_collective(self, fast_recovery_machine):
+        def program(comm):
+            try:
+                for _ in range(20):
+                    comm.compute(1e6)
+                    comm.allreduce(1.0)
+                return "finished"
+            except RankFailedError as error:
+                return ("failed", sorted(error.failed_ranks))
+
+        plan = FailurePlan.single(0.005, 1)
+        runtime = SimRuntime(4, machine=fast_recovery_machine, failure_plan=plan)
+        results = runtime.run(program)
+        by_rank = {r.rank: r for r in results}
+        assert by_rank[1].died
+        for rank in (0, 2, 3):
+            assert by_rank[rank].value == ("failed", [1])
+
+    def test_dead_rank_detected_in_recv(self, fast_recovery_machine):
+        def program(comm):
+            if comm.rank == 0:
+                try:
+                    comm.recv(source=1)
+                    return "got message"
+                except RankFailedError:
+                    return "detected"
+            # Rank 1 dies before sending.
+            comm.compute(1e9)
+            comm.send(1, dest=0)
+            return "sent"
+
+        plan = FailurePlan.single(0.001, 1)
+        runtime = SimRuntime(2, machine=fast_recovery_machine, failure_plan=plan)
+        results = runtime.run(program)
+        assert results[0].value == "detected"
+        assert results[1].died
+
+    def test_send_to_dead_rank_fails(self, fast_recovery_machine):
+        def program(comm):
+            if comm.rank == 1:
+                comm.compute(1e9)  # dies here
+                return "unreachable"
+            comm.advance(1.0)  # let rank 1 die first (virtual time irrelevant,
+            # but the barrier below orders wall-clock execution)
+            try:
+                comm.barrier()
+            except RankFailedError:
+                pass
+            try:
+                comm.send(1, dest=1)
+                return "sent"
+            except RankFailedError:
+                return "send failed"
+
+        plan = FailurePlan.single(0.001, 1)
+        runtime = SimRuntime(2, machine=fast_recovery_machine, failure_plan=plan)
+        results = runtime.run(program)
+        assert results[0].value == "send failed"
+
+    def test_respawn_and_epoch_recovery(self, fast_recovery_machine):
+        def replacement(comm, epoch):
+            comm.advance_epoch(epoch)
+            return ("replacement", comm.allreduce(comm.rank))
+
+        def program(comm, runtime):
+            try:
+                for _ in range(20):
+                    comm.compute(1e6)
+                    comm.allreduce(1.0)
+                return "no failure"
+            except RankFailedError as error:
+                if comm.rank == 0:
+                    for dead in sorted(error.failed_ranks):
+                        runtime.respawn(dead, replacement, 1)
+                    for other in (r for r in comm.alive_ranks() if r != 0):
+                        comm.send("go", dest=other, tag=9)
+                else:
+                    comm.recv(source=0, tag=9)
+                comm.advance_epoch(1)
+                return ("survivor", comm.allreduce(comm.rank))
+
+        plan = FailurePlan.single(0.004, 2)
+        runtime = SimRuntime(4, machine=fast_recovery_machine, failure_plan=plan)
+        results = runtime.run(program, runtime)
+        final = {r.rank: r.value for r in results if not r.died}
+        assert final[2] == ("replacement", 6)
+        for rank in (0, 1, 3):
+            assert final[rank] == ("survivor", 6)
+
+    def test_revoke_interrupts_blocked_rank(self, fast_recovery_machine):
+        def program(comm):
+            if comm.rank == 0:
+                comm.advance(0.01)
+                comm.revoke()
+                return "revoked"
+            try:
+                comm.recv(source=2)  # never sent; revoked instead
+                return "received"
+            except RankFailedError:
+                return "interrupted"
+
+        runtime = SimRuntime(3, machine=fast_recovery_machine, watchdog=10.0)
+        results = runtime.run(program)
+        assert results[0].value == "revoked"
+        assert results[1].value == "interrupted"
+        assert results[2].value == "interrupted"
+
+    def test_runtime_event_log_records_death(self, fast_recovery_machine):
+        def program(comm):
+            try:
+                for _ in range(10):
+                    comm.compute(1e6)
+                    comm.barrier()
+                return "ok"
+            except RankFailedError:
+                return "saw failure"
+
+        plan = FailurePlan.single(0.002, 0)
+        runtime = SimRuntime(3, machine=fast_recovery_machine, failure_plan=plan)
+        runtime.run(program)
+        assert runtime.log.count("rank_death") == 1
+
+    def test_respawn_requires_dead_rank(self):
+        runtime = SimRuntime(2)
+        runtime.start(lambda comm: comm.barrier())
+        with pytest.raises(Exception):
+            runtime.respawn(0, lambda comm: None)
+        runtime.join()
+
+
+class TestRuntimeLifecycle:
+    def test_run_spmd_returns_rank_order(self):
+        assert run_spmd(5, lambda comm: comm.rank) == [0, 1, 2, 3, 4]
+
+    def test_double_start_rejected(self):
+        runtime = SimRuntime(2)
+        runtime.start(lambda comm: None)
+        with pytest.raises(Exception):
+            runtime.start(lambda comm: None)
+        runtime.join()
+
+    def test_join_before_start_rejected(self):
+        with pytest.raises(Exception):
+            SimRuntime(2).join()
+
+    def test_exception_in_rank_propagates(self):
+        def program(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            try:
+                comm.barrier()
+            except RankFailedError:
+                pass
+            return "ok"
+
+        runtime = SimRuntime(2, watchdog=5.0)
+        with pytest.raises(ValueError, match="boom"):
+            runtime.run(program)
+
+    def test_invalid_n_ranks(self):
+        with pytest.raises(ValueError):
+            SimRuntime(0)
+
+    def test_max_finish_time(self):
+        runtime = SimRuntime(3, machine=MachineModel.ideal())
+        runtime.run(lambda comm: comm.advance(0.1 * (comm.rank + 1)))
+        assert runtime.max_finish_time() == pytest.approx(0.3)
+
+    def test_rank_results_record_clock_stats(self):
+        runtime = SimRuntime(2, machine=MachineModel.ideal())
+        results = runtime.run(lambda comm: (comm.advance(0.2), comm.barrier()))
+        for result in results:
+            assert result.busy_time == pytest.approx(0.2)
+            assert result.finish_time >= 0.2
+
+
+class TestCartTopology:
+    def test_balanced_dims_product(self):
+        for n in (1, 4, 6, 12, 16, 36):
+            for ndim in (1, 2, 3):
+                dims = balanced_dims(n, ndim)
+                assert int(np.prod(dims)) == n
+
+    def test_coords_rank_roundtrip(self):
+        topo = CartTopology((3, 4))
+        for rank in range(topo.size):
+            assert topo.rank(topo.coords(rank)) == rank
+
+    def test_shift_nonperiodic_boundary(self):
+        topo = CartTopology((2, 2))
+        assert topo.shift(0, axis=0, displacement=-1) is None
+        assert topo.shift(0, axis=0, displacement=1) == topo.rank((1, 0))
+
+    def test_shift_periodic_wraps(self):
+        topo = CartTopology((4,), periodic=(True,))
+        assert topo.shift(0, 0, -1) == 3
+        assert topo.shift(3, 0, 1) == 0
+
+    def test_neighbors_interior_and_corner(self):
+        topo = CartTopology((3, 3))
+        center = topo.rank((1, 1))
+        assert len(topo.neighbors(center)) == 4
+        corner = topo.rank((0, 0))
+        assert len(topo.neighbors(corner)) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CartTopology((0, 2))
+        with pytest.raises(ValueError):
+            CartTopology((2, 2), periodic=(True,))
+        topo = CartTopology((2, 2))
+        with pytest.raises(ValueError):
+            topo.coords(99)
+        with pytest.raises(ValueError):
+            topo.rank((5, 0))
+
+    def test_balanced_constructor(self):
+        topo = CartTopology.balanced(12, 2)
+        assert topo.size == 12 and topo.ndim == 2

@@ -1,0 +1,293 @@
+"""Tests for repro.utils (rng, validation, timing, tables, logging)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    Counter,
+    Event,
+    EventLog,
+    RngFactory,
+    Stopwatch,
+    Table,
+    check_array_1d,
+    check_in,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_square_matrix,
+    require,
+    spawn_rng,
+)
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_integer, check_same_shape
+
+
+class TestRngFactory:
+    def test_same_name_same_stream(self):
+        a = RngFactory(7).spawn("x").standard_normal(5)
+        b = RngFactory(7).spawn("x").standard_normal(5)
+        assert np.array_equal(a, b)
+
+    def test_different_names_differ(self):
+        a = RngFactory(7).spawn("x").standard_normal(5)
+        b = RngFactory(7).spawn("y").standard_normal(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngFactory(7).spawn("x").standard_normal(5)
+        b = RngFactory(8).spawn("x").standard_normal(5)
+        assert not np.array_equal(a, b)
+
+    def test_order_independence(self):
+        factory1 = RngFactory(3)
+        _ = factory1.spawn("a")
+        x1 = factory1.spawn("b").standard_normal(3)
+        factory2 = RngFactory(3)
+        x2 = factory2.spawn("b").standard_normal(3)
+        assert np.array_equal(x1, x2)
+
+    def test_sequential_streams_differ(self):
+        factory = RngFactory(1)
+        a = factory.spawn_sequential().standard_normal(4)
+        b = factory.spawn_sequential().standard_normal(4)
+        assert not np.array_equal(a, b)
+
+    def test_child_factory_reproducible(self):
+        a = RngFactory(5).child("sub").spawn("s").standard_normal(3)
+        b = RngFactory(5).child("sub").spawn("s").standard_normal(3)
+        assert np.array_equal(a, b)
+
+    def test_spawn_rng_helper(self):
+        assert np.array_equal(
+            spawn_rng(2, "k").standard_normal(2), spawn_rng(2, "k").standard_normal(2)
+        )
+
+    def test_seed_property(self):
+        assert RngFactory(42).seed == 42
+
+    def test_as_generator_accepts_all_forms(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+        assert isinstance(as_generator(3), np.random.Generator)
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_as_generator_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            as_generator("not a seed")
+
+
+class TestValidation:
+    def test_require_passes_and_fails(self):
+        require(True, "fine")
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+    def test_check_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+        for bad in (0, -1, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                check_positive(bad, "x")
+
+    def test_check_non_negative(self):
+        assert check_non_negative(0, "x") == 0.0
+        with pytest.raises(ValueError):
+            check_non_negative(-0.1, "x")
+
+    def test_check_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        for bad in (-0.01, 1.01):
+            with pytest.raises(ValueError):
+                check_probability(bad, "p")
+
+    def test_check_in(self):
+        assert check_in("a", ("a", "b"), "mode") == "a"
+        with pytest.raises(ValueError):
+            check_in("c", ("a", "b"), "mode")
+
+    def test_check_integer(self):
+        assert check_integer(3, "n") == 3
+        with pytest.raises(TypeError):
+            check_integer(3.5, "n")
+        with pytest.raises(TypeError):
+            check_integer(True, "n")
+
+    def test_check_array_1d(self):
+        arr = check_array_1d([1, 2, 3], "v")
+        assert arr.shape == (3,)
+        with pytest.raises(ValueError):
+            check_array_1d(np.zeros((2, 2)), "v")
+
+    def test_check_square_matrix(self):
+        assert check_square_matrix(np.eye(3), "A").shape == (3, 3)
+        with pytest.raises(ValueError):
+            check_square_matrix(np.zeros((2, 3)), "A")
+
+    def test_check_same_shape(self):
+        check_same_shape(np.zeros(3), np.ones(3), ("a", "b"))
+        with pytest.raises(ValueError):
+            check_same_shape(np.zeros(3), np.zeros(4), ("a", "b"))
+
+
+class TestStopwatch:
+    def test_start_stop(self):
+        sw = Stopwatch()
+        sw.start()
+        assert sw.stop() >= 0.0
+
+    def test_double_start_raises(self):
+        sw = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_context_manager(self):
+        with Stopwatch() as sw:
+            pass
+        assert sw.elapsed >= 0.0
+
+    def test_laps_and_reset(self):
+        sw = Stopwatch().start()
+        sw.lap()
+        sw.lap()
+        assert len(sw.laps) == 2
+        sw.stop()
+        sw.reset()
+        assert sw.elapsed == 0.0 and sw.laps == []
+
+
+class TestCounter:
+    def test_add_and_get(self):
+        counter = Counter()
+        counter.add("flops", 10)
+        counter.add("flops", 5)
+        assert counter.get("flops") == 15
+        assert counter["missing"] == 0
+
+    def test_merge(self):
+        a = Counter({"x": 1})
+        b = Counter({"x": 2, "y": 3})
+        merged = a.merge(b)
+        assert merged.get("x") == 3 and merged.get("y") == 3
+        assert a.get("x") == 1  # original untouched
+
+    def test_contains_and_reset(self):
+        counter = Counter()
+        counter.add("messages")
+        assert "messages" in counter
+        counter.reset()
+        assert "messages" not in counter
+
+    def test_as_dict_is_copy(self):
+        counter = Counter({"a": 1})
+        d = counter.as_dict()
+        d["a"] = 99
+        assert counter.get("a") == 1
+
+
+class TestTable:
+    def test_positional_rows_and_render(self):
+        table = Table(["n", "err"], title="t")
+        table.add_row(10, 0.5)
+        text = table.render()
+        assert "n" in text and "err" in text and "10" in text
+
+    def test_named_rows(self):
+        table = Table(["a", "b"])
+        table.add_row(a=1, b=2)
+        assert table.to_dicts() == [{"a": 1, "b": 2}]
+
+    def test_column_access(self):
+        table = Table(["a", "b"])
+        table.add_rows([(1, 2), (3, 4)])
+        assert table.column("b") == [2, 4]
+        with pytest.raises(KeyError):
+            table.column("c")
+
+    def test_wrong_cell_count(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_unknown_named_column(self):
+        table = Table(["a"])
+        with pytest.raises(ValueError):
+            table.add_row(b=2)
+
+    def test_mixing_positional_and_named_rejected(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1, b=2)
+
+    def test_bool_formatting(self):
+        table = Table(["ok"])
+        table.add_row(True)
+        assert "yes" in table.render()
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_len(self):
+        table = Table(["a"])
+        assert len(table) == 0
+        table.add_row(1)
+        assert len(table) == 1
+
+
+class TestEventLog:
+    def test_record_and_select(self):
+        log = EventLog()
+        log.record("bitflip", rank=1, time=0.5, bit=3)
+        log.record("recovery", rank=2)
+        assert log.count("bitflip") == 1
+        assert log.count(rank=2) == 1
+        assert log.select("bitflip")[0].details["bit"] == 3
+
+    def test_kinds_order(self):
+        log = EventLog()
+        log.record("a")
+        log.record("b")
+        log.record("a")
+        assert log.kinds() == ["a", "b"]
+
+    def test_predicate_filter(self):
+        log = EventLog()
+        log.record("x", value=1)
+        log.record("x", value=5)
+        big = log.select("x", predicate=lambda e: e.details["value"] > 2)
+        assert len(big) == 1
+
+    def test_append_type_checked(self):
+        log = EventLog()
+        with pytest.raises(TypeError):
+            log.append("not an event")
+        log.append(Event(kind="ok"))
+        assert len(log) == 1
+
+    def test_extend_and_clear(self):
+        a, b = EventLog(), EventLog()
+        a.record("x")
+        b.record("y")
+        a.extend(b)
+        assert len(a) == 2
+        a.clear()
+        assert len(a) == 0
+
+    def test_getitem_and_iter(self):
+        log = EventLog()
+        log.record("x")
+        assert log[0].kind == "x"
+        assert [e.kind for e in log] == ["x"]
+
+    def test_event_matches(self):
+        event = Event(kind="a", rank=3)
+        assert event.matches(kind="a")
+        assert event.matches(rank=3)
+        assert not event.matches(kind="b")
+        assert not event.matches(rank=1)
