@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Diff headline timings of two pytest-benchmark JSON files.
+
+Usage::
+
+    python benchmarks/compare_benchmarks.py BASELINE.json CURRENT.json \
+        [--max-regression 1.25]
+
+Prints a per-benchmark table of mean times and speedup factors
+(baseline / current; > 1 is faster than the baseline) and exits
+non-zero if any benchmark regressed by more than ``--max-regression``
+(default: 25% slower), so the perf trajectory of the repo is enforced,
+not just recorded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+
+def load_means(path: str) -> Dict[str, float]:
+    """Map benchmark name -> mean seconds from a pytest-benchmark JSON."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return {
+        bench["name"]: float(bench["stats"]["mean"])
+        for bench in payload.get("benchmarks", [])
+    }
+
+
+def compare(
+    baseline_path: str,
+    current_path: str,
+    max_regression: float,
+    min_time: float = 0.005,
+) -> int:
+    baseline = load_means(baseline_path)
+    current = load_means(current_path)
+    if not current:
+        print(f"no benchmarks found in {current_path}", file=sys.stderr)
+        return 2
+
+    width = max(len(name) for name in current)
+    header = f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    regressions = []
+    for name in sorted(current):
+        mean = current[name]
+        base = baseline.get(name)
+        if base is None:
+            print(f"{name:<{width}}  {'--':>10}  {mean:>9.4f}s  {'new':>8}")
+            continue
+        speedup = base / mean if mean > 0 else float("inf")
+        print(f"{name:<{width}}  {base:>9.4f}s  {mean:>9.4f}s  {speedup:>7.2f}x")
+        # Sub-millisecond benchmarks regress by scheduler noise alone;
+        # only gate on benchmarks long enough to measure reliably.
+        if base >= min_time and mean > base * max_regression:
+            regressions.append((name, speedup))
+    for name in sorted(set(baseline) - set(current)):
+        print(f"{name:<{width}}  {baseline[name]:>9.4f}s  {'--':>10}  {'gone':>8}")
+
+    if regressions:
+        print()
+        for name, speedup in regressions:
+            print(
+                f"REGRESSION: {name} is {1.0 / speedup:.2f}x slower than baseline",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="stored baseline benchmark JSON")
+    parser.add_argument("current", help="freshly produced benchmark JSON")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=1.25,
+        help="fail if current mean exceeds baseline * this factor (default 1.25)",
+    )
+    parser.add_argument(
+        "--min-time",
+        type=float,
+        default=0.005,
+        help="ignore regressions on benchmarks whose baseline mean is below "
+        "this many seconds (default 0.005: too noisy to gate on)",
+    )
+    args = parser.parse_args(argv)
+    return compare(args.baseline, args.current, args.max_regression, args.min_time)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Run the experiment benchmark suite and (optionally) diff a baseline.
+
+The ``bench_e*.py`` modules do not match pytest's default ``test_*.py``
+collection pattern, so they must be passed explicitly -- this script is
+the one place that knows the list.  Typical uses::
+
+    # produce a fresh benchmark JSON for this PR
+    python benchmarks/run_benchmarks.py --json benchmarks/BENCH_PR1.json
+
+    # same, and compare against the stored seed baseline
+    python benchmarks/run_benchmarks.py --json benchmarks/BENCH_PR1.json \
+        --baseline benchmarks/BENCH_SEED_BASELINE.json
+
+Exit status is pytest's, or the comparator's if a baseline regression
+is detected (see :mod:`benchmarks.compare_benchmarks`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+
+BENCH_MODULES = [
+    "bench_e1_sdc_detection.py",
+    "bench_e2_abft.py",
+    "bench_e3_pipelined_scaling.py",
+    "bench_e4_lflr_vs_cpr.py",
+    "bench_e5_coarse_recovery.py",
+    "bench_e6_ftgmres.py",
+    "bench_e7_efficiency.py",
+]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json",
+        default=os.path.join(BENCH_DIR, "BENCH_PR1.json"),
+        help="where to write the pytest-benchmark JSON",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="stored baseline JSON to diff against after the run",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=1.25,
+        help="passed through to compare_benchmarks.py",
+    )
+    parser.add_argument(
+        "pytest_args",
+        nargs="*",
+        help="extra arguments forwarded to pytest (after --)",
+    )
+    args = parser.parse_args(argv)
+
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *[os.path.join(BENCH_DIR, module) for module in BENCH_MODULES],
+        "--benchmark-only",
+        f"--benchmark-json={args.json}",
+        "-q",
+        *args.pytest_args,
+    ]
+    status = subprocess.call(command, env=env, cwd=REPO_ROOT)
+    if status != 0:
+        return status
+
+    if args.baseline:
+        sys.path.insert(0, BENCH_DIR)
+        from compare_benchmarks import compare
+
+        return compare(args.baseline, args.json, args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -94,6 +94,15 @@ def run(
         "pipelined_cg_iterations": pcg_result.iterations,
         "gmres_iterations": gmres_result.iterations,
         "pipelined_gmres_iterations": pgmres_result.iterations,
+        # Where solver time goes (matvec vs orthogonalization vs
+        # preconditioner), from the per-kernel counters every solver
+        # now attaches to its SolveResult.
+        "kernel_seconds": {
+            "cg": cg_result.info["kernels"]["seconds"],
+            "pipelined_cg": pcg_result.info["kernels"]["seconds"],
+            "gmres": gmres_result.info["kernels"]["seconds"],
+            "pipelined_gmres": pgmres_result.info["kernels"]["seconds"],
+        },
         "speedup_at_largest_p": scaling.column("speedup")[-1],
         "speedup_at_smallest_p": scaling.column("speedup")[0],
         "sync_efficiency_at_largest_p": scaling.column("sync_efficiency")[-1],

@@ -18,6 +18,7 @@ import numpy as np
 from repro.krylov.gmres import gmres
 from repro.linalg.csr import CsrMatrix
 from repro.srp.context import SelectiveReliabilityEnvironment
+from repro.utils.timing import KernelCounters
 from repro.utils.validation import check_integer, check_positive
 
 __all__ = ["UnreliableInnerSolver"]
@@ -65,6 +66,7 @@ class UnreliableInnerSolver:
         self.inner_solves = 0
         self.inner_iterations = 0
         self.inner_flops = 0.0
+        self.kernels = KernelCounters()
         self._nnz = matrix.nnz if isinstance(matrix, CsrMatrix) else int(np.count_nonzero(matrix))
 
     def _unreliable_operator(self, domain):
@@ -100,6 +102,9 @@ class UnreliableInnerSolver:
                 preconditioner=self.preconditioner,
             )
         self.inner_iterations += result.iterations
+        inner_kernels = result.info.get("kernels")
+        if inner_kernels:
+            self.kernels.merge_dict(inner_kernels)
         z = np.asarray(result.x, dtype=np.float64)
         return z
 
@@ -110,4 +115,5 @@ class UnreliableInnerSolver:
             "inner_iterations": self.inner_iterations,
             "inner_flops": self.inner_flops,
             "faults_injected": self.environment.faults_injected(),
+            "inner_kernels": self.kernels.as_dict(),
         }

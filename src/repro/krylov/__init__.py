@@ -8,7 +8,9 @@ variants motivated by the RBSP programming model:
 * :mod:`repro.krylov.ops` -- a small dispatch layer so the same solver
   source runs on plain NumPy vectors and on
   :class:`~repro.linalg.distributed.DistributedVector` objects over the
-  simulated runtime.
+  simulated runtime, plus the :class:`~repro.krylov.ops.KrylovBasis`
+  block store whose fused BLAS-2 kernels (CGS2 orthogonalization,
+  single-gemv restart correction) all Arnoldi-type solvers share.
 * :mod:`repro.krylov.arnoldi` -- the Arnoldi process (shared by GMRES
   and the SDC-detecting GMRES of :mod:`repro.skeptical`).
 * :mod:`repro.krylov.gmres` -- restarted GMRES with right
@@ -29,6 +31,7 @@ from repro.krylov.arnoldi import arnoldi_step, ArnoldiBreakdown
 from repro.krylov.gmres import gmres, GmresState
 from repro.krylov.fgmres import fgmres
 from repro.krylov.cg import cg
+from repro.krylov.ops import KrylovBasis, allocate_basis
 from repro.krylov.pipelined_gmres import pipelined_gmres
 from repro.krylov.pipelined_cg import pipelined_cg
 
@@ -40,6 +43,8 @@ __all__ = [
     "GmresState",
     "fgmres",
     "cg",
+    "KrylovBasis",
+    "allocate_basis",
     "pipelined_gmres",
     "pipelined_cg",
 ]

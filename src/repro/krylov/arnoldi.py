@@ -20,7 +20,11 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-from repro.linalg.blas import classical_gram_schmidt_step, modified_gram_schmidt_step
+from repro.linalg.blas import (
+    cgs2_step,
+    classical_gram_schmidt_step,
+    modified_gram_schmidt_step,
+)
 
 __all__ = ["ArnoldiBreakdown", "arnoldi_step"]
 
@@ -62,9 +66,11 @@ def arnoldi_step(
         Zero-based iteration index.
     reorthogonalize:
         Perform a second orthogonalization pass (more robust to rounding
-        and to small injected errors).
+        and to small injected errors).  Implied by ``"cgs2"``.
     gram_schmidt:
-        ``"modified"`` (default) or ``"classical"``.
+        ``"modified"`` (default), ``"classical"``, or ``"cgs2"``
+        (classical Gram-Schmidt with built-in reorthogonalization --
+        the blocked BLAS-2 kernel the GMRES solvers use).
     breakdown_tol:
         Relative tolerance below which the new vector counts as zero.
     perturb:
@@ -85,8 +91,8 @@ def arnoldi_step(
         norm of ``A v`` (the caller decides whether this is a happy
         breakdown, i.e. the solution has been found).
     """
-    if gram_schmidt not in ("modified", "classical"):
-        raise ValueError("gram_schmidt must be 'modified' or 'classical'")
+    if gram_schmidt not in ("modified", "classical", "cgs2"):
+        raise ValueError("gram_schmidt must be 'modified', 'classical' or 'cgs2'")
     n_basis = step + 1
     v = basis[:, step]
     w = np.asarray(apply_operator(v), dtype=np.float64)
@@ -96,16 +102,16 @@ def arnoldi_step(
         w = np.asarray(perturb(w, step), dtype=np.float64)
     norm_before = float(np.linalg.norm(w))
     if gram_schmidt == "modified":
-        w, coefficients = modified_gram_schmidt_step(basis, w, n_basis)
+        step_fn = modified_gram_schmidt_step
+    elif gram_schmidt == "classical":
+        step_fn = classical_gram_schmidt_step
     else:
-        w, coefficients = classical_gram_schmidt_step(basis, w, n_basis)
+        step_fn = cgs2_step
+        reorthogonalize = False  # cgs2 already runs two passes
+    w, coefficients = step_fn(basis, w, n_basis)
     hessenberg[:n_basis, step] = coefficients
     if reorthogonalize:
-        w, extra = (
-            modified_gram_schmidt_step(basis, w, n_basis)
-            if gram_schmidt == "modified"
-            else classical_gram_schmidt_step(basis, w, n_basis)
-        )
+        w, extra = step_fn(basis, w, n_basis)
         hessenberg[:n_basis, step] += extra
     h_next = float(np.linalg.norm(w))
     hessenberg[n_basis, step] = h_next

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.krylov import ops
 from repro.krylov.result import SolveResult
+from repro.utils.timing import KernelCounters
 
 __all__ = ["cg"]
 
@@ -51,13 +52,16 @@ def cg(
     """
     if maxiter <= 0:
         raise ValueError("maxiter must be positive")
+    kernels = KernelCounters()
     b_norm = ops.norm(b)
     target = max(tol * b_norm, atol)
     if target == 0.0:
         target = tol
 
     x = ops.copy_vector(x0) if x0 is not None else ops.zeros_like(b)
+    t0 = kernels.tick()
     r = ops.axpby(1.0, b, -1.0, ops.matvec(operator, x))
+    kernels.charge("matvec", t0)
     z = ops.apply_preconditioner(preconditioner, r)
     p = ops.copy_vector(z)
     rz = ops.dot(r, z)
@@ -70,7 +74,9 @@ def cg(
     iteration = 0
 
     while not converged and not breakdown and iteration < maxiter:
+        t0 = kernels.tick()
         ap = ops.matvec(operator, p)
+        kernels.charge("matvec", t0)
         p_ap = ops.dot(p, ap)
         if p_ap <= 0.0 or not np.isfinite(p_ap):
             # Loss of positive definiteness: either the operator is not
@@ -92,7 +98,9 @@ def cg(
         if residual <= target:
             converged = True
             break
+        t0 = kernels.tick()
         z = ops.apply_preconditioner(preconditioner, r)
+        kernels.charge("preconditioner", t0)
         rz_next = ops.dot(r, z)
         if not np.isfinite(rz_next):
             breakdown = True
@@ -108,5 +116,10 @@ def cg(
         iterations=iteration,
         residual_norms=residual_norms,
         breakdown=breakdown,
-        info={"alphas": alphas, "betas": betas, "target": target},
+        info={
+            "alphas": alphas,
+            "betas": betas,
+            "target": target,
+            "kernels": kernels.as_dict(),
+        },
     )

@@ -10,19 +10,26 @@ inner solver that returns *anything* (even garbage produced by faults),
 because a bad ``z_j`` can at worst fail to reduce the residual -- the
 outer least-squares problem never amplifies it.
 
+Both the Arnoldi basis ``V`` and the preconditioned block ``Z`` are
+preallocated :class:`~repro.krylov.ops.KrylovBasis` stores;
+orthogonalization is blocked CGS2 and the solution update is a single
+``Z_k @ y`` gemv.
+
 :mod:`repro.ftgmres` builds the full fault-tolerant solver on top of
 this routine.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable, List, Optional
 
 import numpy as np
 
 from repro.krylov import ops
 from repro.krylov.result import SolveResult
-from repro.linalg.blas import apply_givens, back_substitution, givens_rotation
+from repro.linalg.blas import back_substitution, rotate_hessenberg_column
+from repro.utils.timing import KernelCounters
 
 __all__ = ["fgmres"]
 
@@ -60,11 +67,13 @@ def fgmres(
     SolveResult
         ``info["z_norms"]`` records the norms of the inner-solve
         outputs, which the FT-GMRES experiments use to show that faulty
-        inner solves were absorbed rather than amplified.
+        inner solves were absorbed rather than amplified;
+        ``info["kernels"]`` carries per-kernel counts and seconds.
     """
     if restart <= 0 or maxiter <= 0:
         raise ValueError("restart and maxiter must be positive")
 
+    kernels = KernelCounters()
     b_norm = ops.norm(b)
     target = max(tol * b_norm, atol)
     if target == 0.0:
@@ -79,7 +88,9 @@ def fgmres(
     outer = 0
 
     while total_iteration < maxiter and not converged and not breakdown:
+        t0 = kernels.tick()
         r = ops.axpby(1.0, b, -1.0, ops.matvec(operator, x))
+        kernels.charge("matvec", t0)
         beta = ops.norm(r)
         if not residual_norms:
             residual_norms.append(beta)
@@ -87,18 +98,21 @@ def fgmres(
             converged = True
             break
         m = min(restart, maxiter - total_iteration)
-        basis: List[Any] = [ops.scale(1.0 / beta, r)]
-        z_vectors: List[Any] = []
+        basis = ops.allocate_basis(b, m + 1)
+        basis.append(r, scale=1.0 / beta)
+        z_block = ops.allocate_basis(b, m)
         hessenberg = np.zeros((m + 1, m), dtype=np.float64)
         givens: List[tuple] = []
-        g = np.zeros(m + 1, dtype=np.float64)
+        g = [0.0] * (m + 1)
         g[0] = beta
         inner_used = 0
         cycle_residual = beta
 
         for j in range(m):
-            v = basis[j]
+            v = basis.column(j)
+            t0 = kernels.tick()
             z = inner_solve(v) if inner_solve is not None else ops.copy_vector(v)
+            kernels.charge("inner_solve", t0)
             # The reliable outer iteration inspects what the (possibly
             # unreliable) inner solve returned and discards unusable
             # results, replacing them with the unpreconditioned vector --
@@ -116,39 +130,36 @@ def fgmres(
                 or z_norm > 1e16 * max(v_norm, 1.0)
             ):
                 z = ops.copy_vector(v)
+                z_norm = v_norm
+            t0 = kernels.tick()
             with np.errstate(over="ignore", invalid="ignore"):
                 w = ops.matvec(operator, z)
             if not np.all(np.isfinite(ops.to_local(w))):
                 z = ops.copy_vector(v)
+                z_norm = v_norm
                 w = ops.matvec(operator, z)
-            z_vectors.append(z)
-            z_norms.append(ops.norm(z))
-            for i in range(j + 1):
-                hessenberg[i, j] = ops.dot(basis[i], w)
-                w = ops.axpby(1.0, w, -hessenberg[i, j], basis[i])
+            kernels.charge("matvec", t0)
+            z_block.append(z)
+            z_norms.append(z_norm)
+            t0 = kernels.tick()
+            w, coefficients = basis.orthogonalize(w, method="cgs2", k=j + 1)
             h_next = ops.norm(w)
-            hessenberg[j + 1, j] = h_next
             happy = h_next <= 1e-14 * max(cycle_residual, 1.0)
-            basis.append(
-                ops.scale(1.0 / h_next, w) if not happy else ops.zeros_like(w)
-            )
-            for i, (c, s) in enumerate(givens):
-                hessenberg[i, j], hessenberg[i + 1, j] = apply_givens(
-                    c, s, hessenberg[i, j], hessenberg[i + 1, j]
-                )
-            c, s = givens_rotation(hessenberg[j, j], hessenberg[j + 1, j])
-            givens.append((c, s))
-            hessenberg[j, j], hessenberg[j + 1, j] = apply_givens(
-                c, s, hessenberg[j, j], hessenberg[j + 1, j]
-            )
-            g[j], g[j + 1] = apply_givens(c, s, g[j], g[j + 1])
-            cycle_residual = abs(g[j + 1])
+            if not happy:
+                basis.append(w, scale=1.0 / h_next)
+            else:
+                basis.append_zero()
+            kernels.charge("orthogonalization", t0)
+            col = coefficients.tolist()
+            col.append(h_next)
+            cycle_residual = rotate_hessenberg_column(col, g, givens, j)
+            hessenberg[: j + 2, j] = col
             inner_used = j + 1
             total_iteration += 1
             residual_norms.append(cycle_residual)
             if iteration_hook is not None:
                 iteration_hook(total_iteration, cycle_residual)
-            if not np.isfinite(cycle_residual):
+            if not math.isfinite(cycle_residual):
                 breakdown = True
                 break
             if cycle_residual <= target or happy or total_iteration >= maxiter:
@@ -161,12 +172,15 @@ def fgmres(
                 breakdown = True
                 y = None
             if y is not None and np.all(np.isfinite(y)):
-                for i in range(inner_used):
-                    x = ops.axpby(1.0, x, float(y[i]), z_vectors[i])
+                t0 = kernels.tick()
+                x = ops.axpby(1.0, x, 1.0, z_block.lincomb(y, k=inner_used))
+                kernels.charge("basis_update", t0)
             else:
                 breakdown = True
 
+        t0 = kernels.tick()
         true_residual = ops.norm(ops.axpby(1.0, b, -1.0, ops.matvec(operator, x)))
+        kernels.charge("matvec", t0)
         if residual_norms:
             residual_norms[-1] = true_residual
         if true_residual <= target:
@@ -179,5 +193,10 @@ def fgmres(
         iterations=total_iteration,
         residual_norms=residual_norms,
         breakdown=breakdown,
-        info={"restarts": outer, "target": target, "z_norms": z_norms},
+        info={
+            "restarts": outer,
+            "target": target,
+            "z_norms": z_norms,
+            "kernels": kernels.as_dict(),
+        },
     )

@@ -1,4 +1,4 @@
-"""Type-dispatch layer for the Krylov solvers.
+"""Type-dispatch layer and block kernels for the Krylov solvers.
 
 The solvers are written once against these helpers and therefore run
 unchanged on
@@ -10,18 +10,26 @@ unchanged on
   (execution over the simulated MPI runtime, with every global
   reduction paying the collective cost of the machine model).
 
-Only the operations the solvers need are provided; anything fancier
-belongs in :mod:`repro.linalg`.
+Besides the single-vector helpers, this module provides the
+:class:`KrylovBasis` block store used by every Arnoldi-type solver: the
+basis is preallocated as one contiguous 2-D array, so orthogonalization
+is two BLAS-2 calls (``h = V_kᵀ w; w -= V_k h``, run twice for CGS2)
+instead of an interpreted-Python loop of ``j`` dot/axpy round trips,
+and the restart correction is a single ``V_k @ y``.  Fault injectors
+keep working because :meth:`KrylovBasis.column` returns a writable view
+of the stored vector (sequential execution), exactly like the mutable
+list entries of the pre-block implementation.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Union
+from typing import Any, Callable, Iterator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.linalg.csr import CsrMatrix
 from repro.linalg.distributed import DistributedRowMatrix, DistributedVector
+from repro.simmpi.ops import SUM
 from repro.simmpi.requests import CompletedRequest
 
 __all__ = [
@@ -29,6 +37,7 @@ __all__ = [
     "matvec",
     "dot",
     "idot",
+    "fused_dots",
     "norm",
     "axpby",
     "scale",
@@ -37,6 +46,8 @@ __all__ = [
     "to_local",
     "apply_preconditioner",
     "vector_size",
+    "KrylovBasis",
+    "allocate_basis",
 ]
 
 Operator = Union[CsrMatrix, np.ndarray, Callable, DistributedRowMatrix]
@@ -85,11 +96,36 @@ def idot(x: Vector, y: Vector):
     return CompletedRequest(dot(x, y), operation="idot")
 
 
+def fused_dots(pairs: Sequence[Tuple[Vector, Vector]]):
+    """Start several inner products as ONE non-blocking reduction.
+
+    ``pairs`` is a sequence of ``(x, y)`` vector pairs; the returned
+    request's ``wait()`` yields a 1-D array with one dot product per
+    pair.  On the simulated runtime this is a single ``iallreduce`` of
+    the stacked local partial sums -- the fused reduction wave the
+    pipelined solvers are built around -- instead of one collective per
+    inner product.
+    """
+    first = pairs[0][0]
+    if isinstance(first, DistributedVector):
+        comm = first.comm
+        local = np.empty(len(pairs), dtype=np.float64)
+        for i, (x, y) in enumerate(pairs):
+            local[i] = float(x.local @ y.local)
+            comm.compute(2.0 * x.local_size)
+        return comm.iallreduce(local, op=SUM)
+    values = np.array([dot(x, y) for x, y in pairs], dtype=np.float64)
+    return CompletedRequest(values, operation="fused_dots")
+
+
 def norm(x: Vector) -> float:
     """Global 2-norm."""
     if isinstance(x, DistributedVector):
         return x.norm()
-    return float(np.linalg.norm(np.asarray(x, dtype=np.float64)))
+    x = np.asarray(x, dtype=np.float64)
+    # sqrt(x . x) is what np.linalg.norm computes for 1-D input, minus
+    # the generic-dispatch overhead that matters at small n.
+    return float(np.sqrt(x @ x))
 
 
 def axpby(alpha: float, x: Vector, beta: float, y: Vector) -> Vector:
@@ -134,6 +170,268 @@ def vector_size(x: Vector) -> int:
     if isinstance(x, DistributedVector):
         return x.global_size
     return int(np.asarray(x).size)
+
+
+class KrylovBasis:
+    """Preallocated block of Krylov basis vectors with BLAS-2 kernels.
+
+    The vectors live in one contiguous ``(max_vectors, n)`` array (row
+    ``j`` is vector ``j``, so every vector is a contiguous slice; the
+    column-oriented view of the same memory is exposed as
+    :attr:`array`).  All orthogonalization traffic goes through two
+    block kernels --
+
+    * :meth:`block_dot`: ``h = V_kᵀ w`` (one gemv; on the simulated
+      runtime one fused allreduce of the ``k`` coefficients), and
+    * :meth:`block_axpy`: ``w -= V_k h`` (one gemv);
+
+    classical Gram-Schmidt with reorthogonalization (CGS2) is these two
+    calls run twice.  :meth:`lincomb` forms the restart correction
+    ``V_k y`` with a single gemv.
+
+    The fault-injection surface is preserved: ``basis[j]`` /
+    :meth:`column` return a *writable, contiguous* NumPy view of vector
+    ``j`` in the sequential case, so hooks that corrupt
+    ``state.basis[i]`` in place keep hitting the live solver state.
+    """
+
+    def __init__(self, max_vectors: int, local_size: int):
+        self._rows = np.zeros((int(max_vectors), int(local_size)), dtype=np.float64)
+        self.n_columns = 0
+
+    # -- storage -------------------------------------------------------
+    @property
+    def max_vectors(self) -> int:
+        """Capacity of the block (``restart + 1`` for GMRES)."""
+        return self._rows.shape[0]
+
+    @property
+    def array(self) -> np.ndarray:
+        """The basis as an ``(n_local, max_vectors)`` ndarray view.
+
+        Columns are basis vectors (the ``V`` of the textbooks); the
+        view shares memory with the solver state, so reads always see
+        the current basis and writes corrupt it -- which is exactly
+        what fault-injection campaigns need.
+        """
+        return self._rows.T
+
+    def matrix(self, k: Optional[int] = None) -> np.ndarray:
+        """View of the first ``k`` (default: all stored) basis vectors
+        as the columns of an ``(n_local, k)`` array."""
+        k = self.n_columns if k is None else int(k)
+        return self._rows[:k].T
+
+    def local_row(self, j: int) -> np.ndarray:
+        """Writable, contiguous local storage of vector ``j``."""
+        return self._rows[j]
+
+    def __len__(self) -> int:
+        return self.n_columns
+
+    def __getitem__(self, j: int):
+        return self.column(j)
+
+    def __iter__(self) -> Iterator:
+        for j in range(self.n_columns):
+            yield self.column(j)
+
+    def append_zero(self):
+        """Store a zero vector (the happy-breakdown placeholder)."""
+        self._rows[self.n_columns].fill(0.0)
+        self.n_columns += 1
+        return self.column(self.n_columns - 1)
+
+    # -- implemented by subclasses -------------------------------------
+    def column(self, j: int):
+        """Vector ``j`` in the solver's native vector type."""
+        raise NotImplementedError
+
+    def append(self, vec, scale: float = 1.0):
+        """Store ``scale * vec`` as the next basis vector."""
+        raise NotImplementedError
+
+    def block_dot(self, w, k: Optional[int] = None) -> np.ndarray:
+        """``V_kᵀ w`` as a length-``k`` array (one fused reduction)."""
+        raise NotImplementedError
+
+    def block_axpy(self, coefficients: np.ndarray, w, k: Optional[int] = None):
+        """``w - V_k @ coefficients`` as a new vector (one gemv)."""
+        raise NotImplementedError
+
+    def lincomb(self, coefficients: np.ndarray, k: Optional[int] = None):
+        """``V_k @ coefficients`` as a new vector."""
+        raise NotImplementedError
+
+    def fused_projection(self, w, k: Optional[int] = None):
+        """Start ONE reduction producing ``[V_kᵀ w, |w|²]``.
+
+        Returns a request whose ``wait()`` yields a length ``k + 1``
+        array: the ``k`` CGS coefficients followed by the squared norm
+        of ``w``.  This is the single synchronization wave of the
+        latency-tolerant GMRES variants.
+        """
+        raise NotImplementedError
+
+    # -- shared orthogonalization kernels ------------------------------
+    def orthogonalize(self, w, method: str = "cgs2", k: Optional[int] = None):
+        """Orthogonalize ``w`` against the first ``k`` stored vectors.
+
+        ``method`` is ``"cgs2"`` (classical Gram-Schmidt run twice --
+        the default block kernel, as robust as MGS at BLAS-2 speed),
+        ``"classical"`` (one CGS pass) or ``"modified"`` (the legacy
+        one-vector-at-a-time MGS recurrence, kept for comparison runs).
+        Returns ``(w_orth, coefficients)``; the coefficient vector is
+        the accumulated Hessenberg column.
+        """
+        k = self.n_columns if k is None else int(k)
+        if method == "modified":
+            return self._mgs(w, k)
+        coefficients = self.block_dot(w, k)
+        w = self.block_axpy(coefficients, w, k)
+        if method == "cgs2":
+            correction = self.block_dot(w, k)
+            w = self.block_axpy(correction, w, k)
+            coefficients = coefficients + correction
+        return w, coefficients
+
+    def _mgs(self, w, k: int):
+        raise NotImplementedError
+
+
+class _DenseKrylovBasis(KrylovBasis):
+    """Sequential (NumPy ndarray) backend."""
+
+    def column(self, j: int) -> np.ndarray:
+        return self._rows[j]
+
+    def orthogonalize(self, w, method: str = "cgs2", k: Optional[int] = None):
+        # Specialized to the minimal number of NumPy calls: at small n
+        # the interpreter round trips cost more than the gemvs.
+        k = self.n_columns if k is None else int(k)
+        if method == "modified":
+            return self._mgs(w, k)
+        rows = self._rows[:k]
+        coefficients = rows @ w
+        w = w - coefficients @ rows
+        if method == "cgs2":
+            correction = rows @ w
+            w -= correction @ rows  # in place: w was freshly allocated above
+            coefficients = coefficients + correction
+        return w, coefficients
+
+    def append(self, vec, scale: float = 1.0):
+        row = self._rows[self.n_columns]
+        np.multiply(float(scale), np.asarray(vec, dtype=np.float64), out=row)
+        self.n_columns += 1
+        return row
+
+    def block_dot(self, w, k: Optional[int] = None) -> np.ndarray:
+        k = self.n_columns if k is None else int(k)
+        return self._rows[:k] @ w
+
+    def block_axpy(self, coefficients, w, k: Optional[int] = None):
+        k = self.n_columns if k is None else int(k)
+        return w - coefficients @ self._rows[:k]
+
+    def lincomb(self, coefficients, k: Optional[int] = None) -> np.ndarray:
+        k = self.n_columns if k is None else int(k)
+        return np.asarray(coefficients, dtype=np.float64) @ self._rows[:k]
+
+    def fused_projection(self, w, k: Optional[int] = None):
+        k = self.n_columns if k is None else int(k)
+        payload = np.empty(k + 1, dtype=np.float64)
+        payload[:k] = self._rows[:k] @ w
+        payload[k] = float(w @ w)
+        return CompletedRequest(payload, operation="fused_projection")
+
+    def _mgs(self, w, k: int):
+        w = np.array(w, dtype=np.float64, copy=True)
+        coefficients = np.zeros(k, dtype=np.float64)
+        for i in range(k):
+            v = self._rows[i]
+            coefficients[i] = float(v @ w)
+            w -= coefficients[i] * v
+        return w, coefficients
+
+
+class _DistributedKrylovBasis(KrylovBasis):
+    """Distributed backend: one fused allreduce per block reduction."""
+
+    def __init__(self, max_vectors: int, template: DistributedVector):
+        super().__init__(max_vectors, template.local_size)
+        self._comm = template.comm
+        self._global_size = template.global_size
+        self._offset = template.offset
+
+    def _wrap(self, local: np.ndarray) -> DistributedVector:
+        # No-copy wrap: for columns this keeps the returned vector live
+        # solver state (hooks mutating state.basis[i].local corrupt the
+        # actual basis, as with the old list-of-vectors layout); for
+        # freshly computed locals (lincomb, block_axpy) the alias is
+        # exclusive anyway.
+        return DistributedVector.from_local_view(
+            self._comm, local, self._global_size, self._offset
+        )
+
+    def column(self, j: int) -> DistributedVector:
+        return self._wrap(self._rows[j])
+
+    def append(self, vec: DistributedVector, scale: float = 1.0):
+        row = self._rows[self.n_columns]
+        np.multiply(float(scale), vec.local, out=row)
+        self.n_columns += 1
+        return row
+
+    def block_dot(self, w: DistributedVector, k: Optional[int] = None) -> np.ndarray:
+        k = self.n_columns if k is None else int(k)
+        local = self._rows[:k] @ w.local
+        self._comm.compute(2.0 * k * w.local_size)
+        return np.asarray(self._comm.allreduce(local, op=SUM), dtype=np.float64)
+
+    def block_axpy(self, coefficients, w: DistributedVector, k: Optional[int] = None):
+        k = self.n_columns if k is None else int(k)
+        self._comm.compute(2.0 * k * w.local_size)
+        return self._wrap(w.local - coefficients @ self._rows[:k])
+
+    def lincomb(self, coefficients, k: Optional[int] = None) -> DistributedVector:
+        k = self.n_columns if k is None else int(k)
+        local = np.asarray(coefficients, dtype=np.float64) @ self._rows[:k]
+        self._comm.compute(2.0 * k * self._rows.shape[1])
+        return self._wrap(local)
+
+    def fused_projection(self, w: DistributedVector, k: Optional[int] = None):
+        k = self.n_columns if k is None else int(k)
+        payload = np.empty(k + 1, dtype=np.float64)
+        payload[:k] = self._rows[:k] @ w.local
+        payload[k] = float(w.local @ w.local)
+        self._comm.compute(2.0 * (k + 1) * w.local_size)
+        return self._comm.iallreduce(payload, op=SUM)
+
+    def _mgs(self, w: DistributedVector, k: int):
+        w = w.copy()
+        coefficients = np.zeros(k, dtype=np.float64)
+        for i in range(k):
+            coefficients[i] = self.column(i).dot(w)
+            w.local -= coefficients[i] * self._rows[i]
+        return w, coefficients
+
+
+def allocate_basis(template: Vector, max_vectors: int) -> KrylovBasis:
+    """Allocate an empty :class:`KrylovBasis` shaped like ``template``.
+
+    ``template`` fixes the vector type (NumPy or distributed) and the
+    (local) length; ``max_vectors`` is the capacity, ``restart + 1``
+    for a GMRES cycle.
+    """
+    if int(max_vectors) <= 0:
+        raise ValueError("max_vectors must be positive")
+    if isinstance(template, DistributedVector):
+        return _DistributedKrylovBasis(max_vectors, template)
+    local = np.asarray(template, dtype=np.float64)
+    if local.ndim != 1:
+        raise ValueError("template vector must be 1-D")
+    return _DenseKrylovBasis(max_vectors, local.size)
 
 
 def apply_preconditioner(preconditioner, x: Vector) -> Vector:

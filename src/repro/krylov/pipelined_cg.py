@@ -4,7 +4,9 @@ Standard CG performs two *blocking* global reductions per iteration,
 serialized with the matrix-vector product.  The pipelined variant
 restructures the recurrences so that the single fused reduction of an
 iteration can be **overlapped with the next matrix-vector product**:
-the reduction is started (``iallreduce``), the operator application
+the reduction is started as ONE ``iallreduce`` carrying both
+``gamma = (r, u)`` and ``delta = (w, u)`` (via
+:func:`repro.krylov.ops.fused_dots`), the operator application
 ``q = A w`` proceeds while the reduction is in flight, and only then is
 the reduction waited on.  On the simulated runtime this uses the
 MPI-3-style non-blocking collectives of :mod:`repro.simmpi`, i.e. the
@@ -24,6 +26,7 @@ import numpy as np
 
 from repro.krylov import ops
 from repro.krylov.result import SolveResult
+from repro.utils.timing import KernelCounters
 
 __all__ = ["pipelined_cg"]
 
@@ -47,15 +50,22 @@ def pipelined_cg(
     """
     if maxiter <= 0:
         raise ValueError("maxiter must be positive")
+    kernels = KernelCounters()
     b_norm = ops.norm(b)
     target = max(tol * b_norm, atol)
     if target == 0.0:
         target = tol
 
     x = ops.copy_vector(x0) if x0 is not None else ops.zeros_like(b)
+    t0 = kernels.tick()
     r = ops.axpby(1.0, b, -1.0, ops.matvec(operator, x))
+    kernels.charge("matvec", t0)
+    t0 = kernels.tick()
     u = ops.apply_preconditioner(preconditioner, r)
+    kernels.charge("preconditioner", t0)
+    t0 = kernels.tick()
     w = ops.matvec(operator, u)
+    kernels.charge("matvec", t0)
 
     residual = ops.norm(r)
     residual_norms: List[float] = [residual]
@@ -72,16 +82,19 @@ def pipelined_cg(
     p = None
 
     while not converged and not breakdown and iteration < maxiter:
-        # Start the fused reduction for gamma = (r, u) and delta = (w, u).
-        gamma_req = ops.idot(r, u)
-        delta_req = ops.idot(w, u)
+        # Start the fused reduction for gamma = (r, u) and delta = (w, u):
+        # one non-blocking allreduce carrying both partial sums.
+        fused = ops.fused_dots(((r, u), (w, u)))
         # Overlap: apply the preconditioner and the operator while the
         # reduction is in flight.
+        t0 = kernels.tick()
         m_w = ops.apply_preconditioner(preconditioner, w)
+        kernels.charge("preconditioner", t0)
+        t0 = kernels.tick()
         n_w = ops.matvec(operator, m_w)
+        kernels.charge("matvec", t0)
         overlapped += 1
-        gamma = gamma_req.wait()
-        delta = delta_req.wait()
+        gamma, delta = (float(v) for v in fused.wait())
 
         if not np.isfinite(gamma) or not np.isfinite(delta):
             breakdown = True
@@ -136,5 +149,9 @@ def pipelined_cg(
         iterations=iteration,
         residual_norms=residual_norms,
         breakdown=breakdown,
-        info={"target": target, "overlapped_reductions": overlapped},
+        info={
+            "target": target,
+            "overlapped_reductions": overlapped,
+            "kernels": kernels.as_dict(),
+        },
     )

@@ -11,10 +11,14 @@ reduction via the Pythagorean identity
 non-blocking collective so it can be overlapped with local work.
 
 This module implements that single-reduction variant (with optional
-re-orthogonalization for robustness).  The *depth-l* pipelining of
-p(l)-GMRES -- overlapping the reduction with the next matrix--vector
-product across iterations -- changes only the timing, not the
-numerics; its timing effect is modeled analytically in experiment E3
+re-orthogonalization for robustness) on the blocked
+:class:`~repro.krylov.ops.KrylovBasis` kernels: the fused wave is ONE
+``iallreduce`` of the stacked ``[V_jᵀ w, |w|²]`` payload (sequentially,
+one gemv), and the local orthogonalization update is a single
+``w -= V_j h`` gemv.  The *depth-l* pipelining of p(l)-GMRES --
+overlapping the reduction with the next matrix--vector product across
+iterations -- changes only the timing, not the numerics; its timing
+effect is modeled analytically in experiment E3
 (:mod:`repro.rbsp.variability`), while this implementation demonstrates
 the reduced synchronization count (1 fused reduction per iteration
 versus ``j + 2``) on the simulated runtime.
@@ -22,28 +26,17 @@ versus ``j + 2``) on the simulated runtime.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+import math
+from typing import Callable, List, Optional
 
 import numpy as np
 
 from repro.krylov import ops
 from repro.krylov.result import SolveResult
-from repro.linalg.blas import apply_givens, back_substitution, givens_rotation
+from repro.linalg.blas import back_substitution, rotate_hessenberg_column
+from repro.utils.timing import KernelCounters
 
 __all__ = ["pipelined_gmres"]
-
-
-def _fused_projection(basis: List[Any], w: Any) -> tuple:
-    """Start the fused reduction for CGS coefficients and the norm.
-
-    Returns a list of requests (one per coefficient plus one for
-    ``|w|^2``); on distributed vectors each request is a non-blocking
-    allreduce, so all of them are in flight simultaneously -- one
-    synchronization "wave" instead of a serialized sequence.
-    """
-    coefficient_requests = [ops.idot(v, w) for v in basis]
-    norm_request = ops.idot(w, w)
-    return coefficient_requests, norm_request
 
 
 def pipelined_gmres(
@@ -64,7 +57,9 @@ def pipelined_gmres(
     Parameters match :func:`repro.krylov.gmres.gmres`;
     ``reorthogonalize`` adds a second (also fused) orthogonalization
     pass, which restores most of MGS's robustness at the cost of a
-    second reduction wave.
+    second reduction wave -- together the two passes are exactly the
+    CGS2 kernel of the baseline solver, split so each wave can be
+    posted non-blocking.
 
     Returns
     -------
@@ -72,10 +67,12 @@ def pipelined_gmres(
         ``info["reduction_waves"]`` counts fused reductions, for
         comparison against the ``sum_j (j + 2)`` serialized reductions
         classic MGS-GMRES would have required
-        (``info["mgs_equivalent_reductions"]``).
+        (``info["mgs_equivalent_reductions"]``); ``info["kernels"]``
+        carries per-kernel counts and seconds.
     """
     if restart <= 0 or maxiter <= 0:
         raise ValueError("restart and maxiter must be positive")
+    kernels = KernelCounters()
     b_norm = ops.norm(b)
     target = max(tol * b_norm, atol)
     if target == 0.0:
@@ -91,7 +88,9 @@ def pipelined_gmres(
     outer = 0
 
     while total_iteration < maxiter and not converged and not breakdown:
+        t0 = kernels.tick()
         r = ops.axpby(1.0, b, -1.0, ops.matvec(operator, x))
+        kernels.charge("matvec", t0)
         beta = ops.norm(r)
         if not residual_norms:
             residual_norms.append(beta)
@@ -99,64 +98,66 @@ def pipelined_gmres(
             converged = True
             break
         m = min(restart, maxiter - total_iteration)
-        basis: List[Any] = [ops.scale(1.0 / beta, r)]
+        basis = ops.allocate_basis(b, m + 1)
+        basis.append(r, scale=1.0 / beta)
         hessenberg = np.zeros((m + 1, m), dtype=np.float64)
         givens: List[tuple] = []
-        g = np.zeros(m + 1, dtype=np.float64)
+        g = [0.0] * (m + 1)
         g[0] = beta
         inner_used = 0
         cycle_residual = beta
 
         for j in range(m):
-            z = ops.apply_preconditioner(preconditioner, basis[j])
+            if preconditioner is None:
+                z = basis.column(j)
+            else:
+                t0 = kernels.tick()
+                z = ops.apply_preconditioner(preconditioner, basis.column(j))
+                kernels.charge("preconditioner", t0)
+            t0 = kernels.tick()
             w = ops.matvec(operator, z)
+            kernels.charge("matvec", t0)
             # One fused, non-blocking reduction wave for all coefficients
             # and the norm.
-            coeff_reqs, norm_req = _fused_projection(basis[: j + 1], w)
+            t0 = kernels.tick()
+            projection = basis.fused_projection(w, k=j + 1)
             reduction_waves += 1
             mgs_equivalent += j + 2
-            coefficients = np.array([req.wait() for req in coeff_reqs])
-            w_norm_sq = norm_req.wait()
-            # Form the orthogonalized vector locally.
-            for i in range(j + 1):
-                w = ops.axpby(1.0, w, -float(coefficients[i]), basis[i])
-            hessenberg[: j + 1, j] = coefficients
+            payload = projection.wait()
+            coefficients = np.asarray(payload[: j + 1], dtype=np.float64)
+            w_norm_sq = float(payload[j + 1])
+            # Form the orthogonalized vector locally (one gemv).
+            w = basis.block_axpy(coefficients, w, k=j + 1)
             if reorthogonalize:
-                coeff_reqs2, _ = _fused_projection(basis[: j + 1], w)
+                projection2 = basis.fused_projection(w, k=j + 1)
                 reduction_waves += 1
-                corrections = np.array([req.wait() for req in coeff_reqs2])
-                for i in range(j + 1):
-                    w = ops.axpby(1.0, w, -float(corrections[i]), basis[i])
-                hessenberg[: j + 1, j] += corrections
+                payload2 = projection2.wait()
+                corrections = np.asarray(payload2[: j + 1], dtype=np.float64)
+                w = basis.block_axpy(corrections, w, k=j + 1)
+                coefficients = coefficients + corrections
                 h_next = ops.norm(w)
             else:
                 # Pythagorean identity: avoids a second reduction, at the
                 # price of squared-cancellation sensitivity.
                 h_next_sq = w_norm_sq - float(coefficients @ coefficients)
-                h_next = float(np.sqrt(max(h_next_sq, 0.0)))
-            hessenberg[j + 1, j] = h_next
-            happy = h_next <= 1e-12 * max(np.sqrt(max(w_norm_sq, 0.0)), 1.0)
-            basis.append(
-                ops.scale(1.0 / h_next, w) if not happy else ops.zeros_like(w)
-            )
+                h_next = math.sqrt(max(h_next_sq, 0.0))
+            happy = h_next <= 1e-12 * max(math.sqrt(max(w_norm_sq, 0.0)), 1.0)
+            if not happy:
+                basis.append(w, scale=1.0 / h_next)
+            else:
+                basis.append_zero()
+            kernels.charge("orthogonalization", t0)
 
-            for i, (c, s) in enumerate(givens):
-                hessenberg[i, j], hessenberg[i + 1, j] = apply_givens(
-                    c, s, hessenberg[i, j], hessenberg[i + 1, j]
-                )
-            c, s = givens_rotation(hessenberg[j, j], hessenberg[j + 1, j])
-            givens.append((c, s))
-            hessenberg[j, j], hessenberg[j + 1, j] = apply_givens(
-                c, s, hessenberg[j, j], hessenberg[j + 1, j]
-            )
-            g[j], g[j + 1] = apply_givens(c, s, g[j], g[j + 1])
-            cycle_residual = abs(g[j + 1])
+            col = coefficients.tolist()
+            col.append(h_next)
+            cycle_residual = rotate_hessenberg_column(col, g, givens, j)
+            hessenberg[: j + 2, j] = col
             inner_used = j + 1
             total_iteration += 1
             residual_norms.append(cycle_residual)
             if iteration_hook is not None:
                 iteration_hook(total_iteration, cycle_residual)
-            if not np.isfinite(cycle_residual):
+            if not math.isfinite(cycle_residual):
                 breakdown = True
                 break
             if cycle_residual <= target or happy or total_iteration >= maxiter:
@@ -169,15 +170,20 @@ def pipelined_gmres(
                 breakdown = True
                 y = None
             if y is not None and np.all(np.isfinite(y)):
-                update = ops.zeros_like(x)
-                for i in range(inner_used):
-                    update = ops.axpby(1.0, update, float(y[i]), basis[i])
-                update = ops.apply_preconditioner(preconditioner, update)
+                t0 = kernels.tick()
+                update = basis.lincomb(y, k=inner_used)
+                kernels.charge("basis_update", t0)
+                if preconditioner is not None:
+                    t0 = kernels.tick()
+                    update = ops.apply_preconditioner(preconditioner, update)
+                    kernels.charge("preconditioner", t0)
                 x = ops.axpby(1.0, x, 1.0, update)
             else:
                 breakdown = True
 
+        t0 = kernels.tick()
         true_residual = ops.norm(ops.axpby(1.0, b, -1.0, ops.matvec(operator, x)))
+        kernels.charge("matvec", t0)
         if residual_norms:
             residual_norms[-1] = true_residual
         if true_residual <= target:
@@ -195,5 +201,6 @@ def pipelined_gmres(
             "target": target,
             "reduction_waves": reduction_waves,
             "mgs_equivalent_reductions": mgs_equivalent,
+            "kernels": kernels.as_dict(),
         },
     )

@@ -10,6 +10,7 @@ exercise them in isolation.
 
 from __future__ import annotations
 
+import math
 from typing import Tuple
 
 import numpy as np
@@ -20,9 +21,11 @@ __all__ = [
     "axpy",
     "givens_rotation",
     "apply_givens",
+    "rotate_hessenberg_column",
     "back_substitution",
     "modified_gram_schmidt_step",
     "classical_gram_schmidt_step",
+    "cgs2_step",
 ]
 
 
@@ -49,11 +52,11 @@ def givens_rotation(a: float, b: float) -> Tuple[float, float]:
         return 0.0, 1.0
     if abs(b) > abs(a):
         t = a / b
-        s = 1.0 / np.sqrt(1.0 + t * t)
+        s = 1.0 / math.sqrt(1.0 + t * t)
         c = s * t
     else:
         t = b / a
-        c = 1.0 / np.sqrt(1.0 + t * t)
+        c = 1.0 / math.sqrt(1.0 + t * t)
         s = c * t
     return float(c), float(s)
 
@@ -61,6 +64,32 @@ def givens_rotation(a: float, b: float) -> Tuple[float, float]:
 def apply_givens(c: float, s: float, a: float, b: float) -> Tuple[float, float]:
     """Apply the rotation ``(c, s)`` to the pair ``(a, b)``."""
     return float(c * a + s * b), float(-s * a + c * b)
+
+
+def rotate_hessenberg_column(col: list, g: list, givens: list, j: int) -> float:
+    """Incremental QR update for GMRES Hessenberg column ``j``, in place.
+
+    Applies the accumulated rotations in ``givens`` to ``col`` (the new
+    column as ``j + 2`` Python floats), computes and appends the
+    rotation that annihilates the subdiagonal entry, and applies it to
+    ``col`` and to the least-squares right-hand side ``g``.  Operates
+    on plain lists: the column is tiny and per-element ndarray indexing
+    would dominate this O(j) recurrence at small n.  Returns the new
+    recurrence residual ``|g[j + 1]|``.
+    """
+    for i, (c, s) in enumerate(givens):
+        a, b = col[i], col[i + 1]
+        col[i] = c * a + s * b
+        col[i + 1] = c * b - s * a
+    c, s = givens_rotation(col[j], col[j + 1])
+    givens.append((c, s))
+    a, b = col[j], col[j + 1]
+    col[j] = c * a + s * b
+    col[j + 1] = c * b - s * a
+    a, b = g[j], g[j + 1]
+    g[j] = c * a + s * b
+    g[j + 1] = c * b - s * a
+    return abs(g[j + 1])
 
 
 def back_substitution(upper: np.ndarray, rhs: np.ndarray) -> np.ndarray:
@@ -75,12 +104,20 @@ def back_substitution(upper: np.ndarray, rhs: np.ndarray) -> np.ndarray:
     n = rhs.size
     if upper.shape[0] < n or upper.shape[1] < n:
         raise ValueError("triangular factor too small for the right-hand side")
+    if n == 0:
+        return np.zeros(0, dtype=np.float64)
+    pivots = np.diagonal(upper)[:n]
+    bad = np.flatnonzero(~np.isfinite(pivots) | (pivots == 0.0))
+    if bad.size:
+        raise np.linalg.LinAlgError(
+            f"zero or non-finite pivot at row {int(bad[-1])}"
+        )
+    # Work on the strictly-upper-triangular part only: GMRES stores the
+    # (numerically tiny) rotated subdiagonal entries in the same array,
+    # and back substitution must ignore them.
     y = np.zeros(n, dtype=np.float64)
     for i in range(n - 1, -1, -1):
-        pivot = upper[i, i]
-        if pivot == 0.0 or not np.isfinite(pivot):
-            raise np.linalg.LinAlgError(f"zero or non-finite pivot at row {i}")
-        y[i] = (rhs[i] - upper[i, i + 1 : n] @ y[i + 1 : n]) / pivot
+        y[i] = (rhs[i] - upper[i, i + 1 : n] @ y[i + 1 : n]) / pivots[i]
     return y
 
 
@@ -118,3 +155,21 @@ def classical_gram_schmidt_step(
     coefficients = basis[:, :n_vectors].T @ w
     w_orth = w - basis[:, :n_vectors] @ coefficients
     return w_orth, coefficients
+
+
+def cgs2_step(
+    basis: np.ndarray, w: np.ndarray, n_vectors: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Classical Gram-Schmidt with reorthogonalization (CGS2).
+
+    Two CGS passes: each is two BLAS-2 calls, so the whole step is four
+    matrix-vector products with the basis block -- no interpreted loop
+    over basis vectors.  "Twice is enough" (Giraud et al.): the second
+    pass restores orthogonality to machine precision, making CGS2 at
+    least as robust as MGS while keeping the single-reduction
+    communication pattern.  Returns ``(w_orth, coefficients)`` with the
+    coefficient sums of both passes.
+    """
+    w_orth, coefficients = classical_gram_schmidt_step(basis, w, n_vectors)
+    w_orth, correction = classical_gram_schmidt_step(basis, w_orth, n_vectors)
+    return w_orth, coefficients + correction

@@ -55,6 +55,15 @@ class CsrMatrix:
             raise ValueError("shape entries must be non-negative")
         self.shape = (n_rows, n_cols)
         self._validate()
+        # Cached matvec reduce plan (structure is immutable): the rows
+        # with at least one stored entry and their segment starts.
+        # reduceat must only see strictly increasing indices -- repeated
+        # indptr entries (empty rows) would make it return a neighbouring
+        # segment's value instead of 0, so empty rows are masked out and
+        # left at zero in the output.
+        self._nonempty_rows = np.flatnonzero(np.diff(self.indptr) > 0)
+        self._reduce_starts = self.indptr[self._nonempty_rows]
+        self._has_empty_rows = self._nonempty_rows.size != n_rows
 
     def _validate(self) -> None:
         n_rows, n_cols = self.shape
@@ -181,13 +190,15 @@ class CsrMatrix:
                 f"x must be a vector of length {self.n_cols}, got shape {x.shape}"
             )
         products = self.data * x[self.indices]
+        if not self._has_empty_rows:
+            if self.n_rows == 0:
+                return np.zeros(0, dtype=np.float64)
+            return np.add.reduceat(products, self._reduce_starts)
         result = np.zeros(self.n_rows, dtype=np.float64)
-        # reduceat needs non-empty segments; handle empty rows by masking.
-        row_starts = self.indptr[:-1]
-        nonempty = np.diff(self.indptr) > 0
         if products.size:
-            sums = np.add.reduceat(products, row_starts[nonempty])
-            result[nonempty] = sums
+            result[self._nonempty_rows] = np.add.reduceat(
+                products, self._reduce_starts
+            )
         return result
 
     def rmatvec(self, y: np.ndarray) -> np.ndarray:

@@ -82,6 +82,25 @@ class DistributedVector:
         """A zero vector with the same distribution as ``other``."""
         return cls(other.comm, np.zeros_like(other.local), other.global_size, other.offset)
 
+    @classmethod
+    def from_local_view(
+        cls, comm: Comm, local: np.ndarray, global_size: int, offset: int
+    ) -> "DistributedVector":
+        """Wrap existing local storage WITHOUT copying.
+
+        The returned vector aliases ``local``: mutations through either
+        side are visible to the other.  This is how
+        :class:`~repro.krylov.ops.KrylovBasis` hands out basis columns
+        that remain live solver state (the fault-injection surface);
+        regular constructors keep their defensive copy.
+        """
+        vector = cls.__new__(cls)
+        vector.comm = comm
+        vector.local = np.asarray(local, dtype=np.float64)
+        vector.global_size = int(global_size)
+        vector.offset = int(offset)
+        return vector
+
     def copy(self) -> "DistributedVector":
         """Deep copy (same distribution)."""
         return DistributedVector(self.comm, self.local, self.global_size, self.offset)

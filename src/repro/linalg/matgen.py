@@ -12,10 +12,18 @@ and Krylov literature, and hence in our experiments:
   -- synthetic matrices for unit tests and property-based tests.
 
 All generators return :class:`~repro.linalg.csr.CsrMatrix`.
+
+The deterministic generators (Poisson, convection-diffusion,
+tridiagonal) are memoized: multi-trial experiments rebuild the same
+operator dozens of times per campaign, and assembly is a pure function
+of the parameters.  Cached matrices are returned as deep copies so
+callers can mutate their copy (fault injection!) without poisoning the
+cache; use :func:`clear_matrix_cache` to drop the memo.
 """
 
 from __future__ import annotations
 
+import functools
 from typing import Optional, Tuple, Union
 
 import numpy as np
@@ -32,9 +40,45 @@ __all__ = [
     "tridiagonal",
     "diagonally_dominant",
     "random_spd",
+    "clear_matrix_cache",
+    "matrix_cache_info",
 ]
 
+_CACHE_MAXSIZE = 32
+_cached_builders = []
 
+
+def _memoize_matrix(builder):
+    """LRU-cache a deterministic CsrMatrix generator.
+
+    The wrapped function returns a defensive :meth:`CsrMatrix.copy` of
+    the cached instance, so in-place corruption of a returned matrix
+    (the fault-injection experiments do exactly that) never leaks into
+    later trials.
+    """
+    cached = functools.lru_cache(maxsize=_CACHE_MAXSIZE)(builder)
+    _cached_builders.append(cached)
+
+    @functools.wraps(builder)
+    def wrapper(*args, **kwargs):
+        return cached(*args, **kwargs).copy()
+
+    wrapper.cache_info = cached.cache_info
+    return wrapper
+
+
+def clear_matrix_cache() -> None:
+    """Drop all memoized model-problem matrices."""
+    for cached in _cached_builders:
+        cached.cache_clear()
+
+
+def matrix_cache_info() -> dict:
+    """Per-generator ``lru_cache`` statistics (hits/misses/currsize)."""
+    return {cached.__name__: cached.cache_info() for cached in _cached_builders}
+
+
+@_memoize_matrix
 def tridiagonal(n: int, lower: float, diag: float, upper: float) -> CsrMatrix:
     """General tridiagonal Toeplitz matrix of order ``n``."""
     check_integer(n, "n")
@@ -56,6 +100,7 @@ def tridiagonal(n: int, lower: float, diag: float, upper: float) -> CsrMatrix:
     return CsrMatrix.from_coo(rows, cols, vals, (n, n))
 
 
+@_memoize_matrix
 def poisson_1d(n: int, *, scale: Optional[float] = None) -> CsrMatrix:
     """1-D Laplacian ``[-1, 2, -1]`` with Dirichlet boundaries.
 
@@ -75,6 +120,7 @@ def _grid_index_2d(i: int, j: int, ny: int) -> int:
     return i * ny + j
 
 
+@_memoize_matrix
 def poisson_2d(nx: int, ny: Optional[int] = None, *, scale: Optional[float] = None) -> CsrMatrix:
     """5-point 2-D Laplacian on an ``nx`` x ``ny`` interior grid (SPD)."""
     check_integer(nx, "nx")
@@ -101,6 +147,7 @@ def poisson_2d(nx: int, ny: Optional[int] = None, *, scale: Optional[float] = No
     return CsrMatrix.from_coo(rows, cols, vals, (n, n))
 
 
+@_memoize_matrix
 def poisson_3d(nx: int, ny: Optional[int] = None, nz: Optional[int] = None) -> CsrMatrix:
     """7-point 3-D Laplacian on an ``nx`` x ``ny`` x ``nz`` interior grid."""
     check_integer(nx, "nx")
@@ -134,6 +181,7 @@ def poisson_3d(nx: int, ny: Optional[int] = None, nz: Optional[int] = None) -> C
     return CsrMatrix.from_coo(rows, cols, vals, (n, n))
 
 
+@_memoize_matrix
 def convection_diffusion_2d(
     nx: int,
     ny: Optional[int] = None,

@@ -169,8 +169,10 @@ def sdc_detecting_gmres(
         )
         monitor.add_check(
             "orthogonality",
+            # The basis block is already an ndarray (vectors as columns);
+            # check the stored vectors in place, no column_stack copies.
             lambda state: orthogonality_check(
-                np.column_stack([np.asarray(v) for v in state["basis"]]),
+                state["basis"].matrix(),
                 tol=orthogonality_tol,
             ),
             period=orthogonality_period,
