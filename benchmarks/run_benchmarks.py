@@ -2,8 +2,10 @@
 """Run the experiment benchmark suite and (optionally) diff a baseline.
 
 The ``bench_e*.py`` modules do not match pytest's default ``test_*.py``
-collection pattern, so they must be passed explicitly -- this script is
-the one place that knows the list.  Typical uses::
+collection pattern, so they must be passed explicitly -- the list is
+derived from the campaign registry (one ``bench_e<N>_*.py`` module per
+registered experiment), so a new ``e8_*.py`` driver with a matching
+benchmark module is picked up automatically.  Typical uses::
 
     # produce a fresh benchmark JSON for this PR
     python benchmarks/run_benchmarks.py --json benchmarks/BENCH_PR1.json
@@ -12,6 +14,9 @@ the one place that knows the list.  Typical uses::
     python benchmarks/run_benchmarks.py --json benchmarks/BENCH_PR1.json \
         --baseline benchmarks/BENCH_SEED_BASELINE.json
 
+    # quick health check: run the smoke campaign instead of pytest-benchmark
+    python benchmarks/run_benchmarks.py --smoke
+
 Exit status is pytest's, or the comparator's if a baseline regression
 is detected (see :mod:`benchmarks.compare_benchmarks`).
 """
@@ -19,22 +24,65 @@ is detected (see :mod:`benchmarks.compare_benchmarks`).
 from __future__ import annotations
 
 import argparse
+import glob
 import os
 import subprocess
 import sys
 
 BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 REPO_ROOT = os.path.dirname(BENCH_DIR)
+SRC_DIR = os.path.join(REPO_ROOT, "src")
 
-BENCH_MODULES = [
-    "bench_e1_sdc_detection.py",
-    "bench_e2_abft.py",
-    "bench_e3_pipelined_scaling.py",
-    "bench_e4_lflr_vs_cpr.py",
-    "bench_e5_coarse_recovery.py",
-    "bench_e6_ftgmres.py",
-    "bench_e7_efficiency.py",
-]
+
+def _with_src_on_path() -> None:
+    if SRC_DIR not in sys.path:
+        sys.path.insert(0, SRC_DIR)
+
+
+def bench_modules() -> list:
+    """One benchmark module per registered experiment, in E-number order.
+
+    Modules are matched by prefix (``bench_e3_*.py`` covers E3) so the
+    benchmark file name can carry a fuller description than the driver
+    module does.
+    """
+    _with_src_on_path()
+    from repro.campaign.registry import default_registry
+
+    modules = []
+    for driver in default_registry():
+        number = driver.experiment.lower()  # "e3"
+        matches = sorted(
+            glob.glob(os.path.join(BENCH_DIR, f"bench_{number}_*.py"))
+        )
+        if not matches:
+            raise SystemExit(
+                f"no benchmark module bench_{number}_*.py found for "
+                f"registered experiment {driver.experiment} -- a silent "
+                f"drop here would fake a green baseline comparison"
+            )
+        modules.extend(os.path.basename(m) for m in matches)
+    return modules
+
+
+def run_smoke_campaign() -> int:
+    """Run the smoke campaign through the campaign machinery (no store)."""
+    _with_src_on_path()
+    from repro.campaign.builtin import builtin_campaign
+    from repro.campaign.runner import CampaignRunner
+
+    outcomes = CampaignRunner(
+        workers=2,
+        progress=lambda o: print(
+            f"[{o.status:>9}] {o.key} {o.scenario.experiment} "
+            f"{o.scenario.describe()} ({o.elapsed:.2f}s)"
+        ),
+    ).run(builtin_campaign("smoke"))
+    failed = [o for o in outcomes if o.status == "failed"]
+    for outcome in failed:
+        print(outcome.error, file=sys.stderr)
+    print(f"smoke campaign: {len(outcomes)} scenarios, {len(failed)} failed")
+    return 1 if failed else 0
 
 
 def main(argv=None) -> int:
@@ -56,15 +104,23 @@ def main(argv=None) -> int:
         help="passed through to compare_benchmarks.py",
     )
     parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the smoke campaign (fast health check) instead of "
+        "the pytest-benchmark suite",
+    )
+    parser.add_argument(
         "pytest_args",
         nargs="*",
         help="extra arguments forwarded to pytest (after --)",
     )
     args = parser.parse_args(argv)
 
+    if args.smoke:
+        return run_smoke_campaign()
+
     env = dict(os.environ)
-    src = os.path.join(REPO_ROOT, "src")
-    env["PYTHONPATH"] = src + (
+    env["PYTHONPATH"] = SRC_DIR + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
 
@@ -72,7 +128,7 @@ def main(argv=None) -> int:
         sys.executable,
         "-m",
         "pytest",
-        *[os.path.join(BENCH_DIR, module) for module in BENCH_MODULES],
+        *[os.path.join(BENCH_DIR, module) for module in bench_modules()],
         "--benchmark-only",
         f"--benchmark-json={args.json}",
         "-q",

@@ -1,0 +1,47 @@
+"""Campaign example: declarative sweeps, parallel execution, reporting.
+
+Declares a small grid sweep over two experiments (E1 check-period
+ablation x problem size, E7 machine-reliability grid), runs it on two
+worker processes with results memoized in a JSONL store, then renders
+the aggregate report.  Run the script twice: the second run skips every
+scenario ("cached") because the store already holds their keys.
+
+Run with:  python examples/campaign_sweep.py
+"""
+
+import tempfile
+import os
+
+from repro.campaign import CampaignRunner, ResultStore, Sweep, render_report
+
+if __name__ == "__main__":
+    sweeps = [
+        Sweep(
+            "E1",
+            axes={"check_period": (1, 2), "grid": (8, 10)},
+            base={"n_trials": 3, "inject_at": 5},
+            tag="example",
+        ),
+        Sweep(
+            "E7",
+            axes={"node_mtbf_years": (1.0, 5.0), "checkpoint_time": (60.0, 300.0)},
+            tag="example",
+        ),
+    ]
+    scenarios = [s for sweep in sweeps for s in sweep.expand()]
+    print(f"expanded {len(scenarios)} scenarios from {len(sweeps)} sweeps\n")
+
+    store_path = os.path.join(tempfile.gettempdir(), "repro_campaign_example.jsonl")
+    store = ResultStore(store_path)
+
+    def progress(outcome):
+        print(f"  [{outcome.status:>9}] {outcome.key} {outcome.scenario.experiment} "
+              f"{outcome.scenario.describe()}")
+
+    runner = CampaignRunner(store, workers=2, progress=progress)
+    runner.run(scenarios)
+
+    print()
+    print(render_report(store, tag="example"))
+    print(f"\n(re-run this script: everything will be cached; "
+          f"delete {store_path} to start fresh)")

@@ -1,21 +1,31 @@
 """SkP example: sweep bit positions and compare plain vs skeptical GMRES.
 
 For each class of flipped bit (low/high mantissa, exponent, sign) the
-script injects a single flip into the Arnoldi basis of a GMRES solve and
+driver injects a single flip into the Arnoldi basis of a GMRES solve and
 reports what plain GMRES does with it versus the SDC-detecting solver --
-a miniature version of experiment E1.
+a miniature version of experiment E1.  The run goes through the
+campaign registry and runner rather than calling the driver directly,
+so the same sweep can be extended declaratively (add an axis) or
+persisted (pass a ResultStore).
 
 Run with:  python examples/sdc_detection_gmres.py
 """
 
-import numpy as np
-
-from repro.experiments import e1_sdc_detection
+from repro.campaign import CampaignRunner, Scenario
 
 if __name__ == "__main__":
-    result = e1_sdc_detection.run(grid=16, n_trials=10, inject_at=8)
-    print(result.render())
-    print()
+    # check_period=1 checks every iteration; 4 amortizes the checks.
+    scenarios = [
+        Scenario("E1", {"grid": 16, "n_trials": 10, "inject_at": 8,
+                        "check_period": period}, tag="example")
+        for period in (1, 4)
+    ]
+    outcomes = CampaignRunner().run(scenarios)
+    for outcome in outcomes:
+        if outcome.status == "failed":
+            raise SystemExit(f"scenario {outcome.key} failed:\n{outcome.error}")
+        print(outcome.experiment_result().render())
+        print()
     print("Reading the table: 'sdc' is the dangerous column (silently wrong")
     print("answers); the skeptical solver should drive it to zero while adding")
     print("only the overhead shown in the last column.")

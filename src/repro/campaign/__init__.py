@@ -1,0 +1,46 @@
+"""Declarative scenario sweeps over the experiment drivers.
+
+The campaign subsystem turns the hand-wired ``e*.py`` drivers into a
+sweepable scenario space:
+
+* :mod:`repro.campaign.spec` -- :class:`Scenario` (experiment id +
+  parameter overrides), grid/zip sweep expansion, and stable scenario
+  keys.
+* :mod:`repro.campaign.registry` -- auto-discovers every driver that
+  implements the ``SPEC`` + ``run(**params) -> ExperimentResult``
+  protocol of :mod:`repro.experiments`.
+* :mod:`repro.campaign.runner` -- :class:`CampaignRunner`: sequential
+  or multiprocessing execution with deterministic per-scenario
+  seeding and memoization against the result store.
+* :mod:`repro.campaign.store` -- :class:`ResultStore`: a JSONL file of
+  completed scenarios, round-tripping
+  :class:`~repro.experiments.common.ExperimentResult`.
+* :mod:`repro.campaign.report` -- aggregate report rendering.
+* :mod:`repro.campaign.builtin` -- named campaigns (``smoke``,
+  ``default``).
+* ``python -m repro.campaign`` -- the ``list`` / ``run`` / ``report``
+  command line (see CAMPAIGNS.md).
+"""
+
+from repro.campaign.spec import Scenario, Sweep, grid_sweep, scenario_key, zip_sweep
+from repro.campaign.registry import ExperimentRegistry, default_registry
+from repro.campaign.store import ResultStore
+from repro.campaign.runner import CampaignRunner, ScenarioOutcome
+from repro.campaign.report import render_report
+from repro.campaign.builtin import builtin_campaign, builtin_campaign_names
+
+__all__ = [
+    "Scenario",
+    "Sweep",
+    "grid_sweep",
+    "zip_sweep",
+    "scenario_key",
+    "ExperimentRegistry",
+    "default_registry",
+    "ResultStore",
+    "CampaignRunner",
+    "ScenarioOutcome",
+    "render_report",
+    "builtin_campaign",
+    "builtin_campaign_names",
+]

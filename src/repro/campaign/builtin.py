@@ -1,0 +1,138 @@
+"""Named built-in campaigns.
+
+Two ship with the toolkit:
+
+* ``smoke`` -- every experiment at its :attr:`ExperimentSpec.smoke`
+  configuration plus a couple of one-axis sweeps; finishes in seconds
+  and is what ``campaign run --smoke`` and the CI verify script
+  execute.
+* ``default`` -- a broader grid (what a bare ``campaign run``
+  executes): solver x fault-schedule x machine-model slices of the
+  scenario space the ROADMAP targets, still sized to finish in well
+  under a minute.
+
+Campaigns are plain lists of scenarios produced by declarative
+:class:`~repro.campaign.spec.Sweep` specs, so adding a campaign is
+data, not code: extend :data:`_BUILDERS`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.campaign.registry import default_registry
+from repro.campaign.spec import Scenario, Sweep
+
+__all__ = ["builtin_campaign", "builtin_campaign_names"]
+
+
+def _smoke() -> List[Scenario]:
+    registry = default_registry()
+    scenarios: List[Scenario] = []
+    # One scenario per discovered driver at its smoke configuration...
+    for driver in registry:
+        scenarios.extend(
+            Sweep(driver.experiment, base=driver.spec.smoke, tag="smoke").expand()
+        )
+    # ... plus one-axis sweeps on the cheapest knobs.
+    e1 = registry.get("E1").spec.smoke
+    e3 = registry.get("E3").spec.smoke
+    e7 = registry.get("E7").spec.smoke
+    scenarios.extend(
+        Sweep("E1", axes={"check_period": (2, 4)}, base=e1, tag="smoke").expand()
+    )
+    scenarios.extend(
+        Sweep(
+            "E3", axes={"rows_per_rank": (5_000, 20_000)}, base=e3, tag="smoke"
+        ).expand()
+    )
+    scenarios.extend(
+        Sweep("E7", axes={"node_mtbf_years": (1.0,)}, base=e7, tag="smoke").expand()
+    )
+    return scenarios
+
+
+def _default() -> List[Scenario]:
+    sweeps = [
+        # SkP: detection-period ablation on a slightly larger problem.
+        Sweep(
+            "E1",
+            axes={"check_period": (1, 2, 4)},
+            base={"grid": 10, "n_trials": 4, "inject_at": 6},
+            tag="default",
+        ),
+        # ABFT: problem-size scaling of detection/correction rates.
+        Sweep(
+            "E2",
+            axes={"sizes": ((8, 16), (16, 32))},
+            base={"n_trials": 10},
+            tag="default",
+        ),
+        # RBSP: local-work intensity vs synchronization cost.
+        Sweep(
+            "E3",
+            axes={"rows_per_rank": (5_000, 10_000, 20_000)},
+            base={"grid": 10, "rank_counts": (16, 1024, 65536), "iterations": 20},
+            tag="default",
+        ),
+        # LFLR vs CPR: checkpoint-interval sensitivity.
+        Sweep(
+            "E4",
+            axes={"checkpoint_interval": (5, 10)},
+            base={"n_ranks": 4, "n_global": 32, "n_steps": 20},
+            tag="default",
+        ),
+        # Coarse recovery: resolution sweep.
+        Sweep(
+            "E5",
+            axes={"n_points": (64, 128)},
+            base={"steps_before_failure": 10, "coarsening_factors": (2, 4)},
+            tag="default",
+        ),
+        # SRP: inner-solve budget under faults.
+        Sweep(
+            "E6",
+            axes={"inner_maxiter": (10, 15)},
+            base={
+                "grid": 10,
+                "fault_probabilities": (0.0, 0.02, 0.05),
+                "n_trials": 2,
+                "outer_maxiter": 25,
+            },
+            tag="default",
+        ),
+        # Efficiency models: machine reliability x checkpoint cost grid.
+        Sweep(
+            "E7",
+            axes={
+                "node_mtbf_years": (1.0, 5.0),
+                "checkpoint_time": (60.0, 300.0),
+            },
+            tag="default",
+        ),
+    ]
+    scenarios: List[Scenario] = []
+    for sweep in sweeps:
+        scenarios.extend(sweep.expand())
+    return scenarios
+
+
+_BUILDERS: Dict[str, Callable[[], List[Scenario]]] = {
+    "smoke": _smoke,
+    "default": _default,
+}
+
+
+def builtin_campaign_names() -> List[str]:
+    return sorted(_BUILDERS)
+
+
+def builtin_campaign(name: str) -> List[Scenario]:
+    """Expand a built-in campaign by name."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown campaign {name!r} (known: {builtin_campaign_names()})"
+        ) from None
+    return builder()

@@ -1,0 +1,195 @@
+"""``python -m repro.campaign`` -- list / run / report.
+
+Examples
+--------
+List experiments and built-in campaigns::
+
+    python -m repro.campaign list
+
+Show the scenarios of a campaign::
+
+    python -m repro.campaign list --campaign smoke
+
+Run the default sweep on two workers, memoized against the store::
+
+    python -m repro.campaign run --workers 2 --store campaign_results.jsonl
+
+Run only the E1/E6 slice of the smoke campaign::
+
+    python -m repro.campaign run --smoke --experiment E1 --experiment E6
+
+Render the aggregate report of everything completed so far::
+
+    python -m repro.campaign report --store campaign_results.jsonl
+
+See CAMPAIGNS.md for the full manual.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.campaign.builtin import builtin_campaign, builtin_campaign_names
+from repro.campaign.registry import default_registry
+from repro.campaign.report import render_report
+from repro.campaign.runner import CampaignRunner, ScenarioOutcome
+from repro.campaign.spec import Scenario
+from repro.campaign.store import ResultStore
+from repro.utils.tables import Table
+
+__all__ = ["main"]
+
+DEFAULT_STORE = "campaign_results.jsonl"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Declarative scenario sweeps over the E1-E7 experiment drivers.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = commands.add_parser(
+        "list", help="list experiments, campaigns, or a campaign's scenarios"
+    )
+    list_cmd.add_argument(
+        "--campaign", help="show the scenarios of this built-in campaign"
+    )
+    list_cmd.add_argument("--experiment", action="append", default=None,
+                          help="filter by experiment id or name (repeatable)")
+    list_cmd.add_argument("--tag", help="filter scenarios by tag")
+
+    run_cmd = commands.add_parser("run", help="execute a campaign")
+    run_cmd.add_argument(
+        "--campaign", default="default",
+        help=f"built-in campaign to run (default: 'default'; "
+             f"known: {', '.join(builtin_campaign_names())})",
+    )
+    run_cmd.add_argument(
+        "--smoke", action="store_true",
+        help="shorthand for --campaign smoke",
+    )
+    run_cmd.add_argument("--experiment", action="append", default=None,
+                         help="run only these experiments (repeatable)")
+    run_cmd.add_argument("--tag", help="run only scenarios with this tag")
+    run_cmd.add_argument("--workers", type=int, default=2,
+                         help="worker processes (1 = in-process; default 2)")
+    run_cmd.add_argument("--store", default=DEFAULT_STORE,
+                         help=f"JSONL result store (default {DEFAULT_STORE})")
+    run_cmd.add_argument("--no-store", action="store_true",
+                         help="do not persist or memoize results")
+    run_cmd.add_argument("--base-seed", type=int, default=2013,
+                         help="root of per-scenario seed derivation")
+
+    report_cmd = commands.add_parser("report", help="render the aggregate report")
+    report_cmd.add_argument("--store", default=DEFAULT_STORE)
+    report_cmd.add_argument("--experiment", help="restrict to one experiment")
+    report_cmd.add_argument("--tag", help="restrict to one tag")
+    return parser
+
+
+def _filter_scenarios(
+    scenarios: List[Scenario],
+    experiments: Optional[List[str]],
+    tag: Optional[str],
+) -> List[Scenario]:
+    registry = default_registry()
+    if experiments:
+        wanted = {registry.get(e).experiment for e in experiments}
+        scenarios = [s for s in scenarios if s.experiment in wanted]
+    if tag:
+        scenarios = [s for s in scenarios if s.tag == tag]
+    return scenarios
+
+
+def _cmd_list(args) -> int:
+    if args.campaign:
+        scenarios = _filter_scenarios(
+            builtin_campaign(args.campaign), args.experiment, args.tag
+        )
+        table = Table(["key", "experiment", "tag", "overrides"],
+                      title=f"campaign '{args.campaign}' ({len(scenarios)} scenarios)")
+        for scenario in scenarios:
+            table.add_row(scenario.key, scenario.experiment, scenario.tag or "-",
+                          scenario.describe())
+        print(table.render())
+        return 0
+
+    registry = default_registry()
+    drivers = list(registry)
+    if args.experiment:
+        wanted = {registry.get(e).experiment for e in args.experiment}
+        drivers = [d for d in drivers if d.experiment in wanted]
+    table = Table(["experiment", "name", "tags", "parameters", "title"],
+                  title=f"registered experiments ({len(drivers)})")
+    for driver in drivers:
+        table.add_row(
+            driver.experiment,
+            driver.name,
+            ",".join(driver.spec.tags),
+            ",".join(p for p in driver.accepted_params()),
+            driver.spec.title,
+        )
+    print(table.render())
+    print()
+    campaigns = Table(["campaign", "scenarios", "experiments"],
+                      title="built-in campaigns")
+    for name in builtin_campaign_names():
+        scenarios = builtin_campaign(name)
+        campaigns.add_row(
+            name, len(scenarios),
+            ",".join(sorted({s.experiment for s in scenarios})),
+        )
+    print(campaigns.render())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    campaign = "smoke" if args.smoke else args.campaign
+    scenarios = _filter_scenarios(
+        builtin_campaign(campaign), args.experiment, args.tag
+    )
+    if not scenarios:
+        print("nothing to run (filters matched no scenarios)", file=sys.stderr)
+        return 2
+    store = None if args.no_store else ResultStore(args.store)
+
+    def progress(outcome: ScenarioOutcome) -> None:
+        marker = {"completed": "ran", "cached": "skip", "failed": "FAIL"}[outcome.status]
+        print(f"[{marker:>4}] {outcome.key}  {outcome.scenario.experiment:<3} "
+              f"{outcome.scenario.describe()}  ({outcome.elapsed:.2f}s)")
+        if outcome.error:
+            print(outcome.error, file=sys.stderr)
+
+    runner = CampaignRunner(
+        store, workers=args.workers, base_seed=args.base_seed, progress=progress
+    )
+    outcomes = runner.run(scenarios)
+    ran = sum(o.status == "completed" for o in outcomes)
+    cached = sum(o.status == "cached" for o in outcomes)
+    failed = sum(o.status == "failed" for o in outcomes)
+    experiments = sorted({o.scenario.experiment for o in outcomes})
+    print(
+        f"\ncampaign '{campaign}': {len(outcomes)} scenarios over "
+        f"{len(experiments)} experiments ({', '.join(experiments)}) -- "
+        f"{ran} ran, {cached} cached, {failed} failed"
+        + (f"; store: {store.path}" if store is not None else "")
+    )
+    return 1 if failed else 0
+
+
+def _cmd_report(args) -> int:
+    store = ResultStore(args.store)
+    print(render_report(store, experiment=args.experiment, tag=args.tag))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_report(args)

@@ -1,0 +1,121 @@
+"""Aggregate reporting over the campaign result store.
+
+Two views:
+
+* a per-experiment rollup (scenario counts, table rows, wall time), and
+* a per-scenario listing (key, tag, parameter digest, headline).
+
+The *headline* of a scenario is a compact digest of its result
+summary: the first few scalar entries, which for every E1-E7 driver
+carry the qualitative claim (detection rates, speedups, efficiency
+gaps).  Full tables stay available via ``StoreRecord.experiment_result()``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.campaign.store import ResultStore, StoreRecord
+from repro.utils.tables import Table, one_line
+
+__all__ = ["rollup_table", "scenario_table", "render_report"]
+
+_HEADLINE_ENTRIES = 3
+_HEADLINE_WIDTH = 64
+
+
+def _headline(record: StoreRecord) -> str:
+    """First few scalar summary entries of a stored result."""
+    summary = record.result.get("summary", {})
+    parts = []
+    for key in sorted(summary):
+        value = summary[key]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        parts.append(f"{key}={value:.4g}" if isinstance(value, float) else f"{key}={value}")
+        if len(parts) >= _HEADLINE_ENTRIES:
+            break
+    text = ", ".join(parts)
+    if len(text) > _HEADLINE_WIDTH:
+        text = text[: _HEADLINE_WIDTH - 3] + "..."
+    return text
+
+
+def _params_digest(record: StoreRecord, max_width: int = 48) -> str:
+    return one_line(
+        ", ".join(f"{k}={v}" for k, v in sorted(record.params.items())), max_width
+    )
+
+
+def _select(
+    records: Iterable[StoreRecord],
+    experiment: Optional[str] = None,
+    tag: Optional[str] = None,
+) -> List[StoreRecord]:
+    selected = []
+    for record in records:
+        if experiment and record.experiment.lower() != experiment.lower():
+            continue
+        if tag and record.tag != tag:
+            continue
+        selected.append(record)
+    return selected
+
+
+def rollup_table(records: Iterable[StoreRecord]) -> Table:
+    """One row per experiment: scenario count, rows, wall time."""
+    by_experiment = {}
+    for record in records:
+        by_experiment.setdefault(record.experiment, []).append(record)
+    table = Table(
+        ["experiment", "scenarios", "tags", "table_rows", "total_elapsed_s"],
+        title="campaign rollup",
+    )
+    for experiment in sorted(by_experiment):
+        group = by_experiment[experiment]
+        tags = sorted({r.tag for r in group if r.tag})
+        rows = sum(len(r.result.get("table", {}).get("rows", [])) for r in group)
+        elapsed = sum(r.elapsed for r in group)
+        table.add_row(experiment, len(group), ",".join(tags) or "-", rows, elapsed)
+    return table
+
+
+def scenario_table(records: Iterable[StoreRecord]) -> Table:
+    """One row per stored scenario."""
+    table = Table(
+        ["key", "experiment", "tag", "params", "elapsed_s", "headline"],
+        title="completed scenarios",
+    )
+    for record in records:
+        table.add_row(
+            record.key,
+            record.experiment,
+            record.tag or "-",
+            _params_digest(record),
+            record.elapsed,
+            _headline(record) or "-",
+        )
+    return table
+
+
+def render_report(
+    store: ResultStore,
+    *,
+    experiment: Optional[str] = None,
+    tag: Optional[str] = None,
+) -> str:
+    """Render the rollup + scenario listing for (a slice of) a store."""
+    records = _select(store.records(), experiment=experiment, tag=tag)
+    if not records:
+        return f"no completed scenarios in {store.path}" + (
+            f" matching experiment={experiment!r} tag={tag!r}"
+            if experiment or tag else ""
+        )
+    lines = [
+        f"store: {store.path} ({len(records)} of {len(store)} scenarios shown)",
+        "",
+        rollup_table(records).render(),
+        "",
+        scenario_table(records).render(),
+    ]
+    return "\n".join(lines)

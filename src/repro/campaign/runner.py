@@ -1,0 +1,217 @@
+"""Campaign execution: sequential or multiprocessing, memoized, seeded.
+
+The :class:`CampaignRunner` takes a list of
+:class:`~repro.campaign.spec.Scenario` and
+
+* *resolves* each scenario -- validates its parameters against the
+  driver signature and, when the driver accepts a ``seed`` the scenario
+  did not pin, injects a deterministic per-scenario seed derived from
+  the campaign base seed and the scenario key (so the randomness a
+  scenario sees never depends on execution order or worker count);
+* *memoizes* against the result store -- scenarios whose resolved key
+  is already stored are skipped, which makes re-running a completed
+  campaign a no-op;
+* *executes* the rest, either in-process or on a ``multiprocessing``
+  pool, and appends each result to the store as it arrives.
+
+Workers receive only picklable payloads (experiment id + params) and
+return plain dicts, so the pool works under both fork and spawn start
+methods.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import time
+import traceback
+import warnings
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.campaign.registry import ExperimentRegistry, default_registry
+from repro.campaign.spec import Scenario
+from repro.campaign.store import ResultStore
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["CampaignRunner", "ScenarioOutcome", "derive_seed"]
+
+
+def derive_seed(base_seed: int, scenario_key: str) -> int:
+    """Deterministic per-scenario seed from the campaign base seed.
+
+    Stable across processes and Python versions (SHA-256, no
+    ``hash()``), and different for scenarios with different keys, so
+    sweeps that vary only non-seed parameters still draw independent
+    randomness per scenario.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{scenario_key}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "little")
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """What happened to one scenario during a campaign run.
+
+    ``status`` is ``"completed"`` (executed this run), ``"cached"``
+    (already in the store; skipped), or ``"failed"`` (driver raised;
+    ``error`` holds the traceback).  ``result`` is the serialized
+    :class:`ExperimentResult` dict for completed/cached scenarios.
+    """
+
+    scenario: Scenario
+    key: str
+    status: str
+    result: Optional[dict] = None
+    error: Optional[str] = None
+    elapsed: float = 0.0
+
+    def experiment_result(self) -> Optional[ExperimentResult]:
+        return ExperimentResult.from_dict(self.result) if self.result else None
+
+
+def _execute_payload(payload: Tuple[str, dict]) -> Tuple[Optional[dict], Optional[str], float]:
+    """Run one scenario in a worker; returns (result_dict, error, elapsed).
+
+    Module-level so it pickles under every multiprocessing start
+    method.  Fault-injection drivers intentionally overflow floats, so
+    RuntimeWarnings are silenced here exactly as the benchmark harness
+    does.
+    """
+    experiment, params = payload
+    registry = default_registry()
+    start = time.perf_counter()
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = registry.get(experiment).run(**params)
+        return result.to_dict(), None, time.perf_counter() - start
+    except Exception:
+        return None, traceback.format_exc(), time.perf_counter() - start
+
+
+def _execute_indexed(indexed: Tuple[int, Tuple[str, dict]]):
+    """Pool adapter: carry the submission index through imap_unordered."""
+    index, payload = indexed
+    return (index, *_execute_payload(payload))
+
+
+class CampaignRunner:
+    """Execute scenarios against a registry, store and worker pool.
+
+    Parameters
+    ----------
+    store:
+        Result store for memoization and persistence; ``None`` disables
+        both (every scenario always runs).
+    workers:
+        ``1`` executes in-process; ``> 1`` uses a
+        ``multiprocessing.Pool`` of that size.
+    base_seed:
+        Root of the per-scenario seed derivation.
+    registry:
+        Defaults to the auto-discovered experiment registry.
+    progress:
+        Optional callback invoked with each :class:`ScenarioOutcome`
+        as it is produced (the CLI uses this for line-per-scenario
+        output).
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        *,
+        workers: int = 1,
+        base_seed: int = 2013,
+        registry: Optional[ExperimentRegistry] = None,
+        progress: Optional[Callable[[ScenarioOutcome], None]] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.store = store
+        self.workers = int(workers)
+        self.base_seed = int(base_seed)
+        self.registry = registry or default_registry()
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def resolve(self, scenario: Scenario) -> Scenario:
+        """Validate a scenario and pin its per-scenario seed.
+
+        The seed is derived from the key of the *unseeded* scenario, so
+        the resolved scenario (and therefore its store key) is a pure
+        function of the campaign base seed and the declared overrides.
+        """
+        driver = self.registry.get(scenario.experiment)
+        driver.validate_params(scenario.params)
+        if driver.accepts("seed") and "seed" not in scenario.params:
+            return scenario.with_params(
+                seed=derive_seed(self.base_seed, scenario.key)
+            )
+        return scenario
+
+    # ------------------------------------------------------------------
+    def run(self, scenarios: Sequence[Scenario]) -> List[ScenarioOutcome]:
+        """Execute ``scenarios``; returns outcomes in input order."""
+        resolved = [self.resolve(s) for s in scenarios]
+        outcomes: List[ScenarioOutcome] = [None] * len(resolved)  # type: ignore
+
+        pending: List[Tuple[int, Scenario]] = []
+        for index, scenario in enumerate(resolved):
+            key = scenario.key
+            record = self.store.get(key) if self.store is not None else None
+            if record is not None:
+                outcomes[index] = ScenarioOutcome(
+                    scenario=scenario, key=key, status="cached",
+                    result=record.result, elapsed=record.elapsed,
+                )
+                self._report(outcomes[index])
+            else:
+                pending.append((index, scenario))
+
+        payloads = [(s.experiment, dict(s.params)) for _, s in pending]
+
+        def finish(slot: int, result, error, elapsed) -> None:
+            # Called as each scenario completes, so the store grows
+            # incrementally: killing a long campaign loses only the
+            # scenarios still in flight, and the re-run resumes from
+            # everything already appended.
+            index, scenario = pending[slot]
+            key = scenario.key
+            if error is not None:
+                outcome = ScenarioOutcome(
+                    scenario=scenario, key=key, status="failed",
+                    error=error, elapsed=elapsed,
+                )
+            else:
+                if self.store is not None:
+                    self.store.append(
+                        key,
+                        experiment=scenario.experiment,
+                        tag=scenario.tag,
+                        params=scenario.params,
+                        result=result,
+                        elapsed=elapsed,
+                    )
+                outcome = ScenarioOutcome(
+                    scenario=scenario, key=key, status="completed",
+                    result=result, elapsed=elapsed,
+                )
+            outcomes[index] = outcome
+            self._report(outcome)
+
+        if self.workers > 1 and len(payloads) > 1:
+            with multiprocessing.Pool(processes=self.workers) as pool:
+                for slot, result, error, elapsed in pool.imap_unordered(
+                    _execute_indexed, list(enumerate(payloads))
+                ):
+                    finish(slot, result, error, elapsed)
+        else:
+            for slot, payload in enumerate(payloads):
+                finish(slot, *_execute_payload(payload))
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def _report(self, outcome: ScenarioOutcome) -> None:
+        if self.progress is not None:
+            self.progress(outcome)

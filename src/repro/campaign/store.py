@@ -1,0 +1,141 @@
+"""JSONL result store for completed scenarios.
+
+One line per completed scenario::
+
+    {"key": "5f1c...", "experiment": "E1", "tag": "smoke",
+     "params": {...}, "elapsed": 0.42, "result": {<ExperimentResult>}}
+
+Appending is atomic at line granularity, so a crashed campaign leaves a
+valid store behind and a re-run resumes exactly where it stopped (the
+runner skips every key already present).  Loading tolerates trailing
+partial lines (a run killed mid-write) by discarding them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+from repro.experiments.common import ExperimentResult
+from repro.utils.serialization import jsonify
+
+__all__ = ["StoreRecord", "ResultStore"]
+
+
+@dataclass(frozen=True)
+class StoreRecord:
+    """A completed scenario as persisted in the store."""
+
+    key: str
+    experiment: str
+    tag: str
+    params: Mapping[str, Any]
+    elapsed: float
+    result: dict
+
+    def experiment_result(self) -> ExperimentResult:
+        """Deserialize the stored :class:`ExperimentResult`."""
+        return ExperimentResult.from_dict(self.result)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "key": self.key,
+                "experiment": self.experiment,
+                "tag": self.tag,
+                "params": jsonify(self.params),
+                "elapsed": self.elapsed,
+                "result": self.result,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "StoreRecord":
+        data = json.loads(line)
+        return cls(
+            key=data["key"],
+            experiment=data["experiment"],
+            tag=data.get("tag", ""),
+            params=data.get("params", {}),
+            elapsed=float(data.get("elapsed", 0.0)),
+            result=data["result"],
+        )
+
+
+class ResultStore:
+    """Append-only JSONL store of completed scenarios, indexed by key."""
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._records: Dict[str, StoreRecord] = {}
+        self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = StoreRecord.from_json(line)
+                except (json.JSONDecodeError, KeyError):
+                    # Partial trailing line from an interrupted run.
+                    continue
+                self._records[record.key] = record
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def keys(self) -> List[str]:
+        return list(self._records)
+
+    def get(self, key: str) -> Optional[StoreRecord]:
+        return self._records.get(key)
+
+    def records(self) -> Iterator[StoreRecord]:
+        """All records, in insertion (file) order."""
+        return iter(list(self._records.values()))
+
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        key: str,
+        *,
+        experiment: str,
+        tag: str,
+        params: Mapping[str, Any],
+        result: ExperimentResult,
+        elapsed: float = 0.0,
+    ) -> StoreRecord:
+        """Persist one completed scenario and index it.
+
+        Re-appending an existing key is a no-op returning the stored
+        record -- the store is idempotent by construction.
+        """
+        if key in self._records:
+            return self._records[key]
+        record = StoreRecord(
+            key=key,
+            experiment=experiment,
+            tag=tag,
+            params=jsonify(params),
+            elapsed=float(elapsed),
+            result=result.to_dict() if isinstance(result, ExperimentResult) else result,
+        )
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(record.to_json() + "\n")
+        self._records[key] = record
+        return record

@@ -1,13 +1,27 @@
 """Experiment drivers.
 
 One module per experiment of EXPERIMENTS.md (E1-E7); each exposes a
-``run(...)`` function returning an :class:`ExperimentResult` whose
-table is exactly what the corresponding benchmark prints.  The drivers
-are deliberately parameterized so the benchmarks can run a quick
-configuration while the tables in EXPERIMENTS.md use a fuller one.
+``run(**params)`` function returning an :class:`ExperimentResult` whose
+table is exactly what the corresponding benchmark prints, plus a
+module-level :class:`ExperimentSpec` named ``SPEC`` describing the
+driver to the campaign registry (id, tags, smoke/golden parameter
+sets).  The drivers are deliberately parameterized so the benchmarks
+can run a quick configuration while the tables in EXPERIMENTS.md use a
+fuller one.
+
+:func:`iter_driver_modules` is the discovery entry point used by
+:mod:`repro.campaign.registry`: it yields every module in this package
+that implements the driver protocol (``SPEC`` + ``run``), so adding an
+``e8_*.py`` module with both automatically makes it sweepable.
 """
 
-from repro.experiments.common import ExperimentResult
+from __future__ import annotations
+
+import importlib
+import pkgutil
+from typing import Iterator
+
+from repro.experiments.common import ExperimentResult, ExperimentSpec
 from repro.experiments import (
     e1_sdc_detection,
     e2_abft,
@@ -20,6 +34,8 @@ from repro.experiments import (
 
 __all__ = [
     "ExperimentResult",
+    "ExperimentSpec",
+    "iter_driver_modules",
     "e1_sdc_detection",
     "e2_abft",
     "e3_pipelined",
@@ -28,3 +44,21 @@ __all__ = [
     "e6_ftgmres",
     "e7_efficiency",
 ]
+
+
+def iter_driver_modules() -> Iterator[object]:
+    """Yield every experiment driver module in this package.
+
+    A *driver module* is any submodule defining both a module-level
+    ``SPEC`` (:class:`ExperimentSpec`) and a callable ``run``.  Modules
+    are yielded in sorted module-name order, so discovery is
+    deterministic.
+    """
+    package = importlib.import_module(__name__)
+    for info in sorted(pkgutil.iter_modules(package.__path__), key=lambda m: m.name):
+        if info.ispkg:
+            continue
+        module = importlib.import_module(f"{__name__}.{info.name}")
+        spec = getattr(module, "SPEC", None)
+        if isinstance(spec, ExperimentSpec) and callable(getattr(module, "run", None)):
+            yield module

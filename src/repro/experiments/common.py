@@ -1,13 +1,50 @@
-"""Shared experiment infrastructure."""
+"""Shared experiment infrastructure.
+
+Two pieces live here:
+
+* :class:`ExperimentResult` -- the value every driver's ``run()``
+  returns, now JSON round-trippable (:meth:`ExperimentResult.to_dict` /
+  :meth:`ExperimentResult.from_dict`) so the campaign result store can
+  persist it.
+* :class:`ExperimentSpec` -- the registry protocol.  Each driver module
+  ``e*.py`` exposes a module-level ``SPEC`` describing itself (id,
+  short name, tags) plus two canonical reduced configurations: a
+  ``smoke`` one for quick campaign sweeps and a ``golden`` one pinned
+  by the golden regression tests.  :mod:`repro.campaign.registry`
+  auto-discovers drivers by scanning this package for modules that
+  define both ``SPEC`` and ``run(**params) -> ExperimentResult``.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, List, Mapping, Tuple
 
-from repro.utils.tables import Table
+from repro.utils.serialization import jsonify
+from repro.utils.tables import Table, one_line
 
-__all__ = ["ExperimentResult"]
+__all__ = ["ExperimentResult", "ExperimentSpec"]
+
+# Parameter/summary lines longer than this are wrapped one-per-line.
+_WRAP_WIDTH = 88
+# Individual values longer than this force the wrapped layout too.
+_WRAP_CELL = 40
+
+
+def _render_mapping(label: str, mapping: Mapping[str, Any]) -> List[str]:
+    """Render ``label: k=v, ...`` compactly, or aligned one-per-line.
+
+    Multi-line values are escaped (``\\n``) so a single logical entry
+    never spans physical lines; when any value is long, or the joined
+    line would overflow, entries are laid out one per line with the
+    keys left-aligned to a common width.
+    """
+    cells = [(k, one_line(str(v))) for k, v in sorted(mapping.items())]
+    joined = label + ": " + ", ".join(f"{k}={v}" for k, v in cells)
+    if len(joined) <= _WRAP_WIDTH and all(len(v) <= _WRAP_CELL for _, v in cells):
+        return [joined]
+    width = max(len(k) for k, _ in cells)
+    return [label + ":"] + [f"  {k.ljust(width)} = {v}" for k, v in cells]
 
 
 @dataclass
@@ -40,16 +77,66 @@ class ExperimentResult:
         """Human-readable rendering (claim, parameters, table, summary)."""
         lines = [f"[{self.experiment}] {self.claim}", ""]
         if self.parameters:
-            lines.append("parameters: " + ", ".join(
-                f"{k}={v}" for k, v in sorted(self.parameters.items())
-            ))
+            lines.extend(_render_mapping("parameters", self.parameters))
         lines.append(self.table.render())
         if self.summary:
             lines.append("")
-            lines.append("summary: " + ", ".join(
-                f"{k}={v}" for k, v in sorted(self.summary.items())
-            ))
+            lines.extend(_render_mapping("summary", self.summary))
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible description; inverse of :meth:`from_dict`."""
+        return {
+            "experiment": self.experiment,
+            "claim": self.claim,
+            "table": self.table.to_dict(),
+            "summary": jsonify(self.summary),
+            "parameters": jsonify(self.parameters),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            experiment=data["experiment"],
+            claim=data["claim"],
+            table=Table.from_dict(data["table"]),
+            summary=dict(data.get("summary", {})),
+            parameters=dict(data.get("parameters", {})),
+        )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.render()
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Registry metadata a driver module attaches to itself as ``SPEC``.
+
+    Attributes
+    ----------
+    experiment:
+        Canonical identifier ("E1" ... "E7").
+    name:
+        Short slug used in CLI listings and scenario tags
+        (e.g. ``"sdc_detection"``).
+    title:
+        One-line human description.
+    tags:
+        Free-form labels campaigns can filter on
+        (``campaign run --tag gmres``).
+    smoke:
+        Reduced parameter overrides that finish in roughly a second;
+        the ``--smoke`` campaign and quick sweeps start from these.
+    golden:
+        Pinned parameters of the golden regression tests
+        (``tests/test_goldens.py``).  Changing them invalidates the
+        checked-in golden files, so treat them as frozen.
+    """
+
+    experiment: str
+    name: str
+    title: str = ""
+    tags: Tuple[str, ...] = ()
+    smoke: Mapping[str, Any] = field(default_factory=dict)
+    golden: Mapping[str, Any] = field(default_factory=dict)

@@ -19,7 +19,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, ExperimentSpec
 from repro.faults.bitflip import flip_bit_array
 from repro.faults.events import FaultEvent, FaultRecord
 from repro.faults.sdc import SdcCampaign, classify_outcome
@@ -29,7 +29,16 @@ from repro.skeptical.gmres_sdc import sdc_detecting_gmres
 from repro.utils.rng import RngFactory
 from repro.utils.tables import Table
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
+
+SPEC = ExperimentSpec(
+    experiment="E1",
+    name="sdc_detection",
+    title="SDC detection in GMRES with skeptical checks",
+    tags=("skeptical", "gmres", "faults", "sdc"),
+    smoke={"grid": 8, "n_trials": 2, "inject_at": 5},
+    golden={"grid": 10, "n_trials": 3, "inject_at": 5, "seed": 2013},
+)
 
 _BIT_CLASSES = {
     "mantissa_low": (0, 25),

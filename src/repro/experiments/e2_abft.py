@@ -14,14 +14,23 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, ExperimentSpec
 from repro.faults.bitflip import flip_bit_array
 from repro.linalg.checksum import checked_matmul, checked_matvec
 from repro.linalg.matgen import poisson_2d
 from repro.utils.rng import RngFactory
 from repro.utils.tables import Table
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
+
+SPEC = ExperimentSpec(
+    experiment="E2",
+    name="abft",
+    title="Checksum-based ABFT detection and correction",
+    tags=("abft", "checksum", "faults"),
+    smoke={"sizes": (8,), "n_trials": 5},
+    golden={"sizes": (8, 16), "n_trials": 6, "seed": 2013},
+)
 
 
 def run(

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, ExperimentSpec
 from repro.krylov.cg import cg
 from repro.krylov.gmres import gmres
 from repro.krylov.pipelined_cg import pipelined_cg
@@ -36,7 +36,21 @@ from repro.rbsp.variability import IterationTimeModel, scaling_study
 from repro.utils.rng import RngFactory
 from repro.utils.tables import Table
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
+
+SPEC = ExperimentSpec(
+    experiment="E3",
+    name="pipelined",
+    title="Latency-tolerant (pipelined) Krylov methods under variability",
+    tags=("rbsp", "pipelined", "scaling", "gmres", "cg"),
+    smoke={"grid": 8, "rank_counts": (16, 1024), "iterations": 10},
+    golden={
+        "grid": 10,
+        "rank_counts": (16, 1024, 65536),
+        "iterations": 20,
+        "seed": 2013,
+    },
+)
 
 
 def run(

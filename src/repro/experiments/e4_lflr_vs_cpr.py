@@ -19,14 +19,29 @@ from __future__ import annotations
 import numpy as np
 
 from repro.checkpoint.cpr import run_cpr_stepped
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, ExperimentSpec
 from repro.faults.process import FailurePlan
 from repro.lflr.explicit import run_lflr_heat
 from repro.machine.model import MachineModel
 from repro.pde.heat import HeatProblem1D, heat_step_explicit, stable_time_step
 from repro.utils.tables import Table
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
+
+SPEC = ExperimentSpec(
+    experiment="E4",
+    name="lflr_vs_cpr",
+    title="Local recovery versus global checkpoint/restart",
+    tags=("lflr", "cpr", "pde", "faults"),
+    smoke={"n_ranks": 4, "n_global": 32, "n_steps": 15, "failure_counts": (0, 1)},
+    golden={
+        "n_ranks": 4,
+        "n_global": 32,
+        "n_steps": 20,
+        "failure_counts": (0, 1, 2),
+        "seed": 2013,
+    },
+)
 
 
 def run(

@@ -18,13 +18,27 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, ExperimentSpec
 from repro.krylov.cg import cg
 from repro.lflr.coarse import CoarseModelStore, prolong_field
 from repro.pde.implicit import ImplicitHeatProblem1D
 from repro.utils.tables import Table
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
+
+SPEC = ExperimentSpec(
+    experiment="E5",
+    name="coarse_recovery",
+    title="Implicit-method state recovery from a redundant coarse model",
+    tags=("lflr", "implicit", "pde", "recovery"),
+    smoke={"n_points": 64, "steps_before_failure": 10, "coarsening_factors": (2,)},
+    golden={
+        "n_points": 64,
+        "steps_before_failure": 10,
+        "coarsening_factors": (2, 4),
+        "seed": 2013,
+    },
+)
 
 
 def _cg_iterations_from(problem: ImplicitHeatProblem1D, guess: np.ndarray) -> int:

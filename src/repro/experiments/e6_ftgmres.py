@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, ExperimentSpec
 from repro.faults.injector import ArrayInjector
 from repro.faults.schedule import BernoulliPerCallSchedule
 from repro.ftgmres.outer import ft_gmres
@@ -29,7 +29,29 @@ from repro.srp.cost import ReliabilityCostModel
 from repro.utils.rng import RngFactory
 from repro.utils.tables import Table
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
+
+SPEC = ExperimentSpec(
+    experiment="E6",
+    name="ftgmres",
+    title="FT-GMRES: reliable outer, unreliable inner iterations",
+    tags=("srp", "ftgmres", "gmres", "faults"),
+    smoke={
+        "grid": 8,
+        "fault_probabilities": (0.0, 0.05),
+        "n_trials": 1,
+        "outer_maxiter": 20,
+        "inner_maxiter": 10,
+    },
+    golden={
+        "grid": 8,
+        "fault_probabilities": (0.0, 0.05),
+        "n_trials": 2,
+        "outer_maxiter": 20,
+        "inner_maxiter": 10,
+        "seed": 2013,
+    },
+)
 
 
 def run(

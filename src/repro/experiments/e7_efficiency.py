@@ -18,7 +18,7 @@ which local recovery is required to stay efficient).
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, ExperimentSpec
 from repro.faults.process import system_mtbf
 from repro.machine.efficiency import (
     cpr_efficiency,
@@ -28,7 +28,19 @@ from repro.machine.efficiency import (
 )
 from repro.utils.tables import Table
 
-__all__ = ["run"]
+__all__ = ["run", "SPEC"]
+
+SPEC = ExperimentSpec(
+    experiment="E7",
+    name="efficiency",
+    title="Application efficiency: CPR vs local recovery at scale",
+    tags=("cpr", "lflr", "analytic", "scaling"),
+    smoke={"node_counts": (1_000, 100_000)},
+    golden={
+        "node_counts": (1_000, 10_000, 100_000, 1_000_000),
+        "mtbf_sweep_hours": (24.0, 6.0, 1.0),
+    },
+)
 
 
 def run(

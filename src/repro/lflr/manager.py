@@ -144,12 +144,18 @@ class LFLRManager:
         survivors = [r for r in range(self.comm.size) if r not in dead]
         designated = min(candidates) if candidates else min(survivors)
         if self.comm.rank == designated:
+            # Born-at is the designated survivor's own (virtual)
+            # detection time plus the respawn latency -- a deterministic
+            # quantity, unlike the live clocks of the other survivors,
+            # which depend on wall-clock thread interleaving.
+            born_at = start + self.comm.machine.local_recovery_overhead
             for rank in dead:
                 self.runtime.respawn(
                     rank,
                     self._replacement_main,
                     new_epoch,
                     dict(context or {}),
+                    born_at=born_at,
                 )
             for rank in survivors:
                 if rank != designated:

@@ -219,24 +219,19 @@ class Comm:
     def revoke(self) -> None:
         """Revoke the current epoch (ULFM ``MPI_Comm_revoke`` analogue).
 
-        Every rank still communicating in this epoch -- including ranks
-        blocked in a receive or collective posted before the failure
-        was noticed -- will observe a
-        :class:`~repro.simmpi.errors.RankFailedError` instead of
-        hanging.  Recovery protocols call this before advancing to a
-        new epoch.
+        Records the revocation event and wakes every blocked rank so
+        failure propagation is prompt in wall-clock terms.  The actual
+        *failing* of pending operations is driven by the deterministic
+        liveness predicate
+        (:meth:`~repro.simmpi.state.RuntimeState.may_still_operate`):
+        a blocked receive or collective fails once the awaited rank has
+        died, returned, or advanced past this epoch -- never merely
+        because the revoked flag went up, which would race against
+        messages the epoch is still (virtually) owed.  Recovery
+        protocols call this before advancing to a new epoch; it is the
+        epoch advance that marks this rank gone for the old epoch.
         """
         self._state.revoke_epoch(self._epoch, rank=self._rank, time=self.clock.now)
-
-    def _check_revoked(self, operation: str) -> None:
-        if self._state.is_revoked(self._epoch):
-            with self._state.condition:
-                failed = set(self._state.dead)
-            raise RankFailedError(
-                failed,
-                f"{operation} (epoch revoked)",
-                detected_at=self.clock.now,
-            )
 
     def advance_epoch(self, epoch: Optional[int] = None) -> int:
         """Re-establish collective matching after a repair.
@@ -255,23 +250,34 @@ class Comm:
             )
         self._epoch = epoch
         self._seq = 0
+        # Publish the advance: operations of older epochs blocked on
+        # this rank now resolve as failed (see state.may_still_operate).
+        self._state.enter_epoch(self._rank, epoch)
         return self._epoch
 
     # ------------------------------------------------------------------
     # Point-to-point
     # ------------------------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        """Blocking (buffered) send."""
+        """Blocking (buffered) send.
+
+        A buffered send never detects the death of its destination:
+        the payload is accepted by the "network" (the mailbox) and the
+        sender moves on, exactly like an eager-protocol MPI send.
+        Failures surface at the operations that genuinely depend on the
+        peer -- receives and collectives -- whose outcomes are pure
+        functions of virtual time.  (Checking the wall-clock ``dead``
+        set here would make the outcome depend on whether the doomed
+        rank's *thread* happened to have reached its death yet -- the
+        simulation would stop being deterministic.)
+        """
         self._check_own_failure()
-        self._check_revoked("send")
         self._check_rank(dest)
         if dest == self._rank:
             raise InvalidRankError("send to self is not supported; use local state")
         nbytes = payload_nbytes(obj)
         cost = self._machine.message_time(nbytes)
         with self._state.condition:
-            if dest in self._state.dead:
-                raise RankFailedError([dest], "send", detected_at=self.clock.now)
             send_time = self.clock.now
             available = send_time + cost
             box = self._state.mailbox((self._epoch, self._rank, dest, int(tag)))
@@ -287,15 +293,13 @@ class Comm:
         is waited on, modelling send/compute overlap.
         """
         self._check_own_failure()
-        self._check_revoked("isend")
         self._check_rank(dest)
         if dest == self._rank:
             raise InvalidRankError("send to self is not supported; use local state")
         nbytes = payload_nbytes(obj)
         cost = self._machine.message_time(nbytes)
         with self._state.condition:
-            if dest in self._state.dead:
-                raise RankFailedError([dest], "isend", detected_at=self.clock.now)
+            # Buffered like send(): never detects peer death (see there).
             send_time = self.clock.now
             available = send_time + cost
             box = self._state.mailbox((self._epoch, self._rank, dest, int(tag)))
@@ -313,9 +317,16 @@ class Comm:
         return Request(_complete, operation="isend")
 
     def recv(self, source: int, tag: int = 0) -> Any:
-        """Blocking receive from ``source``."""
+        """Blocking receive from ``source``.
+
+        Fails (:class:`RankFailedError`) only when the mailbox is empty
+        *and* the source can no longer send in this epoch -- it died,
+        returned, or advanced to a newer epoch.  A source that is
+        merely lagging in wall-clock terms is waited for, so whether an
+        in-flight pre-failure message is received never depends on
+        thread interleaving.
+        """
         self._check_own_failure()
-        self._check_revoked("recv")
         self._check_rank(source)
         if source == self._rank:
             raise InvalidRankError("recv from self is not supported")
@@ -324,20 +335,28 @@ class Comm:
             box = self._state.mailbox(key)
 
             def ready() -> bool:
-                return (
-                    bool(box)
-                    or source in self._state.dead
-                    or self._state.is_revoked(self._epoch)
+                return bool(box) or not self._state.may_still_operate(
+                    source, self._epoch
                 )
 
             self._state.wait_for(ready, rank=self._rank, operation=f"recv(src={source})")
             if not box:
-                if self._state.is_revoked(self._epoch):
-                    failed = set(self._state.dead)
+                if source in self._state.dead:
                     raise RankFailedError(
-                        failed, "recv (epoch revoked)", detected_at=self.clock.now
+                        [source], "recv", detected_at=self.clock.now
                     )
-                raise RankFailedError([source], "recv", detected_at=self.clock.now)
+                # The source is alive but finished with this epoch
+                # (returned or moved on during recovery).  Report no
+                # failed ranks: naming the living source would invite a
+                # recovery layer to respawn it, and snapshotting the
+                # wall-clock dead set would make the payload depend on
+                # thread interleaving.  Recovery protocols read the
+                # authoritative dead set themselves (dead_ranks()).
+                raise RankFailedError(
+                    frozenset(),
+                    f"recv (source rank {source} departed the epoch)",
+                    detected_at=self.clock.now,
+                )
             payload, available = box.popleft()
         self.clock.wait_until(available)
         return payload
@@ -396,7 +415,6 @@ class Comm:
     ) -> Request:
         """Post this rank's contribution and return a completion request."""
         self._check_own_failure()
-        self._check_revoked(kind)
         key = self._next_collective_key()
         arrive = self.clock.now
         nbytes = payload_nbytes(value)
@@ -413,19 +431,27 @@ class Comm:
                 def ready() -> bool:
                     if slot.done or slot.failed:
                         return True
-                    if self._state.is_revoked(self._epoch):
-                        slot.failed = True
-                        slot.failed_ranks = set(self._state.dead)
-                        return True
+                    # The collective fails once some expected rank can no
+                    # longer contribute in this epoch (died, returned, or
+                    # advanced during recovery).  A rank that is merely
+                    # lagging in wall-clock terms is waited for -- its
+                    # (virtual) contribution must count no matter how the
+                    # threads interleave.
                     missing = slot.missing()
-                    if missing & self._state.dead:
+                    gone = {
+                        r for r in missing
+                        if not self._state.may_still_operate(r, self._epoch)
+                    }
+                    if gone:
                         slot.failed = True
-                        slot.failed_ranks = set(missing & self._state.dead)
+                        # Report only actual deaths among the missing
+                        # ranks; a living-but-departed participant is
+                        # not failed, and snapshotting the global dead
+                        # set would be wall-clock dependent.  Recovery
+                        # layers consult dead_ranks() for the full
+                        # picture.
+                        slot.failed_ranks = set(gone & self._state.dead)
                         return True
-                    # A participant may have died before the slot knew to
-                    # expect it (expected frozen at creation); also treat
-                    # "expected rank dead" as failure even if it had not
-                    # contributed yet.
                     return False
 
                 self._state.wait_for(

@@ -147,6 +147,18 @@ class SimRuntime:
             result.busy_time = comm.clock.busy_time
             result.idle_time = comm.clock.idle_time
             result.finish_time = comm.clock.now
+            # Publish that this incarnation will never communicate again,
+            # so receives/collectives blocked on it resolve -- but only
+            # if it is still the current incarnation (a respawn may have
+            # replaced it while this thread was winding down).  The
+            # identity check and the mark must be one atomic step under
+            # the state lock: respawn() swaps the entry and marks the
+            # rank alive under the same lock, so a winding-down thread
+            # can never stamp "terminated" onto a fresh replacement.
+            with self.state.condition:
+                entry = self._threads.get(comm.rank)
+                if entry is not None and entry.comm is comm:
+                    self.state.mark_terminated(comm.rank)
 
     # ------------------------------------------------------------------
     def start(
@@ -194,20 +206,23 @@ class SimRuntime:
             Recovery function run as ``func(comm, *args, **kwargs)``.
         born_at:
             Virtual start time of the new incarnation.  Defaults to the
-            latest clock among currently running ranks plus the machine
-            model's local-recovery overhead, modelling the respawn
-            latency.
+            dead rank's death time plus the machine model's
+            local-recovery overhead.  The default deliberately uses
+            only virtual-time quantities that are a pure function of
+            the failure schedule: sampling the *live* clocks of the
+            surviving rank threads here would make the respawn time
+            depend on wall-clock thread interleaving and the whole
+            simulation nondeterministic (the survivors' synchronization
+            with the replacement is the recovery protocol's job --- see
+            the barrier in :meth:`repro.lflr.manager.LFLRManager.recover`).
+            Callers that model "respawn initiated after detection" pass
+            the detecting rank's virtual time explicitly.
         """
         check_integer(rank, "rank")
         if rank not in self.state.dead:
             raise SimMpiError(f"rank {rank} is not dead; cannot respawn it")
         if born_at is None:
-            running = [
-                entry.comm.clock.now
-                for r, entry in self._threads.items()
-                if r in self.state.alive
-            ]
-            base = max(running) if running else self.state.death_times.get(rank, 0.0)
+            base = self.state.death_times.get(rank, 0.0)
             born_at = base + self.machine.local_recovery_overhead
         comm = self._make_comm(rank, born_at=float(born_at))
         result = RankResult(rank=rank)
@@ -217,11 +232,15 @@ class SimRuntime:
             name=f"simrank-{rank}-respawn",
             daemon=True,
         )
-        # Preserve the original incarnation's result for reporting.
-        if rank in self._threads:
-            self._extra_results.append(self._threads[rank].result)
-        self._threads[rank] = _RankThread(thread=thread, comm=comm, result=result)
-        self.state.mark_alive(rank, float(born_at))
+        # Swap in the new incarnation and mark it alive atomically with
+        # respect to the old thread's wind-down (see _run_rank's
+        # terminated-marking), preserving the original incarnation's
+        # result for reporting.
+        with self.state.condition:
+            if rank in self._threads:
+                self._extra_results.append(self._threads[rank].result)
+            self._threads[rank] = _RankThread(thread=thread, comm=comm, result=result)
+            self.state.mark_alive(rank, float(born_at))
         thread.start()
 
     def join(self, timeout: float = 120.0) -> List[RankResult]:

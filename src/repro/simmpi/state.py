@@ -62,25 +62,33 @@ class RuntimeState:
         self.consumed_failures: Set[Tuple[int, float]] = set()
         self.death_times: Dict[int, float] = {}
         self.revoked_epochs: Set[int] = set()
+        # Ranks whose thread has returned (this incarnation will never
+        # communicate again) and the highest epoch each rank has
+        # entered.  Together with the dead set these define
+        # may_still_operate(), the *deterministic* liveness predicate
+        # blocked operations resolve against.
+        self.terminated: Set[int] = set()
+        self.rank_epochs: Dict[int, int] = {}
         self.log = EventLog()
 
     def revoke_epoch(self, epoch: int, *, rank: int, time: float) -> None:
-        """ULFM-style revoke: fail all pending/future operations in ``epoch``.
+        """Record an ULFM-style revoke of ``epoch`` and wake all waiters.
 
-        Called by the recovery protocol so that ranks still blocked in
-        (or about to enter) pre-failure communication are interrupted
-        and observe the failure, instead of deadlocking while the other
-        survivors move to the recovery epoch.
+        Revocation is an *event marker*, not an abort trigger: blocked
+        operations are failed by the deterministic liveness predicate
+        (:meth:`may_still_operate`) -- a rank is gone for an epoch once
+        it has died, returned, or advanced to a newer epoch, all of
+        which are facts of virtual program order.  Aborting on the
+        revoked flag itself would race against messages and collective
+        contributions the revoked epoch is still (virtually) owed:
+        whether a peer's thread had wall-clock-executed a pre-failure
+        send when the flag went up must never change an outcome.
         """
         with self.condition:
             if epoch not in self.revoked_epochs:
                 self.revoked_epochs.add(int(epoch))
                 self.log.record("epoch_revoked", time=time, rank=rank, epoch=int(epoch))
             self.condition.notify_all()
-
-    def is_revoked(self, epoch: int) -> bool:
-        """Whether communication in ``epoch`` has been revoked."""
-        return epoch in self.revoked_epochs
 
     # ------------------------------------------------------------------
     # Liveness
@@ -98,13 +106,48 @@ class RuntimeState:
         """Record that a (replacement) rank has joined."""
         with self.condition:
             self.dead.discard(rank)
+            self.terminated.discard(rank)
             self.alive.add(rank)
             self.log.record("rank_respawn", time=time, rank=rank)
+            self.condition.notify_all()
+
+    def mark_terminated(self, rank: int) -> None:
+        """Record that a rank's thread returned (no further communication)."""
+        with self.condition:
+            self.terminated.add(rank)
+            self.condition.notify_all()
+
+    def enter_epoch(self, rank: int, epoch: int) -> None:
+        """Record that ``rank`` advanced to ``epoch``.
+
+        Operations of older epochs blocked on this rank resolve as
+        failed: the rank will never again send or contribute there.
+        """
+        with self.condition:
+            if epoch > self.rank_epochs.get(rank, 0):
+                self.rank_epochs[rank] = int(epoch)
             self.condition.notify_all()
 
     def is_alive(self, rank: int) -> bool:
         """Whether the rank is currently alive (no lock needed for reads)."""
         return rank in self.alive
+
+    def may_still_operate(self, rank: int, epoch: int) -> bool:
+        """Whether ``rank`` may still send/contribute in ``epoch``.
+
+        False once the rank has died, returned from its program, or
+        advanced past ``epoch``.  All three are facts of virtual
+        program order, so operations that block until this predicate
+        flips (or until the awaited message/contribution arrives) have
+        outcomes independent of wall-clock thread interleaving -- the
+        property the golden regression tests pin.  Caller must hold the
+        lock (or tolerate a stale read inside a wait loop).
+        """
+        return (
+            rank not in self.dead
+            and rank not in self.terminated
+            and self.rank_epochs.get(rank, 0) <= epoch
+        )
 
     # ------------------------------------------------------------------
     # Blocking helper

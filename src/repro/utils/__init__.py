@@ -13,6 +13,8 @@ is used by every other subpackage:
   a uniform layout.
 * :mod:`repro.utils.logging` -- a tiny structured event log used by
   fault injectors and resilience managers.
+* :mod:`repro.utils.serialization` -- JSON normalization used by the
+  campaign result store and scenario keys.
 """
 
 from repro.utils.rng import RngFactory, spawn_rng
@@ -28,10 +30,12 @@ from repro.utils.validation import (
     check_square_matrix,
 )
 from repro.utils.logging import EventLog, Event
+from repro.utils.serialization import jsonify
 
 __all__ = [
     "RngFactory",
     "spawn_rng",
+    "jsonify",
     "Table",
     "Stopwatch",
     "Counter",

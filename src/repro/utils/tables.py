@@ -10,7 +10,23 @@ from __future__ import annotations
 
 from typing import Any, Iterable, List, Optional, Sequence
 
-__all__ = ["Table"]
+__all__ = ["Table", "one_line"]
+
+
+def one_line(text: str, max_width: Optional[int] = None) -> str:
+    """Render ``text`` on one physical line, optionally truncated.
+
+    Backslashes, newlines and tabs are escaped (``\\\\``, ``\\n``,
+    ``\\t``) so an embedded break can never smuggle extra lines into a
+    table cell, parameter listing or CLI digest; when ``max_width`` is
+    given, longer results are cut with a ``...`` suffix.  This is the
+    single escaping rule shared by ``ExperimentResult.render``, the
+    campaign CLI listings and the campaign report.
+    """
+    text = text.replace("\\", "\\\\").replace("\n", "\\n").replace("\t", "\\t")
+    if max_width is not None and len(text) > max_width:
+        text = text[: max_width - 3] + "..."
+    return text
 
 
 def _format_cell(value: Any, float_fmt: str) -> str:
@@ -90,6 +106,34 @@ class Table:
     def to_dicts(self) -> List[dict]:
         """Return the rows as a list of ``{column: value}`` dictionaries."""
         return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def to_dict(self) -> dict:
+        """Return a JSON-compatible description of the whole table.
+
+        The inverse of :meth:`from_dict`; cell values are normalized
+        with :func:`repro.utils.serialization.jsonify` so the result
+        can be fed to ``json.dumps`` directly.
+        """
+        from repro.utils.serialization import jsonify
+
+        return {
+            "columns": list(self.columns),
+            "title": self.title,
+            "float_fmt": self.float_fmt,
+            "rows": [jsonify(row) for row in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Table":
+        """Rebuild a table from :meth:`to_dict` output."""
+        table = cls(
+            data["columns"],
+            title=data.get("title"),
+            float_fmt=data.get("float_fmt", ".4g"),
+        )
+        for row in data.get("rows", []):
+            table.add_row(*row)
+        return table
 
     def render(self) -> str:
         """Render the table as aligned plain text."""

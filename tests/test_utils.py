@@ -239,6 +239,138 @@ class TestTable:
         table.add_row(1)
         assert len(table) == 1
 
+    def test_to_dict_round_trip(self):
+        table = Table(["n", "err", "ok"], title="demo", float_fmt=".6g")
+        table.add_row(10, 0.5, True)
+        table.add_row(20, 3.25e-4, False)
+        data = table.to_dict()
+        import json
+
+        json.dumps(data)  # must be JSON-clean
+        rebuilt = Table.from_dict(data)
+        assert rebuilt.columns == table.columns
+        assert rebuilt.title == table.title
+        assert rebuilt.float_fmt == table.float_fmt
+        assert rebuilt.rows == table.rows
+        assert rebuilt.render() == table.render()
+
+    def test_to_dict_normalizes_numpy_cells(self):
+        table = Table(["x"])
+        table.add_row(np.float64(1.5))
+        table.add_row(np.int32(7))
+        data = table.to_dict()
+        assert data["rows"] == [[1.5], [7]]
+        assert isinstance(data["rows"][0][0], float)
+        assert isinstance(data["rows"][1][0], int)
+
+
+class TestJsonify:
+    def test_scalars_and_containers(self):
+        from repro.utils import jsonify
+
+        assert jsonify({"a": (1, 2), "b": np.float64(0.5)}) == {"a": [1, 2], "b": 0.5}
+        assert jsonify(np.arange(3)) == [0, 1, 2]
+        assert jsonify({1: "x"}) == {"1": "x"}
+        assert jsonify({True, False}) == [False, True]
+        assert jsonify(np.bool_(True)) is True
+
+    def test_mixed_type_set_serializes(self):
+        from repro.utils import jsonify
+
+        assert jsonify({1, "auto"}) == sorted([1, "auto"], key=repr)
+
+    def test_unknown_objects_stringified(self):
+        from repro.utils import jsonify
+
+        class Weird:
+            def __str__(self):
+                return "weird"
+
+        assert jsonify(Weird()) == "weird"
+
+    def test_float_precision_preserved(self):
+        import json
+
+        from repro.utils import jsonify
+
+        value = 0.1 + 0.2  # not exactly 0.3
+        assert json.loads(json.dumps(jsonify(value))) == value
+
+
+class TestExperimentResult:
+    def _result(self, **overrides):
+        from repro.experiments.common import ExperimentResult
+
+        table = Table(["a", "b"], title="t")
+        table.add_row(1, 2.5)
+        fields = dict(
+            experiment="E1",
+            claim="claim text",
+            table=table,
+            summary={"rate": 0.5, "ok": True},
+            parameters={"grid": 10, "seed": 2013},
+        )
+        fields.update(overrides)
+        return ExperimentResult(**fields)
+
+    def test_to_dict_round_trip(self):
+        import json
+
+        result = self._result()
+        data = result.to_dict()
+        json.dumps(data)
+        from repro.experiments.common import ExperimentResult
+
+        rebuilt = ExperimentResult.from_dict(data)
+        assert rebuilt.experiment == result.experiment
+        assert rebuilt.claim == result.claim
+        assert rebuilt.summary == result.summary
+        assert rebuilt.parameters == result.parameters
+        assert rebuilt.table.render() == result.table.render()
+        assert rebuilt.render() == result.render()
+
+    def test_round_trip_normalizes_tuples_and_numpy(self):
+        from repro.experiments.common import ExperimentResult
+
+        result = self._result(
+            parameters={"sizes": (8, 16)}, summary={"rate": np.float64(0.25)}
+        )
+        rebuilt = ExperimentResult.from_dict(result.to_dict())
+        assert rebuilt.parameters == {"sizes": [8, 16]}
+        assert rebuilt.summary == {"rate": 0.25}
+        assert isinstance(rebuilt.summary["rate"], float)
+
+    def test_render_escapes_multiline_parameter_values(self):
+        result = self._result(parameters={"note": "line1\nline2", "grid": 10})
+        text = result.render()
+        # The embedded newline must not produce a stray physical line.
+        assert "line1\\nline2" in text
+        for line in text.splitlines():
+            assert not line.startswith("line2")
+
+    def test_render_aligns_long_parameter_lists(self):
+        params = {f"param_{i}": "v" * 20 for i in range(6)}
+        result = self._result(parameters=params)
+        text = result.render()
+        lines = text.splitlines()
+        assert "parameters:" in lines
+        start = lines.index("parameters:")
+        block = lines[start + 1 : start + 1 + len(params)]
+        assert len(block) == len(params)
+        # Keys are left-aligned to a common "=" column.
+        eq_columns = {line.index("=") for line in block}
+        assert len(eq_columns) == 1
+
+    def test_render_escapes_multiline_summary_values(self):
+        result = self._result(summary={"nested": "a\nb", "rate": 0.5})
+        text = result.render()
+        assert "a\\nb" in text
+
+    def test_render_compact_when_short(self):
+        text = self._result().render()
+        assert "parameters: grid=10, seed=2013" in text
+        assert "summary: ok=True, rate=0.5" in text
+
 
 class TestEventLog:
     def test_record_and_select(self):
