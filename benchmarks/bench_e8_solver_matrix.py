@@ -1,0 +1,31 @@
+"""Benchmark/regeneration harness for experiment E8 (solver matrix).
+
+The unified-engine demonstration: every registered solver, resolved by
+name, under one resilience-policy setting and one fault schedule.
+Exercises the whole registry in a single run, so regressions in any
+engine strategy combination show up here.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments import e8_solvers
+
+
+def test_e8_solver_matrix(benchmark):
+    """Regenerate the E8 table."""
+    result = benchmark.pedantic(
+        lambda: e8_solvers.run(
+            grid=8, policy="skeptical", fault_probability=0.02,
+            bit_range=(52, 62), seed=2013,
+        ),
+        rounds=1, iterations=1,
+    )
+    report(result)
+    assert result.summary["n_solvers"] >= 6
+    assert result.summary["n_silent_corruptions"] == 0
+    benchmark.extra_info["n_correct"] = result.summary["n_correct"]
+    benchmark.extra_info["total_faults_injected"] = result.summary[
+        "total_faults_injected"
+    ]

@@ -39,18 +39,32 @@ def _with_src_on_path() -> None:
         sys.path.insert(0, SRC_DIR)
 
 
-def bench_modules() -> list:
+def bench_modules(solver: str = None) -> list:
     """One benchmark module per registered experiment, in E-number order.
 
     Modules are matched by prefix (``bench_e3_*.py`` covers E3) so the
     benchmark file name can carry a fuller description than the driver
-    module does.
+    module does.  With ``solver``, only the experiments the solver
+    registry lists as exercising that solver are kept (so
+    ``--solver pipelined_cg`` runs just the E3/E8 benchmarks).
     """
     _with_src_on_path()
     from repro.campaign.registry import default_registry
 
+    wanted = None
+    if solver is not None:
+        from repro.krylov.registry import default_solver_registry
+
+        try:
+            entry = default_solver_registry().get(solver)
+        except KeyError as exc:
+            raise SystemExit(str(exc)) from None
+        wanted = set(entry.experiments)
+
     modules = []
     for driver in default_registry():
+        if wanted is not None and driver.experiment not in wanted:
+            continue
         number = driver.experiment.lower()  # "e3"
         matches = sorted(
             glob.glob(os.path.join(BENCH_DIR, f"bench_{number}_*.py"))
@@ -62,6 +76,11 @@ def bench_modules() -> list:
                 f"drop here would fake a green baseline comparison"
             )
         modules.extend(os.path.basename(m) for m in matches)
+    if not modules:
+        raise SystemExit(
+            f"solver {solver!r} maps to no benchmark modules "
+            f"(experiments: {sorted(wanted or ())})"
+        )
     return modules
 
 
@@ -110,6 +129,13 @@ def main(argv=None) -> int:
         "the pytest-benchmark suite",
     )
     parser.add_argument(
+        "--solver",
+        default=None,
+        help="run only the benchmarks exercising this registered solver "
+        "(a repro.krylov.registry name, e.g. 'pipelined_cg'); note that "
+        "a filtered run is not comparable against a full baseline",
+    )
+    parser.add_argument(
         "pytest_args",
         nargs="*",
         help="extra arguments forwarded to pytest (after --)",
@@ -128,7 +154,7 @@ def main(argv=None) -> int:
         sys.executable,
         "-m",
         "pytest",
-        *[os.path.join(BENCH_DIR, module) for module in bench_modules()],
+        *[os.path.join(BENCH_DIR, module) for module in bench_modules(args.solver)],
         "--benchmark-only",
         f"--benchmark-json={args.json}",
         "-q",

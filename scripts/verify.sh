@@ -19,6 +19,36 @@ echo "== tier-1 test suite =="
 python -m pytest -x -q
 
 echo
+echo "== solver registry self-check =="
+listing="$(python -m repro.campaign list)"
+grep -q "registered solvers" <<<"$listing" || {
+    echo "ERROR: 'campaign list' does not include the solver axis" >&2
+    exit 1
+}
+for solver in gmres fgmres pipelined_gmres cg pipelined_cg ft_gmres sdc_gmres; do
+    # Anchored: the solver table renders one row per solver with the
+    # name in the first column, so a bare substring match ('gmres' via
+    # 'fgmres') must not count.
+    grep -qE "^$solver " <<<"$listing" || {
+        echo "ERROR: solver '$solver' missing from the registry listing" >&2
+        exit 1
+    }
+done
+python -m repro.campaign list --campaign solvers > /dev/null
+echo "registry OK (7 solvers, 'solvers' campaign expands)"
+
+echo
+echo "== engine parity + registry contract suite, second pass =="
+if [[ "$FAST" == "1" ]]; then
+    echo "(skipped: --fast)"
+else
+    # Ran once inside the tier-1 suite; a fresh interpreter proves the
+    # bitwise parity fixtures and the SolveResult contract hold
+    # deterministically twice in a row.
+    python -m pytest tests/test_engine_parity.py tests/test_solver_registry.py -q
+fi
+
+echo
 echo "== golden regression suite, second pass (determinism) =="
 if [[ "$FAST" == "1" ]]; then
     echo "(skipped: --fast)"

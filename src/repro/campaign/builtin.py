@@ -1,6 +1,6 @@
 """Named built-in campaigns.
 
-Two ship with the toolkit:
+Three ship with the toolkit:
 
 * ``smoke`` -- every experiment at its :attr:`ExperimentSpec.smoke`
   configuration plus a couple of one-axis sweeps; finishes in seconds
@@ -10,6 +10,10 @@ Two ship with the toolkit:
   executes): solver x fault-schedule x machine-model slices of the
   scenario space the ROADMAP targets, still sized to finish in well
   under a minute.
+* ``solvers`` -- the solver-axis sweep over the
+  :mod:`repro.krylov.registry`: every registered solver under every
+  generic resilience policy, with and without operator faults
+  (experiment E8).
 
 Campaigns are plain lists of scenarios produced by declarative
 :class:`~repro.campaign.spec.Sweep` specs, so adding a campaign is
@@ -117,9 +121,26 @@ def _default() -> List[Scenario]:
     return scenarios
 
 
+def _solvers() -> List[Scenario]:
+    # The solver x resilience-policy x fault-schedule grid of E8: each
+    # scenario runs EVERY solver in the krylov registry, so the solver
+    # axis is swept inside the driver while policy and fault schedule
+    # are campaign axes.
+    return Sweep(
+        "E8",
+        axes={
+            "policy": ("none", "guard", "skeptical"),
+            "fault_probability": (0.0, 0.02),
+        },
+        base={"grid": 8, "bit_range": (52, 62), "seed": 2013},
+        tag="solvers",
+    ).expand()
+
+
 _BUILDERS: Dict[str, Callable[[], List[Scenario]]] = {
     "smoke": _smoke,
     "default": _default,
+    "solvers": _solvers,
 }
 
 

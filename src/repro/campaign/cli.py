@@ -33,6 +33,7 @@ from typing import List, Optional
 
 from repro.campaign.builtin import builtin_campaign, builtin_campaign_names
 from repro.campaign.registry import default_registry
+from repro.krylov.registry import default_solver_registry
 from repro.campaign.report import render_report
 from repro.campaign.runner import CampaignRunner, ScenarioOutcome
 from repro.campaign.spec import Scenario
@@ -133,6 +134,15 @@ def _cmd_list(args) -> int:
             driver.spec.title,
         )
     print(table.render())
+    print()
+    solver_registry = default_solver_registry()
+    solvers = Table(["solver", "family", "policies", "title"],
+                    title=f"registered solvers ({len(solver_registry)})")
+    for solver in solver_registry:
+        solvers.add_row(
+            solver.name, solver.family, ",".join(solver.policies), solver.title
+        )
+    print(solvers.render())
     print()
     campaigns = Table(["campaign", "scenarios", "experiments"],
                       title="built-in campaigns")

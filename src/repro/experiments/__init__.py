@@ -1,6 +1,7 @@
 """Experiment drivers.
 
-One module per experiment of EXPERIMENTS.md (E1-E7); each exposes a
+One module per experiment (E1-E7 of EXPERIMENTS.md plus the engine
+demonstration E8); each exposes a
 ``run(**params)`` function returning an :class:`ExperimentResult` whose
 table is exactly what the corresponding benchmark prints, plus a
 module-level :class:`ExperimentSpec` named ``SPEC`` describing the
@@ -30,6 +31,7 @@ from repro.experiments import (
     e5_coarse_recovery,
     e6_ftgmres,
     e7_efficiency,
+    e8_solvers,
 )
 
 __all__ = [
@@ -43,6 +45,7 @@ __all__ = [
     "e5_coarse_recovery",
     "e6_ftgmres",
     "e7_efficiency",
+    "e8_solvers",
 ]
 
 

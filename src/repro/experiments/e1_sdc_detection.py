@@ -23,9 +23,8 @@ from repro.experiments.common import ExperimentResult, ExperimentSpec
 from repro.faults.bitflip import flip_bit_array
 from repro.faults.events import FaultEvent, FaultRecord
 from repro.faults.sdc import SdcCampaign, classify_outcome
-from repro.krylov.gmres import gmres
+from repro.krylov.registry import default_solver_registry
 from repro.linalg.matgen import poisson_2d
-from repro.skeptical.gmres_sdc import sdc_detecting_gmres
 from repro.utils.rng import RngFactory
 from repro.utils.tables import Table
 
@@ -67,14 +66,15 @@ def _solve_with_injection(
         injected["done"] = True
         injected["index"] = index
 
+    solvers = default_solver_registry()
     if skeptical:
-        result = sdc_detecting_gmres(
-            matrix, b, tol=tol, restart=30, maxiter=600,
-            check_period=check_period, fault_hook=fault_hook, policy="restart",
+        result = solvers.get("sdc_gmres").solve(
+            matrix, b, policy="skeptical_restart", tol=tol, restart=30, maxiter=600,
+            check_period=check_period, fault_hook=fault_hook,
         )
         detected = result.detected_faults > 0
     else:
-        result = gmres(
+        result = solvers.get("gmres").solve(
             matrix, b, tol=tol, restart=30, maxiter=600, iteration_hook=fault_hook
         )
         detected = False
@@ -132,7 +132,9 @@ def run(
     b = rng_rhs.standard_normal(matrix.n_rows)
     x_true = None
 
-    baseline = gmres(matrix, b, tol=tol, restart=30, maxiter=600)
+    baseline = default_solver_registry().get("gmres").solve(
+        matrix, b, tol=tol, restart=30, maxiter=600
+    )
     solver_flops = 2.0 * matrix.nnz * max(baseline.iterations, 1)
 
     table = Table(

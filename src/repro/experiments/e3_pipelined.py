@@ -25,10 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.common import ExperimentResult, ExperimentSpec
-from repro.krylov.cg import cg
-from repro.krylov.gmres import gmres
-from repro.krylov.pipelined_cg import pipelined_cg
-from repro.krylov.pipelined_gmres import pipelined_gmres
+from repro.krylov.registry import default_solver_registry
 from repro.linalg.matgen import poisson_2d
 from repro.machine.model import MachineModel
 from repro.machine.noise import EccStallNoise
@@ -68,10 +65,15 @@ def run(
     rng = RngFactory(seed).spawn("rhs")
     b = rng.standard_normal(matrix.n_rows)
 
-    cg_result = cg(matrix, b, tol=1e-8, maxiter=2000)
-    pcg_result = pipelined_cg(matrix, b, tol=1e-8, maxiter=2000)
-    gmres_result = gmres(matrix, b, tol=1e-8, restart=40, maxiter=2000)
-    pgmres_result = pipelined_gmres(matrix, b, tol=1e-8, restart=40, maxiter=2000)
+    # Solvers are resolved by registry name -- the solver axis campaigns
+    # sweep -- not imported; each pair shares identical settings.
+    solvers = default_solver_registry()
+    cg_result = solvers.get("cg").solve(matrix, b, tol=1e-8, maxiter=2000)
+    pcg_result = solvers.get("pipelined_cg").solve(matrix, b, tol=1e-8, maxiter=2000)
+    gmres_result = solvers.get("gmres").solve(matrix, b, tol=1e-8, restart=40, maxiter=2000)
+    pgmres_result = solvers.get("pipelined_gmres").solve(
+        matrix, b, tol=1e-8, restart=40, maxiter=2000
+    )
 
     anchor = Table(
         ["solver", "iterations", "converged", "reductions_per_iter"],

@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.common import ExperimentResult, ExperimentSpec
-from repro.krylov.cg import cg
+from repro.krylov.registry import default_solver_registry
 from repro.lflr.coarse import CoarseModelStore, prolong_field
 from repro.pde.implicit import ImplicitHeatProblem1D
 from repro.utils.tables import Table
@@ -43,8 +43,9 @@ SPEC = ExperimentSpec(
 
 def _cg_iterations_from(problem: ImplicitHeatProblem1D, guess: np.ndarray) -> int:
     """CG iterations of the next implicit step warm-started from ``guess``."""
-    result = cg(problem.matrix, problem.u, x0=guess, tol=problem.cg_tol,
-                maxiter=10 * problem.n_points)
+    result = default_solver_registry().get("cg").solve(
+        problem.matrix, problem.u, x0=guess, tol=problem.cg_tol,
+        maxiter=10 * problem.n_points)
     if not result.converged:  # pragma: no cover - tiny SPD systems converge
         raise RuntimeError("implicit step did not converge")
     return result.iterations

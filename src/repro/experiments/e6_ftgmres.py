@@ -22,8 +22,7 @@ import numpy as np
 from repro.experiments.common import ExperimentResult, ExperimentSpec
 from repro.faults.injector import ArrayInjector
 from repro.faults.schedule import BernoulliPerCallSchedule
-from repro.ftgmres.outer import ft_gmres
-from repro.krylov.gmres import gmres
+from repro.krylov.registry import default_solver_registry
 from repro.linalg.matgen import convection_diffusion_2d
 from repro.srp.cost import ReliabilityCostModel
 from repro.utils.rng import RngFactory
@@ -65,6 +64,7 @@ def run(
     seed: int = 2013,
 ) -> ExperimentResult:
     """Run experiment E6 and return its table."""
+    solvers = default_solver_registry()
     matrix = convection_diffusion_2d(grid, peclet=10.0)
     factory = RngFactory(seed)
     b = factory.spawn("rhs").standard_normal(matrix.n_rows)
@@ -102,8 +102,10 @@ def run(
                 _calls["n"] += 1
                 return _inj.maybe_inject(matrix.matvec(x), now=float(_calls["n"]))
 
-            result = gmres(unreliable_op, b, tol=tol, restart=30,
-                           maxiter=outer_maxiter * inner_maxiter)
+            result = solvers.get("gmres").solve(
+                unreliable_op, b, tol=tol, restart=30,
+                maxiter=outer_maxiter * inner_maxiter,
+            )
             true_res = float(
                 np.linalg.norm(b - matrix.matvec(np.asarray(result.x))) / b_norm
             )
@@ -123,7 +125,7 @@ def run(
         unreliable_fracs = []
         costs = []
         for trial in range(n_trials):
-            result = ft_gmres(
+            result = solvers.get("ft_gmres").solve(
                 matrix, b, tol=tol,
                 outer_maxiter=outer_maxiter, outer_restart=outer_maxiter,
                 inner_tol=1e-2, inner_maxiter=inner_maxiter, inner_restart=inner_maxiter,

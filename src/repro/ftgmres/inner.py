@@ -2,11 +2,14 @@
 
 Wraps a (restarted) GMRES solve that is executed entirely inside the
 SRP *unreliable* domain: every application of the operator may be
-corrupted by the domain's fault injector.  The wrapper exposes the
-counters experiment E6 needs -- how many inner flops were performed
-unreliably, how many faults were injected, and how often the inner
-result was so bad that the reliable outer iteration chose to discard
-it.
+corrupted by the domain's fault injector.  The domain wiring is the
+shared :class:`~repro.srp.context.UnreliableOperator`, so the inner
+solver is just "plain GMRES on an unreliable operator" -- the
+composition the paper's selective-reliability model calls for.  The
+wrapper exposes the counters experiment E6 needs -- how many inner
+flops were performed unreliably, how many faults were injected, and
+how often the inner result was so bad that the reliable outer
+iteration chose to discard it.
 """
 
 from __future__ import annotations
@@ -65,42 +68,43 @@ class UnreliableInnerSolver:
         self.preconditioner = preconditioner
         self.inner_solves = 0
         self.inner_iterations = 0
-        self.inner_flops = 0.0
         self.kernels = KernelCounters()
         self._nnz = matrix.nnz if isinstance(matrix, CsrMatrix) else int(np.count_nonzero(matrix))
+        self._operator = environment.unreliable_operator(
+            self._apply_matrix, flops_per_call=2.0 * self._nnz
+        )
 
-    def _unreliable_operator(self, domain):
-        """An operator whose every application runs in the unreliable domain."""
+    @property
+    def inner_flops(self) -> float:
+        """Flops performed through the unreliable operator so far."""
+        return self._operator.flops
 
-        def apply(x: np.ndarray) -> np.ndarray:
-            if isinstance(self.matrix, CsrMatrix):
-                result = self.matrix.matvec(x)
-            else:
-                result = self.matrix @ np.asarray(x, dtype=np.float64)
-            self.inner_flops += 2.0 * self._nnz
-            return domain.touch(result, now=float(self.inner_solves))
-
-        return apply
+    def _apply_matrix(self, x: np.ndarray) -> np.ndarray:
+        if isinstance(self.matrix, CsrMatrix):
+            return self.matrix.matvec(x)
+        return self.matrix @ np.asarray(x, dtype=np.float64)
 
     def __call__(self, v: np.ndarray) -> np.ndarray:
         """Approximately solve ``A z = v`` unreliably; return ``z``.
 
-        This is the signature FGMRES expects of its ``inner_solve``
-        argument, so an :class:`UnreliableInnerSolver` can be passed
-        directly to :func:`repro.krylov.fgmres.fgmres`.
+        This is the signature the engine's
+        :class:`~repro.krylov.engine.precondition.FlexiblePreconditioner`
+        expects of its ``inner_solve``, so an
+        :class:`UnreliableInnerSolver` can be passed directly to
+        :func:`repro.krylov.fgmres.fgmres`.
         """
         self.inner_solves += 1
         v = np.asarray(v, dtype=np.float64)
-        with self.environment.unreliable() as domain:
-            operator = self._unreliable_operator(domain)
-            result = gmres(
-                operator,
-                v,
-                tol=self.inner_tol,
-                restart=self.inner_restart,
-                maxiter=self.inner_maxiter,
-                preconditioner=self.preconditioner,
-            )
+        # Fault schedules see one logical timestamp per inner solve.
+        self._operator.now = float(self.inner_solves)
+        result = gmres(
+            self._operator,
+            v,
+            tol=self.inner_tol,
+            restart=self.inner_restart,
+            maxiter=self.inner_maxiter,
+            preconditioner=self.preconditioner,
+        )
         self.inner_iterations += result.iterations
         inner_kernels = result.info.get("kernels")
         if inner_kernels:

@@ -4,8 +4,8 @@
 :class:`~repro.srp.context.SelectiveReliabilityEnvironment` supplies
 the unreliable domain (with fault injection at the requested rate), an
 :class:`~repro.ftgmres.inner.UnreliableInnerSolver` runs the bulk of
-the work inside it, and the **reliable** outer loop is
-:func:`repro.krylov.fgmres.fgmres` -- flexible GMRES, whose
+the work inside it, and the **reliable** outer loop is the solver
+engine's flexible-Arnoldi configuration (flexible GMRES), whose
 least-squares construction guarantees the outer residual never
 increases no matter what the inner solver returns (a corrupted inner
 result at worst wastes one outer iteration).
@@ -111,6 +111,9 @@ def ft_gmres(
             return matrix.matvec(x)
         return matrix @ np.asarray(x, dtype=np.float64)
 
+    # The reliable outer iteration is FGMRES -- i.e. the engine's
+    # flexible-Arnoldi configuration, whose FlexiblePreconditioner vets
+    # every inner result before it can touch the reliable outer state.
     result = fgmres(
         reliable_operator,
         b,

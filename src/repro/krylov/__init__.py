@@ -1,7 +1,11 @@
 """Krylov subspace solvers.
 
-Baseline iterative solvers plus the latency-tolerant (pipelined)
-variants motivated by the RBSP programming model:
+One engine, many configurations: the restarted-Arnoldi and CG
+machinery lives in :mod:`repro.krylov.engine` (core loop plus
+orthogonalization / preconditioning / convergence / resilience
+strategy objects), the public solver functions below are thin named
+configurations of it, and :mod:`repro.krylov.registry` exposes every
+configuration to the campaign layer as a sweepable axis.
 
 * :mod:`repro.krylov.result` -- the :class:`SolveResult` returned by
   every solver.
@@ -11,8 +15,12 @@ variants motivated by the RBSP programming model:
   simulated runtime, plus the :class:`~repro.krylov.ops.KrylovBasis`
   block store whose fused BLAS-2 kernels (CGS2 orthogonalization,
   single-gemv restart correction) all Arnoldi-type solvers share.
-* :mod:`repro.krylov.arnoldi` -- the Arnoldi process (shared by GMRES
-  and the SDC-detecting GMRES of :mod:`repro.skeptical`).
+* :mod:`repro.krylov.engine` -- the unified solver engine and its
+  strategy objects (see ARCHITECTURE.md).
+* :mod:`repro.krylov.registry` -- named solver configurations for
+  campaigns (solver x resilience-policy sweeps).
+* :mod:`repro.krylov.arnoldi` -- the standalone Arnoldi process (kept
+  for the construction tests and as the textbook reference).
 * :mod:`repro.krylov.gmres` -- restarted GMRES with right
   preconditioning and iteration hooks.
 * :mod:`repro.krylov.fgmres` -- flexible GMRES (the reliable *outer*
@@ -28,17 +36,25 @@ variants motivated by the RBSP programming model:
 
 from repro.krylov.result import SolveResult
 from repro.krylov.arnoldi import arnoldi_step, ArnoldiBreakdown
+from repro.krylov.engine import SolverEngine
 from repro.krylov.gmres import gmres, GmresState
 from repro.krylov.fgmres import fgmres
 from repro.krylov.cg import cg
 from repro.krylov.ops import KrylovBasis, allocate_basis
 from repro.krylov.pipelined_gmres import pipelined_gmres
 from repro.krylov.pipelined_cg import pipelined_cg
+from repro.krylov.registry import (
+    RegisteredSolver,
+    SolverRegistry,
+    default_solver_registry,
+    solver_names,
+)
 
 __all__ = [
     "SolveResult",
     "arnoldi_step",
     "ArnoldiBreakdown",
+    "SolverEngine",
     "gmres",
     "GmresState",
     "fgmres",
@@ -47,4 +63,8 @@ __all__ = [
     "allocate_basis",
     "pipelined_gmres",
     "pipelined_cg",
+    "RegisteredSolver",
+    "SolverRegistry",
+    "default_solver_registry",
+    "solver_names",
 ]

@@ -7,17 +7,20 @@ iteration performs **two** blocking global reductions (the
 ``r^T z`` and ``p^T A p`` inner products) plus one for the convergence
 norm -- the synchronization pattern whose latency sensitivity motivates
 the RBSP model.
+
+Thin wrapper over the :mod:`repro.krylov.engine` running
+:class:`~repro.krylov.engine.cg.CgScheme`, so CG reports the same
+kernel-counter schema and accepts the same resilience policies as the
+GMRES family.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
-import numpy as np
-
-from repro.krylov import ops
+from repro.krylov.engine import CgScheme, ConvergenceTest, SolverEngine
+from repro.krylov.engine.resilience import compose_policy
 from repro.krylov.result import SolveResult
-from repro.utils.timing import KernelCounters
 
 __all__ = ["cg"]
 
@@ -32,6 +35,7 @@ def cg(
     maxiter: int = 1000,
     preconditioner=None,
     iteration_hook: Optional[Callable[[int, float], None]] = None,
+    policy=None,
 ) -> SolveResult:
     """Solve the SPD system ``A x = b`` with preconditioned CG.
 
@@ -42,6 +46,8 @@ def cg(
         applied symmetrically through the standard PCG recurrence).
     iteration_hook:
         Optional callback ``hook(iteration, residual_norm)``.
+    policy:
+        Optional :class:`~repro.krylov.engine.resilience.ResiliencePolicy`.
 
     Returns
     -------
@@ -52,74 +58,10 @@ def cg(
     """
     if maxiter <= 0:
         raise ValueError("maxiter must be positive")
-    kernels = KernelCounters()
-    b_norm = ops.norm(b)
-    target = max(tol * b_norm, atol)
-    if target == 0.0:
-        target = tol
-
-    x = ops.copy_vector(x0) if x0 is not None else ops.zeros_like(b)
-    t0 = kernels.tick()
-    r = ops.axpby(1.0, b, -1.0, ops.matvec(operator, x))
-    kernels.charge("matvec", t0)
-    z = ops.apply_preconditioner(preconditioner, r)
-    p = ops.copy_vector(z)
-    rz = ops.dot(r, z)
-    residual = ops.norm(r)
-    residual_norms: List[float] = [residual]
-    alphas: List[float] = []
-    betas: List[float] = []
-    converged = residual <= target
-    breakdown = False
-    iteration = 0
-
-    while not converged and not breakdown and iteration < maxiter:
-        t0 = kernels.tick()
-        ap = ops.matvec(operator, p)
-        kernels.charge("matvec", t0)
-        p_ap = ops.dot(p, ap)
-        if p_ap <= 0.0 or not np.isfinite(p_ap):
-            # Loss of positive definiteness: either the operator is not
-            # SPD or a fault corrupted the recurrence.
-            breakdown = True
-            break
-        alpha = rz / p_ap
-        alphas.append(float(alpha))
-        x = ops.axpby(1.0, x, float(alpha), p)
-        r = ops.axpby(1.0, r, -float(alpha), ap)
-        residual = ops.norm(r)
-        iteration += 1
-        residual_norms.append(residual)
-        if iteration_hook is not None:
-            iteration_hook(iteration, residual)
-        if not np.isfinite(residual):
-            breakdown = True
-            break
-        if residual <= target:
-            converged = True
-            break
-        t0 = kernels.tick()
-        z = ops.apply_preconditioner(preconditioner, r)
-        kernels.charge("preconditioner", t0)
-        rz_next = ops.dot(r, z)
-        if not np.isfinite(rz_next):
-            breakdown = True
-            break
-        beta = rz_next / rz
-        betas.append(float(beta))
-        rz = rz_next
-        p = ops.axpby(1.0, z, float(beta), p)
-
-    return SolveResult(
-        x=x,
-        converged=converged,
-        iterations=iteration,
-        residual_norms=residual_norms,
-        breakdown=breakdown,
-        info={
-            "alphas": alphas,
-            "betas": betas,
-            "target": target,
-            "kernels": kernels.as_dict(),
-        },
+    engine = SolverEngine(
+        operator,
+        CgScheme(preconditioner, maxiter=maxiter),
+        convergence=ConvergenceTest(tol=tol, atol=atol),
+        policy=compose_policy(policy, iteration_hook, "scalar"),
     )
+    return engine.solve(b, x0)

@@ -1,0 +1,227 @@
+"""Conjugate-gradient iteration schemes for the solver engine.
+
+The SPD recurrences do not build an Arnoldi basis, so they are their
+own :class:`~repro.krylov.engine.core.IterationScheme` implementations
+rather than strategy combinations of the Arnoldi scheme -- but they run
+under the same engine: shared target resolution, the canonical kernel
+counter schema, and the unified
+:class:`~repro.krylov.engine.resilience.ResiliencePolicy` observation
+protocol (policies receive scalar
+:class:`~repro.krylov.engine.resilience.IterationEvent` objects).
+
+* :class:`CgScheme` -- classic preconditioned CG: two blocking global
+  reductions per iteration plus the convergence norm.
+* :class:`PipelinedCgScheme` -- Ghysels & Vanroose pipelined CG: ONE
+  fused non-blocking reduction per iteration, overlapped with the next
+  operator application, at the cost of three extra vector recurrences.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.krylov import ops
+from repro.krylov.engine.core import IterationScheme, SolverEngine
+from repro.krylov.engine.resilience import IterationEvent
+from repro.krylov.result import SolveResult
+
+__all__ = ["CgScheme", "PipelinedCgScheme"]
+
+
+class CgScheme(IterationScheme):
+    """Classic preconditioned conjugate gradients."""
+
+    def __init__(self, preconditioner=None, *, maxiter: int = 1000):
+        if maxiter <= 0:
+            raise ValueError("maxiter must be positive")
+        self.preconditioner = preconditioner
+        self.maxiter = int(maxiter)
+
+    def run(self, engine: SolverEngine, b, x, target: float) -> SolveResult:
+        operator = engine.operator
+        kernels = engine.kernels
+        policy = engine.policy
+        convergence = engine.convergence
+
+        t0 = kernels.tick()
+        r = ops.axpby(1.0, b, -1.0, ops.matvec(operator, x))
+        kernels.charge("matvec", t0)
+        t0 = kernels.tick()
+        z = ops.apply_preconditioner(self.preconditioner, r)
+        kernels.charge("preconditioner", t0)
+        p = ops.copy_vector(z)
+        rz = ops.dot(r, z)
+        residual = ops.norm(r)
+        residual_norms: List[float] = [residual]
+        alphas: List[float] = []
+        betas: List[float] = []
+        converged = convergence.is_met(residual, target)
+        breakdown = False
+        iteration = 0
+
+        while not converged and not breakdown and iteration < self.maxiter:
+            t0 = kernels.tick()
+            ap = ops.matvec(operator, p)
+            kernels.charge("matvec", t0)
+            p_ap = ops.dot(p, ap)
+            if p_ap <= 0.0 or not np.isfinite(p_ap):
+                # Loss of positive definiteness: either the operator is
+                # not SPD or a fault corrupted the recurrence.
+                breakdown = True
+                break
+            alpha = rz / p_ap
+            alphas.append(float(alpha))
+            x = ops.axpby(1.0, x, float(alpha), p)
+            r = ops.axpby(1.0, r, -float(alpha), ap)
+            residual = ops.norm(r)
+            iteration += 1
+            residual_norms.append(residual)
+            policy.observe(IterationEvent(total_iteration=iteration, residual_norm=residual))
+            if not np.isfinite(residual):
+                breakdown = True
+                break
+            if convergence.is_met(residual, target):
+                converged = True
+                break
+            t0 = kernels.tick()
+            z = ops.apply_preconditioner(self.preconditioner, r)
+            kernels.charge("preconditioner", t0)
+            rz_next = ops.dot(r, z)
+            if not np.isfinite(rz_next):
+                breakdown = True
+                break
+            beta = rz_next / rz
+            betas.append(float(beta))
+            rz = rz_next
+            p = ops.axpby(1.0, z, float(beta), p)
+
+        return SolveResult(
+            x=x,
+            converged=converged,
+            iterations=iteration,
+            residual_norms=residual_norms,
+            breakdown=breakdown,
+            info={
+                "alphas": alphas,
+                "betas": betas,
+                "target": target,
+                "kernels": kernels.as_dict(),
+            },
+        )
+
+
+class PipelinedCgScheme(IterationScheme):
+    """Pipelined (overlapped single-reduction) conjugate gradients."""
+
+    def __init__(self, preconditioner=None, *, maxiter: int = 1000):
+        if maxiter <= 0:
+            raise ValueError("maxiter must be positive")
+        self.preconditioner = preconditioner
+        self.maxiter = int(maxiter)
+
+    def run(self, engine: SolverEngine, b, x, target: float) -> SolveResult:
+        operator = engine.operator
+        kernels = engine.kernels
+        policy = engine.policy
+        convergence = engine.convergence
+
+        t0 = kernels.tick()
+        r = ops.axpby(1.0, b, -1.0, ops.matvec(operator, x))
+        kernels.charge("matvec", t0)
+        t0 = kernels.tick()
+        u = ops.apply_preconditioner(self.preconditioner, r)
+        kernels.charge("preconditioner", t0)
+        t0 = kernels.tick()
+        w = ops.matvec(operator, u)
+        kernels.charge("matvec", t0)
+
+        residual = ops.norm(r)
+        residual_norms: List[float] = [residual]
+        converged = convergence.is_met(residual, target)
+        breakdown = False
+        iteration = 0
+        overlapped = 0
+
+        gamma_old = 0.0
+        alpha_old = 0.0
+        z = None
+        q = None
+        s = None
+        p = None
+
+        while not converged and not breakdown and iteration < self.maxiter:
+            # Start the fused reduction for gamma = (r, u) and
+            # delta = (w, u): one non-blocking allreduce carrying both
+            # partial sums.
+            fused = ops.fused_dots(((r, u), (w, u)))
+            # Overlap: apply the preconditioner and the operator while
+            # the reduction is in flight.
+            t0 = kernels.tick()
+            m_w = ops.apply_preconditioner(self.preconditioner, w)
+            kernels.charge("preconditioner", t0)
+            t0 = kernels.tick()
+            n_w = ops.matvec(operator, m_w)
+            kernels.charge("matvec", t0)
+            overlapped += 1
+            gamma, delta = (float(v) for v in fused.wait())
+
+            if not np.isfinite(gamma) or not np.isfinite(delta):
+                breakdown = True
+                break
+
+            if iteration > 0:
+                if gamma_old == 0.0 or alpha_old == 0.0:
+                    breakdown = True
+                    break
+                beta = gamma / gamma_old
+                denom = delta - beta * gamma / alpha_old
+            else:
+                beta = 0.0
+                denom = delta
+            if denom == 0.0 or not np.isfinite(denom):
+                breakdown = True
+                break
+            alpha = gamma / denom
+
+            if iteration == 0:
+                z = ops.copy_vector(n_w)
+                q = ops.copy_vector(m_w)
+                s = ops.copy_vector(w)
+                p = ops.copy_vector(u)
+            else:
+                z = ops.axpby(1.0, n_w, float(beta), z)
+                q = ops.axpby(1.0, m_w, float(beta), q)
+                s = ops.axpby(1.0, w, float(beta), s)
+                p = ops.axpby(1.0, u, float(beta), p)
+
+            x = ops.axpby(1.0, x, float(alpha), p)
+            r = ops.axpby(1.0, r, -float(alpha), s)
+            u = ops.axpby(1.0, u, -float(alpha), q)
+            w = ops.axpby(1.0, w, -float(alpha), z)
+
+            gamma_old = gamma
+            alpha_old = alpha
+            iteration += 1
+            residual = ops.norm(r)
+            residual_norms.append(residual)
+            policy.observe(IterationEvent(total_iteration=iteration, residual_norm=residual))
+            if not np.isfinite(residual):
+                breakdown = True
+                break
+            if convergence.is_met(residual, target):
+                converged = True
+
+        return SolveResult(
+            x=x,
+            converged=converged,
+            iterations=iteration,
+            residual_norms=residual_norms,
+            breakdown=breakdown,
+            info={
+                "target": target,
+                "overlapped_reductions": overlapped,
+                "kernels": kernels.as_dict(),
+            },
+        )

@@ -1,0 +1,41 @@
+"""Convergence-test strategy of the solver engine.
+
+Every solver in the toolkit uses the same stopping rule -- converge
+when ``|r| <= max(tol * |b|, atol)`` with a fallback to ``tol`` for a
+zero right-hand side -- but each used to inline it.  The engine owns a
+:class:`ConvergenceTest` instead, so alternative rules (absolute-only,
+per-component, energy norm) slot in without touching the core loop.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ConvergenceTest"]
+
+
+class ConvergenceTest:
+    """Relative residual test with an absolute floor.
+
+    Parameters
+    ----------
+    tol:
+        Relative tolerance (against ``|b|``).
+    atol:
+        Absolute tolerance; the effective target is
+        ``max(tol * |b|, atol)``, falling back to ``tol`` when both
+        terms vanish (zero right-hand side).
+    """
+
+    def __init__(self, tol: float = 1e-8, atol: float = 0.0):
+        self.tol = float(tol)
+        self.atol = float(atol)
+
+    def resolve_target(self, b_norm: float) -> float:
+        """The absolute residual target for a right-hand side of norm ``b_norm``."""
+        target = max(self.tol * b_norm, self.atol)
+        if target == 0.0:
+            target = self.tol
+        return target
+
+    def is_met(self, residual_norm: float, target: float) -> bool:
+        """Whether ``residual_norm`` satisfies the resolved target."""
+        return residual_norm <= target

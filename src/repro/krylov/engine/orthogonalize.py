@@ -1,0 +1,136 @@
+"""Orthogonalization strategies of the solver engine.
+
+One Arnoldi step must orthogonalize the candidate vector ``w = A z``
+against the current Krylov basis and append the normalized result.  The
+two families in the toolkit differ in their *communication pattern*,
+not their algebra:
+
+* :class:`BlockedOrthogonalizer` -- the baseline blocking kernel:
+  :meth:`~repro.krylov.ops.KrylovBasis.orthogonalize` (CGS2 by default,
+  classical or modified Gram-Schmidt on request) followed by an
+  explicit norm.  Two fused reductions per CGS2 step on the simulated
+  runtime.
+* :class:`PipelinedOrthogonalizer` -- the latency-reduced kernel of
+  p(l)-GMRES: ONE fused non-blocking reduction carries all projection
+  coefficients plus ``|w|^2``, the norm of the orthogonalized vector
+  comes from the Pythagorean identity (or a second wave when
+  reorthogonalization is on), and the strategy counts its reduction
+  waves for the E3 synchronization comparison.
+
+Both return ``(coefficients, h_next, happy)`` and leave the basis with
+the new vector appended, so the engine core loop is identical either
+way.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.krylov import ops
+
+__all__ = [
+    "Orthogonalizer",
+    "BlockedOrthogonalizer",
+    "PipelinedOrthogonalizer",
+    "GRAM_SCHMIDT_METHODS",
+]
+
+GRAM_SCHMIDT_METHODS = ("cgs2", "classical", "modified")
+
+
+class Orthogonalizer:
+    """Strategy interface: one Arnoldi orthogonalization step."""
+
+    def step(self, engine, basis, w, j: int, cycle_residual: float):
+        """Orthogonalize ``w`` against ``basis[:j+1]`` and append.
+
+        Returns ``(coefficients, h_next, happy)`` where ``coefficients``
+        is the new Hessenberg column (without the subdiagonal entry),
+        ``h_next`` the norm of the orthogonalized vector and ``happy``
+        whether a happy breakdown occurred (basis exhausted).
+        """
+        raise NotImplementedError
+
+    def contribute_info(self, info: dict) -> None:
+        """Add strategy-specific entries to ``SolveResult.info``."""
+
+
+class BlockedOrthogonalizer(Orthogonalizer):
+    """Blocking Gram-Schmidt via the :class:`~repro.krylov.ops.KrylovBasis` kernels."""
+
+    def __init__(self, method: str = "cgs2", *, advertise: bool = True):
+        if method not in GRAM_SCHMIDT_METHODS:
+            raise ValueError(f"gram_schmidt must be one of {GRAM_SCHMIDT_METHODS}")
+        self.method = method
+        self._advertise = advertise
+
+    def step(self, engine, basis, w, j: int, cycle_residual: float):
+        kernels = engine.kernels
+        t0 = kernels.tick()
+        w, coefficients = basis.orthogonalize(w, method=self.method, k=j + 1)
+        h_next = ops.norm(w)
+        happy = h_next <= 1e-14 * max(cycle_residual, 1.0)
+        if not happy:
+            basis.append(w, scale=1.0 / h_next)
+        else:
+            basis.append_zero()
+        kernels.charge("orthogonalization", t0)
+        return coefficients, h_next, happy
+
+    def contribute_info(self, info: dict) -> None:
+        if self._advertise:
+            info["gram_schmidt"] = self.method
+
+
+class PipelinedOrthogonalizer(Orthogonalizer):
+    """Single-reduction (fused-wave) orthogonalization of p(l)-GMRES.
+
+    ``reorthogonalize`` adds a second fused wave (together the two waves
+    are exactly CGS2); otherwise the new vector's norm comes from the
+    Pythagorean identity at the price of squared-cancellation
+    sensitivity.  The instance accumulates :attr:`reduction_waves` and
+    :attr:`mgs_equivalent` (what one-coefficient-at-a-time MGS would
+    have cost) across the solve.
+    """
+
+    def __init__(self, reorthogonalize: bool = True):
+        self.reorthogonalize = bool(reorthogonalize)
+        self.reduction_waves = 0
+        self.mgs_equivalent = 0
+
+    def step(self, engine, basis, w, j: int, cycle_residual: float):
+        kernels = engine.kernels
+        t0 = kernels.tick()
+        projection = basis.fused_projection(w, k=j + 1)
+        self.reduction_waves += 1
+        self.mgs_equivalent += j + 2
+        payload = projection.wait()
+        coefficients = np.asarray(payload[: j + 1], dtype=np.float64)
+        w_norm_sq = float(payload[j + 1])
+        # Form the orthogonalized vector locally (one gemv).
+        w = basis.block_axpy(coefficients, w, k=j + 1)
+        if self.reorthogonalize:
+            projection2 = basis.fused_projection(w, k=j + 1)
+            self.reduction_waves += 1
+            payload2 = projection2.wait()
+            corrections = np.asarray(payload2[: j + 1], dtype=np.float64)
+            w = basis.block_axpy(corrections, w, k=j + 1)
+            coefficients = coefficients + corrections
+            h_next = ops.norm(w)
+        else:
+            # Pythagorean identity: avoids a second reduction.
+            h_next_sq = w_norm_sq - float(coefficients @ coefficients)
+            h_next = math.sqrt(max(h_next_sq, 0.0))
+        happy = h_next <= 1e-12 * max(math.sqrt(max(w_norm_sq, 0.0)), 1.0)
+        if not happy:
+            basis.append(w, scale=1.0 / h_next)
+        else:
+            basis.append_zero()
+        kernels.charge("orthogonalization", t0)
+        return coefficients, h_next, happy
+
+    def contribute_info(self, info: dict) -> None:
+        info["reduction_waves"] = self.reduction_waves
+        info["mgs_equivalent_reductions"] = self.mgs_equivalent

@@ -1,0 +1,288 @@
+"""Resilience-policy adapters of the solver engine.
+
+The paper's thesis is that resilience is an *algorithmic layer*: the
+same solver can run bare, with cheap skeptical checks, or inside a
+selective-reliability harness, and the choice should be a composition,
+not a fork of the solver source.  Before the engine existed, that
+wiring was scattered -- GMRES took a ``GmresState`` hook, FGMRES/CG
+took ``(iteration, residual)`` callbacks, the SDC solver hand-rolled a
+monitor adapter, and the SRP layer wrapped operators ad hoc.
+
+A :class:`ResiliencePolicy` unifies all of it behind one ``observe``
+call per inner iteration.  The engine constructs an iteration event
+(the full :class:`~repro.krylov.engine.core.GmresState` for
+Arnoldi-type schemes, a scalar :class:`IterationEvent` for the CG
+recurrences) and hands it to the policy, which may
+
+* record/report (detection-only policies such as
+  :class:`ResidualGuardPolicy`),
+* mutate the live solver state through the event's basis/Hessenberg
+  views (fault-injection campaigns),
+* raise :class:`CycleAbandoned` to discard the current Krylov cycle
+  (the skeptical *restart* response), or
+* re-raise :class:`~repro.skeptical.policies.SkepticalAbort` (the
+  *abort* response).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "IterationEvent",
+    "CycleAbandoned",
+    "ResiliencePolicy",
+    "NullPolicy",
+    "CallbackPolicy",
+    "CompositePolicy",
+    "ResidualGuardPolicy",
+    "SkepticalGmresPolicy",
+    "compose_policy",
+]
+
+
+@dataclass
+class IterationEvent:
+    """Minimal per-iteration view for solvers without Arnoldi state."""
+
+    total_iteration: int
+    residual_norm: float
+    inner: int = 0
+    outer: int = 0
+    basis: Optional[object] = None
+    hessenberg: Optional[object] = None
+    reconstruct_iterate: Optional[object] = None
+
+
+class CycleAbandoned(Exception):
+    """Raised by a policy to discard the current Krylov cycle.
+
+    The current iterate is still valid (it was formed before the
+    suspected corruption), so the caller restarts the solve from it --
+    "rolling back to a previous valid state" at the cost of one wasted
+    cycle.  The engine attaches the abandoned attempt's kernel-counter
+    payload as :attr:`kernels` before re-raising, so retrying callers
+    keep their work accounting complete.
+    """
+
+    kernels: Optional[dict] = None
+
+
+class ResiliencePolicy:
+    """Base policy: observes iteration events; default is inert."""
+
+    name = "none"
+
+    def begin_attempt(self, x) -> None:
+        """Called when a (re)solve attempt starts from iterate ``x``."""
+
+    def observe(self, event) -> None:
+        """Called once per inner iteration with the iteration event."""
+
+    def contribute_result(self, result) -> None:
+        """Fold policy bookkeeping into a finished ``SolveResult``."""
+
+
+class NullPolicy(ResiliencePolicy):
+    """No resilience instrumentation (the bare solver)."""
+
+
+class CallbackPolicy(ResiliencePolicy):
+    """Adapts a user iteration hook to the policy protocol.
+
+    ``style="state"`` calls ``callback(event)`` with the full event
+    (the historical :func:`repro.krylov.gmres.gmres` hook signature);
+    ``style="scalar"`` calls ``callback(total_iteration,
+    residual_norm)`` (the FGMRES/pipelined/CG signature).
+    """
+
+    name = "callback"
+
+    def __init__(self, callback: Callable, style: str = "state"):
+        if style not in ("state", "scalar"):
+            raise ValueError("style must be 'state' or 'scalar'")
+        self.callback = callback
+        self.style = style
+
+    @classmethod
+    def from_hook(cls, hook: Optional[Callable], style: str) -> ResiliencePolicy:
+        """Wrap ``hook`` (or return the inert policy for ``None``)."""
+        return NullPolicy() if hook is None else cls(hook, style)
+
+    def observe(self, event) -> None:
+        if self.style == "state":
+            self.callback(event)
+        else:
+            self.callback(event.total_iteration, event.residual_norm)
+
+
+class CompositePolicy(ResiliencePolicy):
+    """Run several policies in order (e.g. inject faults, then check)."""
+
+    name = "composite"
+
+    def __init__(self, policies: Sequence[ResiliencePolicy]):
+        self.policies = list(policies)
+
+    def begin_attempt(self, x) -> None:
+        for policy in self.policies:
+            policy.begin_attempt(x)
+
+    def observe(self, event) -> None:
+        for policy in self.policies:
+            policy.observe(event)
+
+    def contribute_result(self, result) -> None:
+        for policy in self.policies:
+            policy.contribute_result(result)
+
+
+def compose_policy(
+    policy: Optional[ResiliencePolicy],
+    iteration_hook: Optional[Callable],
+    style: str,
+) -> ResiliencePolicy:
+    """Merge an explicit policy with a legacy iteration hook.
+
+    The hook (adapted through :class:`CallbackPolicy` with the solver's
+    historical ``style``) runs *before* the policy, preserving the
+    inject-then-check ordering the fault campaigns rely on.
+    """
+    hook_policy = CallbackPolicy.from_hook(iteration_hook, style)
+    if policy is None:
+        return hook_policy
+    if iteration_hook is None:
+        return policy
+    return CompositePolicy([hook_policy, policy])
+
+
+class ResidualGuardPolicy(ResiliencePolicy):
+    """Cheap solver-agnostic SDC detector on the residual recurrence.
+
+    Watches the per-iteration (recurrence) residual norms and flags an
+    iteration as suspicious when the value is non-finite or exceeds
+    ``growth_factor`` times the best residual seen so far -- the
+    signature of a large corrupted coefficient.  O(1) per iteration, no
+    access to solver internals, so it composes with *every* registered
+    solver (the full Arnoldi-state checks of
+    :class:`SkepticalGmresPolicy` remain GMRES-only).
+
+    Detection-only: the guard records and counts, it does not alter the
+    iteration (pair it with a restart-capable solver for recovery).
+    """
+
+    name = "residual_guard"
+
+    def __init__(self, growth_factor: float = 1e4):
+        if growth_factor <= 1.0:
+            raise ValueError("growth_factor must exceed 1")
+        self.growth_factor = float(growth_factor)
+        self.detections = 0
+        self.events: List[dict] = []
+        self._best = math.inf
+
+    def observe(self, event) -> None:
+        residual = float(event.residual_norm)
+        if not math.isfinite(residual) or (
+            self._best < math.inf and residual > self.growth_factor * self._best
+        ):
+            self.detections += 1
+            self.events.append(
+                {"iteration": int(event.total_iteration), "residual": residual}
+            )
+            return
+        if residual < self._best:
+            self._best = residual
+
+    def contribute_result(self, result) -> None:
+        result.detected_faults += self.detections
+        result.info["residual_guard"] = {
+            "detections": self.detections,
+            "growth_factor": self.growth_factor,
+            "events": list(self.events),
+        }
+
+
+class SkepticalGmresPolicy(ResiliencePolicy):
+    """Runs a :class:`~repro.skeptical.monitor.SkepticalMonitor` per iteration.
+
+    The adapter that used to live inline in
+    :mod:`repro.skeptical.gmres_sdc`: builds the observation dictionary
+    from the Arnoldi iteration event (basis, Hessenberg, residual
+    history, lazy true-residual closure) and translates the monitor's
+    :class:`~repro.skeptical.policies.SkepticalAbort` into either a
+    :class:`CycleAbandoned` (``response="restart"``) or a re-raise
+    (``response="abort"``).
+    """
+
+    name = "skeptical"
+
+    def __init__(self, monitor, *, operator, b, response: str = "restart"):
+        if response not in ("restart", "abort"):
+            raise ValueError("response must be 'restart' or 'abort'")
+        self.monitor = monitor
+        self.operator = operator
+        self.b = b
+        self.response = response
+        self.residual_history: List[float] = []
+        self.detection_restarts = 0
+        self._attempt_x = None
+
+    def begin_attempt(self, x) -> None:
+        self._attempt_x = x
+        self.residual_history.clear()
+
+    def observe(self, event) -> None:
+        # Local import: repro.skeptical imports the krylov layer.
+        from repro.krylov import ops
+        from repro.skeptical.policies import SkepticalAbort
+
+        self.residual_history.append(event.residual_norm)
+
+        def true_residual() -> float:
+            # Reconstruct the current iterate's residual explicitly
+            # (one back-substitution + gemv + matvec), so the
+            # consistency check compares the recurrence against the
+            # truth of the SAME iterate.  Kept rare (cycle starts
+            # only): at other iterations the check degenerates to a
+            # trivial pass, matching the historical cost profile.
+            if event.inner != 0 or event.reconstruct_iterate is None:
+                return event.residual_norm
+            try:
+                x_now = event.reconstruct_iterate()
+            except np.linalg.LinAlgError:
+                return event.residual_norm
+            return float(
+                np.linalg.norm(self.b - np.asarray(ops.matvec(self.operator, x_now)))
+            )
+
+        observation = {
+            "basis": event.basis,
+            "hessenberg": event.hessenberg,
+            "inner": event.inner,
+            "residual_norm": event.residual_norm,
+            "residual_history": self.residual_history,
+            "true_residual": true_residual,
+        }
+        try:
+            self.monitor.observe(observation)
+        except SkepticalAbort:
+            if self.response == "abort":
+                raise
+            self.detection_restarts += 1
+            raise CycleAbandoned() from None
+
+    def contribute_result(self, result) -> None:
+        summary = self.monitor.summary()
+        result.detected_faults = self.monitor.n_detections
+        result.info.update(
+            {
+                "detection_restarts": self.detection_restarts,
+                "checks_run": summary["checks_run"],
+                "check_flops": summary["check_flops"],
+            }
+        )

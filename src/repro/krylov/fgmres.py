@@ -10,26 +10,28 @@ inner solver that returns *anything* (even garbage produced by faults),
 because a bad ``z_j`` can at worst fail to reduce the residual -- the
 outer least-squares problem never amplifies it.
 
-Both the Arnoldi basis ``V`` and the preconditioned block ``Z`` are
-preallocated :class:`~repro.krylov.ops.KrylovBasis` stores;
-orthogonalization is blocked CGS2 and the solution update is a single
-``Z_k @ y`` gemv.
+This is now a thin wrapper over the :mod:`repro.krylov.engine`: the
+restarted-Arnoldi core is shared with plain GMRES, and the flexible
+behaviour (the ``Z`` block, the vetting of inner-solve outputs) lives
+in :class:`~repro.krylov.engine.precondition.FlexiblePreconditioner`.
 
 :mod:`repro.ftgmres` builds the full fault-tolerant solver on top of
-this routine.
+this configuration.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Optional
 
-import numpy as np
-
-from repro.krylov import ops
+from repro.krylov.engine import (
+    ArnoldiScheme,
+    BlockedOrthogonalizer,
+    ConvergenceTest,
+    FlexiblePreconditioner,
+    SolverEngine,
+)
+from repro.krylov.engine.resilience import compose_policy
 from repro.krylov.result import SolveResult
-from repro.linalg.blas import back_substitution, rotate_hessenberg_column
-from repro.utils.timing import KernelCounters
 
 __all__ = ["fgmres"]
 
@@ -45,6 +47,7 @@ def fgmres(
     maxiter: int = 300,
     inner_solve: Optional[Callable[[Any], Any]] = None,
     iteration_hook: Optional[Callable[[int, float], None]] = None,
+    policy=None,
 ) -> SolveResult:
     """Solve ``A x = b`` with flexible (variable-preconditioner) GMRES.
 
@@ -61,6 +64,8 @@ def fgmres(
         equivalent to plain GMRES).
     iteration_hook:
         Optional callback ``hook(total_iteration, residual_norm)``.
+    policy:
+        Optional :class:`~repro.krylov.engine.resilience.ResiliencePolicy`.
 
     Returns
     -------
@@ -72,131 +77,15 @@ def fgmres(
     """
     if restart <= 0 or maxiter <= 0:
         raise ValueError("restart and maxiter must be positive")
-
-    kernels = KernelCounters()
-    b_norm = ops.norm(b)
-    target = max(tol * b_norm, atol)
-    if target == 0.0:
-        target = tol
-
-    x = ops.copy_vector(x0) if x0 is not None else ops.zeros_like(b)
-    residual_norms: List[float] = []
-    z_norms: List[float] = []
-    total_iteration = 0
-    converged = False
-    breakdown = False
-    outer = 0
-
-    while total_iteration < maxiter and not converged and not breakdown:
-        t0 = kernels.tick()
-        r = ops.axpby(1.0, b, -1.0, ops.matvec(operator, x))
-        kernels.charge("matvec", t0)
-        beta = ops.norm(r)
-        if not residual_norms:
-            residual_norms.append(beta)
-        if beta <= target:
-            converged = True
-            break
-        m = min(restart, maxiter - total_iteration)
-        basis = ops.allocate_basis(b, m + 1)
-        basis.append(r, scale=1.0 / beta)
-        z_block = ops.allocate_basis(b, m)
-        hessenberg = np.zeros((m + 1, m), dtype=np.float64)
-        givens: List[tuple] = []
-        g = [0.0] * (m + 1)
-        g[0] = beta
-        inner_used = 0
-        cycle_residual = beta
-
-        for j in range(m):
-            v = basis.column(j)
-            t0 = kernels.tick()
-            z = inner_solve(v) if inner_solve is not None else ops.copy_vector(v)
-            kernels.charge("inner_solve", t0)
-            # The reliable outer iteration inspects what the (possibly
-            # unreliable) inner solve returned and discards unusable
-            # results, replacing them with the unpreconditioned vector --
-            # the "analyzed and used or discarded" behaviour of the
-            # paper's reliable-outer formulation.  Unusable means
-            # non-finite, or so large that applying the operator would
-            # overflow and poison the reliable outer state.
-            z_local = ops.to_local(z)
-            z_norm = float(np.linalg.norm(z_local)) if np.all(np.isfinite(z_local)) else float("inf")
-            v_norm = ops.norm(v)
-            if (
-                not np.isfinite(z_norm)
-                or z_norm == 0.0
-                or z_norm > 1e120
-                or z_norm > 1e16 * max(v_norm, 1.0)
-            ):
-                z = ops.copy_vector(v)
-                z_norm = v_norm
-            t0 = kernels.tick()
-            with np.errstate(over="ignore", invalid="ignore"):
-                w = ops.matvec(operator, z)
-            if not np.all(np.isfinite(ops.to_local(w))):
-                z = ops.copy_vector(v)
-                z_norm = v_norm
-                w = ops.matvec(operator, z)
-            kernels.charge("matvec", t0)
-            z_block.append(z)
-            z_norms.append(z_norm)
-            t0 = kernels.tick()
-            w, coefficients = basis.orthogonalize(w, method="cgs2", k=j + 1)
-            h_next = ops.norm(w)
-            happy = h_next <= 1e-14 * max(cycle_residual, 1.0)
-            if not happy:
-                basis.append(w, scale=1.0 / h_next)
-            else:
-                basis.append_zero()
-            kernels.charge("orthogonalization", t0)
-            col = coefficients.tolist()
-            col.append(h_next)
-            cycle_residual = rotate_hessenberg_column(col, g, givens, j)
-            hessenberg[: j + 2, j] = col
-            inner_used = j + 1
-            total_iteration += 1
-            residual_norms.append(cycle_residual)
-            if iteration_hook is not None:
-                iteration_hook(total_iteration, cycle_residual)
-            if not math.isfinite(cycle_residual):
-                breakdown = True
-                break
-            if cycle_residual <= target or happy or total_iteration >= maxiter:
-                break
-
-        if inner_used > 0 and not breakdown:
-            try:
-                y = back_substitution(hessenberg[:inner_used, :inner_used], g[:inner_used])
-            except np.linalg.LinAlgError:
-                breakdown = True
-                y = None
-            if y is not None and np.all(np.isfinite(y)):
-                t0 = kernels.tick()
-                x = ops.axpby(1.0, x, 1.0, z_block.lincomb(y, k=inner_used))
-                kernels.charge("basis_update", t0)
-            else:
-                breakdown = True
-
-        t0 = kernels.tick()
-        true_residual = ops.norm(ops.axpby(1.0, b, -1.0, ops.matvec(operator, x)))
-        kernels.charge("matvec", t0)
-        if residual_norms:
-            residual_norms[-1] = true_residual
-        if true_residual <= target:
-            converged = True
-        outer += 1
-
-    return SolveResult(
-        x=x,
-        converged=converged,
-        iterations=total_iteration,
-        residual_norms=residual_norms,
-        breakdown=breakdown,
-        info={
-            "restarts": outer,
-            "target": target,
-            "z_norms": z_norms,
-            "kernels": kernels.as_dict(),
-        },
+    engine = SolverEngine(
+        operator,
+        ArnoldiScheme(
+            BlockedOrthogonalizer("cgs2", advertise=False),
+            FlexiblePreconditioner(inner_solve),
+            restart=restart,
+            maxiter=maxiter,
+        ),
+        convergence=ConvergenceTest(tol=tol, atol=atol),
+        policy=compose_policy(policy, iteration_hook, "scalar"),
     )
+    return engine.solve(b, x0)

@@ -1,14 +1,13 @@
 """Restarted GMRES with right preconditioning and iteration hooks.
 
-This is the baseline nonsymmetric solver of the toolkit.  It is written
-against the :mod:`repro.krylov.ops` dispatch layer so the same code
-runs sequentially (NumPy vectors) and on the simulated distributed
-runtime.  The Arnoldi basis is a preallocated
-:class:`~repro.krylov.ops.KrylovBasis` block, and orthogonalization is
-classical Gram-Schmidt with reorthogonalization (CGS2) by default: two
-BLAS-2 kernel calls per pass (``h = V_jᵀ w; w -= V_j h``) instead of
-the ``O(j)`` interpreted-Python dot/axpy round trips of one-vector-at-
-a-time MGS, and at least as robust numerically.
+This is the baseline nonsymmetric solver of the toolkit, now a thin
+wrapper over the :mod:`repro.krylov.engine`: the restarted-Arnoldi
+machinery lives in :class:`~repro.krylov.engine.core.ArnoldiScheme`,
+and this configuration pairs it with the blocking
+:class:`~repro.krylov.engine.orthogonalize.BlockedOrthogonalizer`
+(classical Gram-Schmidt with reorthogonalization, CGS2, by default) and
+fixed right preconditioning.  The same code runs sequentially (NumPy
+vectors) and on the simulated distributed runtime.
 
 Two extension points matter for the resilience work:
 
@@ -20,55 +19,27 @@ Two extension points matter for the resilience work:
   additionally exposes the whole block as an ndarray (``.array``).
 * ``operator`` may be any callable, which is how the SRP layer slips an
   unreliable operator underneath the solver.
+
+Named engine configurations (this one included) are exposed to the
+campaign layer by :mod:`repro.krylov.registry`.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
-import numpy as np
-
-from repro.krylov import ops
+from repro.krylov.engine import (
+    ArnoldiScheme,
+    BlockedOrthogonalizer,
+    ConvergenceTest,
+    GmresState,
+    RightPreconditioner,
+    SolverEngine,
+)
+from repro.krylov.engine.resilience import compose_policy
 from repro.krylov.result import SolveResult
-from repro.linalg.blas import back_substitution, rotate_hessenberg_column
-from repro.utils.timing import KernelCounters
 
 __all__ = ["gmres", "GmresState"]
-
-_GRAM_SCHMIDT_METHODS = ("cgs2", "classical", "modified")
-
-
-@dataclass
-class GmresState:
-    """Mutable view of the GMRES internals passed to iteration hooks.
-
-    Attributes
-    ----------
-    outer:
-        Restart cycle number (0-based).
-    inner:
-        Inner iteration within the cycle (0-based).
-    total_iteration:
-        Global iteration counter across restarts.
-    basis:
-        The :class:`~repro.krylov.ops.KrylovBasis` of this cycle
-        (``inner + 2`` stored vectors after the current step).
-        ``basis[i]`` is a writable view of vector ``i``; ``basis.array``
-        is the whole block as an ``(n, restart+1)`` ndarray.
-    hessenberg:
-        The ``(m+1) x m`` Hessenberg array of this cycle.
-    residual_norm:
-        Current (recurrence-based) residual norm estimate.
-    """
-
-    outer: int
-    inner: int
-    total_iteration: int
-    basis: ops.KrylovBasis
-    hessenberg: np.ndarray
-    residual_norm: float
 
 
 def gmres(
@@ -83,6 +54,7 @@ def gmres(
     preconditioner=None,
     iteration_hook: Optional[Callable[[GmresState], None]] = None,
     gram_schmidt: str = "cgs2",
+    policy=None,
 ) -> SolveResult:
     """Solve ``A x = b`` with restarted, right-preconditioned GMRES.
 
@@ -114,6 +86,10 @@ def gmres(
         reorthogonalization, the blocked BLAS-2 kernel),
         ``"classical"`` (one CGS pass) or ``"modified"`` (legacy
         one-vector-at-a-time MGS, kept for comparison runs).
+    policy:
+        Optional :class:`~repro.krylov.engine.resilience.ResiliencePolicy`
+        observing every iteration; composed with ``iteration_hook``
+        when both are given.
 
     Returns
     -------
@@ -125,134 +101,16 @@ def gmres(
         raise ValueError("restart must be positive")
     if maxiter <= 0:
         raise ValueError("maxiter must be positive")
-    if gram_schmidt not in _GRAM_SCHMIDT_METHODS:
-        raise ValueError(f"gram_schmidt must be one of {_GRAM_SCHMIDT_METHODS}")
-
-    kernels = KernelCounters()
-    b_norm = ops.norm(b)
-    target = max(tol * b_norm, atol)
-    if target == 0.0:
-        target = tol
-
-    x = ops.copy_vector(x0) if x0 is not None else ops.zeros_like(b)
-    residual_norms: List[float] = []
-    total_iteration = 0
-    breakdown = False
-    converged = False
-
-    outer = 0
-    while total_iteration < maxiter and not converged and not breakdown:
-        # Residual of the current iterate.
-        t0 = kernels.tick()
-        r = ops.axpby(1.0, b, -1.0, ops.matvec(operator, x))
-        kernels.charge("matvec", t0)
-        beta = ops.norm(r)
-        if not residual_norms:
-            residual_norms.append(beta)
-        if beta <= target:
-            converged = True
-            break
-        m = min(restart, maxiter - total_iteration)
-        basis = ops.allocate_basis(b, m + 1)
-        basis.append(r, scale=1.0 / beta)
-        hessenberg = np.zeros((m + 1, m), dtype=np.float64)
-        givens: List[tuple] = []
-        g = [0.0] * (m + 1)
-        g[0] = beta
-        inner_used = 0
-        cycle_residual = beta
-
-        for j in range(m):
-            # Arnoldi step with right preconditioning: w = A M^{-1} v_j.
-            if preconditioner is None:
-                z = basis.column(j)
-            else:
-                t0 = kernels.tick()
-                z = ops.apply_preconditioner(preconditioner, basis.column(j))
-                kernels.charge("preconditioner", t0)
-            t0 = kernels.tick()
-            w = ops.matvec(operator, z)
-            t1 = kernels.tick()
-            w, coefficients = basis.orthogonalize(w, method=gram_schmidt, k=j + 1)
-            h_next = ops.norm(w)
-            happy = h_next <= 1e-14 * max(cycle_residual, 1.0)
-            if not happy:
-                basis.append(w, scale=1.0 / h_next)
-            else:
-                basis.append_zero()
-            t2 = kernels.tick()
-            kernels.add("matvec", t1 - t0)
-            kernels.add("orthogonalization", t2 - t1)
-
-            # Incremental QR of the Hessenberg matrix: rotate the new
-            # column, store it, update the least-squares RHS.
-            col = coefficients.tolist()
-            col.append(h_next)
-            cycle_residual = rotate_hessenberg_column(col, g, givens, j)
-            hessenberg[: j + 2, j] = col
-
-            inner_used = j + 1
-            total_iteration += 1
-            residual_norms.append(cycle_residual)
-
-            if iteration_hook is not None:
-                iteration_hook(
-                    GmresState(
-                        outer=outer,
-                        inner=j,
-                        total_iteration=total_iteration,
-                        basis=basis,
-                        hessenberg=hessenberg,
-                        residual_norm=cycle_residual,
-                    )
-                )
-
-            if not math.isfinite(cycle_residual):
-                breakdown = True
-                break
-            if cycle_residual <= target or happy:
-                break
-            if total_iteration >= maxiter:
-                break
-
-        # Form the cycle's correction: solve the small least-squares system.
-        if inner_used > 0:
-            try:
-                y = back_substitution(hessenberg[:inner_used, :inner_used], g[:inner_used])
-            except np.linalg.LinAlgError:
-                breakdown = True
-                y = None
-            if y is not None and np.all(np.isfinite(y)):
-                t0 = kernels.tick()
-                update = basis.lincomb(y, k=inner_used)
-                kernels.charge("basis_update", t0)
-                if preconditioner is not None:
-                    t0 = kernels.tick()
-                    update = ops.apply_preconditioner(preconditioner, update)
-                    kernels.charge("preconditioner", t0)
-                x = ops.axpby(1.0, x, 1.0, update)
-            else:
-                breakdown = True
-
-        # True residual check at the cycle boundary.
-        t0 = kernels.tick()
-        true_residual = ops.norm(ops.axpby(1.0, b, -1.0, ops.matvec(operator, x)))
-        kernels.charge("matvec", t0)
-        residual_norms[-1] = true_residual
-        if true_residual <= target:
-            converged = True
-        outer += 1
-
-    return SolveResult(
-        x=x,
-        converged=converged,
-        iterations=total_iteration,
-        residual_norms=residual_norms,
-        breakdown=breakdown,
-        info={
-            "restarts": outer,
-            "target": target,
-            "gram_schmidt": gram_schmidt,
-            "kernels": kernels.as_dict(),
-        },
+    engine = SolverEngine(
+        operator,
+        ArnoldiScheme(
+            BlockedOrthogonalizer(gram_schmidt),
+            RightPreconditioner(preconditioner),
+            restart=restart,
+            maxiter=maxiter,
+            update_on_breakdown=True,
+        ),
+        convergence=ConvergenceTest(tol=tol, atol=atol),
+        policy=compose_policy(policy, iteration_hook, "state"),
     )
+    return engine.solve(b, x0)

@@ -15,18 +15,17 @@ plain arithmetic with identical convergence behaviour (up to rounding).
 
 The price is one extra vector recurrence (and slightly worse rounding
 behaviour), which is the trade-off the latency-tolerance literature
-accepts.
+accepts.  Thin wrapper over the :mod:`repro.krylov.engine` running
+:class:`~repro.krylov.engine.cg.PipelinedCgScheme`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
-import numpy as np
-
-from repro.krylov import ops
+from repro.krylov.engine import ConvergenceTest, PipelinedCgScheme, SolverEngine
+from repro.krylov.engine.resilience import compose_policy
 from repro.krylov.result import SolveResult
-from repro.utils.timing import KernelCounters
 
 __all__ = ["pipelined_cg"]
 
@@ -41,6 +40,7 @@ def pipelined_cg(
     maxiter: int = 1000,
     preconditioner=None,
     iteration_hook: Optional[Callable[[int, float], None]] = None,
+    policy=None,
 ) -> SolveResult:
     """Solve the SPD system ``A x = b`` with pipelined (overlapped) CG.
 
@@ -50,108 +50,10 @@ def pipelined_cg(
     """
     if maxiter <= 0:
         raise ValueError("maxiter must be positive")
-    kernels = KernelCounters()
-    b_norm = ops.norm(b)
-    target = max(tol * b_norm, atol)
-    if target == 0.0:
-        target = tol
-
-    x = ops.copy_vector(x0) if x0 is not None else ops.zeros_like(b)
-    t0 = kernels.tick()
-    r = ops.axpby(1.0, b, -1.0, ops.matvec(operator, x))
-    kernels.charge("matvec", t0)
-    t0 = kernels.tick()
-    u = ops.apply_preconditioner(preconditioner, r)
-    kernels.charge("preconditioner", t0)
-    t0 = kernels.tick()
-    w = ops.matvec(operator, u)
-    kernels.charge("matvec", t0)
-
-    residual = ops.norm(r)
-    residual_norms: List[float] = [residual]
-    converged = residual <= target
-    breakdown = False
-    iteration = 0
-    overlapped = 0
-
-    gamma_old = 0.0
-    alpha_old = 0.0
-    z = None
-    q = None
-    s = None
-    p = None
-
-    while not converged and not breakdown and iteration < maxiter:
-        # Start the fused reduction for gamma = (r, u) and delta = (w, u):
-        # one non-blocking allreduce carrying both partial sums.
-        fused = ops.fused_dots(((r, u), (w, u)))
-        # Overlap: apply the preconditioner and the operator while the
-        # reduction is in flight.
-        t0 = kernels.tick()
-        m_w = ops.apply_preconditioner(preconditioner, w)
-        kernels.charge("preconditioner", t0)
-        t0 = kernels.tick()
-        n_w = ops.matvec(operator, m_w)
-        kernels.charge("matvec", t0)
-        overlapped += 1
-        gamma, delta = (float(v) for v in fused.wait())
-
-        if not np.isfinite(gamma) or not np.isfinite(delta):
-            breakdown = True
-            break
-
-        if iteration > 0:
-            if gamma_old == 0.0 or alpha_old == 0.0:
-                breakdown = True
-                break
-            beta = gamma / gamma_old
-            denom = delta - beta * gamma / alpha_old
-        else:
-            beta = 0.0
-            denom = delta
-        if denom == 0.0 or not np.isfinite(denom):
-            breakdown = True
-            break
-        alpha = gamma / denom
-
-        if iteration == 0:
-            z = ops.copy_vector(n_w)
-            q = ops.copy_vector(m_w)
-            s = ops.copy_vector(w)
-            p = ops.copy_vector(u)
-        else:
-            z = ops.axpby(1.0, n_w, float(beta), z)
-            q = ops.axpby(1.0, m_w, float(beta), q)
-            s = ops.axpby(1.0, w, float(beta), s)
-            p = ops.axpby(1.0, u, float(beta), p)
-
-        x = ops.axpby(1.0, x, float(alpha), p)
-        r = ops.axpby(1.0, r, -float(alpha), s)
-        u = ops.axpby(1.0, u, -float(alpha), q)
-        w = ops.axpby(1.0, w, -float(alpha), z)
-
-        gamma_old = gamma
-        alpha_old = alpha
-        iteration += 1
-        residual = ops.norm(r)
-        residual_norms.append(residual)
-        if iteration_hook is not None:
-            iteration_hook(iteration, residual)
-        if not np.isfinite(residual):
-            breakdown = True
-            break
-        if residual <= target:
-            converged = True
-
-    return SolveResult(
-        x=x,
-        converged=converged,
-        iterations=iteration,
-        residual_norms=residual_norms,
-        breakdown=breakdown,
-        info={
-            "target": target,
-            "overlapped_reductions": overlapped,
-            "kernels": kernels.as_dict(),
-        },
+    engine = SolverEngine(
+        operator,
+        PipelinedCgScheme(preconditioner, maxiter=maxiter),
+        convergence=ConvergenceTest(tol=tol, atol=atol),
+        policy=compose_policy(policy, iteration_hook, "scalar"),
     )
+    return engine.solve(b, x0)

@@ -10,15 +10,14 @@ reduction via the Pythagorean identity
 ``|w_orth|^2 = |w|^2 - sum_i c_i^2``, and post that reduction as a
 non-blocking collective so it can be overlapped with local work.
 
-This module implements that single-reduction variant (with optional
-re-orthogonalization for robustness) on the blocked
-:class:`~repro.krylov.ops.KrylovBasis` kernels: the fused wave is ONE
-``iallreduce`` of the stacked ``[V_jᵀ w, |w|²]`` payload (sequentially,
-one gemv), and the local orthogonalization update is a single
-``w -= V_j h`` gemv.  The *depth-l* pipelining of p(l)-GMRES --
-overlapping the reduction with the next matrix--vector product across
-iterations -- changes only the timing, not the numerics; its timing
-effect is modeled analytically in experiment E3
+This configuration pairs the shared restarted-Arnoldi engine core with
+:class:`~repro.krylov.engine.orthogonalize.PipelinedOrthogonalizer`:
+the fused wave is ONE ``iallreduce`` of the stacked ``[V_jᵀ w, |w|²]``
+payload (sequentially, one gemv), and the local orthogonalization
+update is a single ``w -= V_j h`` gemv.  The *depth-l* pipelining of
+p(l)-GMRES -- overlapping the reduction with the next matrix--vector
+product across iterations -- changes only the timing, not the
+numerics; its timing effect is modeled analytically in experiment E3
 (:mod:`repro.rbsp.variability`), while this implementation demonstrates
 the reduced synchronization count (1 fused reduction per iteration
 versus ``j + 2``) on the simulated runtime.
@@ -26,15 +25,17 @@ versus ``j + 2``) on the simulated runtime.
 
 from __future__ import annotations
 
-import math
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
-import numpy as np
-
-from repro.krylov import ops
+from repro.krylov.engine import (
+    ArnoldiScheme,
+    ConvergenceTest,
+    PipelinedOrthogonalizer,
+    RightPreconditioner,
+    SolverEngine,
+)
+from repro.krylov.engine.resilience import compose_policy
 from repro.krylov.result import SolveResult
-from repro.linalg.blas import back_substitution, rotate_hessenberg_column
-from repro.utils.timing import KernelCounters
 
 __all__ = ["pipelined_gmres"]
 
@@ -51,6 +52,7 @@ def pipelined_gmres(
     preconditioner=None,
     reorthogonalize: bool = True,
     iteration_hook: Optional[Callable[[int, float], None]] = None,
+    policy=None,
 ) -> SolveResult:
     """Solve ``A x = b`` with single-reduction (latency-reduced) GMRES.
 
@@ -72,135 +74,15 @@ def pipelined_gmres(
     """
     if restart <= 0 or maxiter <= 0:
         raise ValueError("restart and maxiter must be positive")
-    kernels = KernelCounters()
-    b_norm = ops.norm(b)
-    target = max(tol * b_norm, atol)
-    if target == 0.0:
-        target = tol
-
-    x = ops.copy_vector(x0) if x0 is not None else ops.zeros_like(b)
-    residual_norms: List[float] = []
-    total_iteration = 0
-    reduction_waves = 0
-    mgs_equivalent = 0
-    converged = False
-    breakdown = False
-    outer = 0
-
-    while total_iteration < maxiter and not converged and not breakdown:
-        t0 = kernels.tick()
-        r = ops.axpby(1.0, b, -1.0, ops.matvec(operator, x))
-        kernels.charge("matvec", t0)
-        beta = ops.norm(r)
-        if not residual_norms:
-            residual_norms.append(beta)
-        if beta <= target:
-            converged = True
-            break
-        m = min(restart, maxiter - total_iteration)
-        basis = ops.allocate_basis(b, m + 1)
-        basis.append(r, scale=1.0 / beta)
-        hessenberg = np.zeros((m + 1, m), dtype=np.float64)
-        givens: List[tuple] = []
-        g = [0.0] * (m + 1)
-        g[0] = beta
-        inner_used = 0
-        cycle_residual = beta
-
-        for j in range(m):
-            if preconditioner is None:
-                z = basis.column(j)
-            else:
-                t0 = kernels.tick()
-                z = ops.apply_preconditioner(preconditioner, basis.column(j))
-                kernels.charge("preconditioner", t0)
-            t0 = kernels.tick()
-            w = ops.matvec(operator, z)
-            kernels.charge("matvec", t0)
-            # One fused, non-blocking reduction wave for all coefficients
-            # and the norm.
-            t0 = kernels.tick()
-            projection = basis.fused_projection(w, k=j + 1)
-            reduction_waves += 1
-            mgs_equivalent += j + 2
-            payload = projection.wait()
-            coefficients = np.asarray(payload[: j + 1], dtype=np.float64)
-            w_norm_sq = float(payload[j + 1])
-            # Form the orthogonalized vector locally (one gemv).
-            w = basis.block_axpy(coefficients, w, k=j + 1)
-            if reorthogonalize:
-                projection2 = basis.fused_projection(w, k=j + 1)
-                reduction_waves += 1
-                payload2 = projection2.wait()
-                corrections = np.asarray(payload2[: j + 1], dtype=np.float64)
-                w = basis.block_axpy(corrections, w, k=j + 1)
-                coefficients = coefficients + corrections
-                h_next = ops.norm(w)
-            else:
-                # Pythagorean identity: avoids a second reduction, at the
-                # price of squared-cancellation sensitivity.
-                h_next_sq = w_norm_sq - float(coefficients @ coefficients)
-                h_next = math.sqrt(max(h_next_sq, 0.0))
-            happy = h_next <= 1e-12 * max(math.sqrt(max(w_norm_sq, 0.0)), 1.0)
-            if not happy:
-                basis.append(w, scale=1.0 / h_next)
-            else:
-                basis.append_zero()
-            kernels.charge("orthogonalization", t0)
-
-            col = coefficients.tolist()
-            col.append(h_next)
-            cycle_residual = rotate_hessenberg_column(col, g, givens, j)
-            hessenberg[: j + 2, j] = col
-            inner_used = j + 1
-            total_iteration += 1
-            residual_norms.append(cycle_residual)
-            if iteration_hook is not None:
-                iteration_hook(total_iteration, cycle_residual)
-            if not math.isfinite(cycle_residual):
-                breakdown = True
-                break
-            if cycle_residual <= target or happy or total_iteration >= maxiter:
-                break
-
-        if inner_used > 0 and not breakdown:
-            try:
-                y = back_substitution(hessenberg[:inner_used, :inner_used], g[:inner_used])
-            except np.linalg.LinAlgError:
-                breakdown = True
-                y = None
-            if y is not None and np.all(np.isfinite(y)):
-                t0 = kernels.tick()
-                update = basis.lincomb(y, k=inner_used)
-                kernels.charge("basis_update", t0)
-                if preconditioner is not None:
-                    t0 = kernels.tick()
-                    update = ops.apply_preconditioner(preconditioner, update)
-                    kernels.charge("preconditioner", t0)
-                x = ops.axpby(1.0, x, 1.0, update)
-            else:
-                breakdown = True
-
-        t0 = kernels.tick()
-        true_residual = ops.norm(ops.axpby(1.0, b, -1.0, ops.matvec(operator, x)))
-        kernels.charge("matvec", t0)
-        if residual_norms:
-            residual_norms[-1] = true_residual
-        if true_residual <= target:
-            converged = True
-        outer += 1
-
-    return SolveResult(
-        x=x,
-        converged=converged,
-        iterations=total_iteration,
-        residual_norms=residual_norms,
-        breakdown=breakdown,
-        info={
-            "restarts": outer,
-            "target": target,
-            "reduction_waves": reduction_waves,
-            "mgs_equivalent_reductions": mgs_equivalent,
-            "kernels": kernels.as_dict(),
-        },
+    engine = SolverEngine(
+        operator,
+        ArnoldiScheme(
+            PipelinedOrthogonalizer(reorthogonalize),
+            RightPreconditioner(preconditioner),
+            restart=restart,
+            maxiter=maxiter,
+        ),
+        convergence=ConvergenceTest(tol=tol, atol=atol),
+        policy=compose_policy(policy, iteration_hook, "scalar"),
     )
+    return engine.solve(b, x0)

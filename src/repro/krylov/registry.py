@@ -1,0 +1,297 @@
+"""Named solver registry: every engine configuration under a stable name.
+
+The campaign layer treats *experiments* as first-class sweepable axes
+through :mod:`repro.campaign.registry`; this module does the same for
+*solvers*.  Each :class:`RegisteredSolver` names one configuration of
+the :mod:`repro.krylov.engine` (strategy combination plus resilience
+wiring) and exposes a uniform ``solve(operator, b, x0=None, *,
+policy=..., **params)`` entry point, so drivers and campaigns resolve
+solvers by name and sweep solver x policy x fault-schedule grids
+without importing solver modules.
+
+Policies are resolved per solver: every entry lists the policy names it
+supports, and :meth:`RegisteredSolver.resolve_policy` maps the generic
+sweep values (``"none"``, ``"guard"``, ``"skeptical"``) onto the
+strongest supported concrete policy -- full Arnoldi-state skeptical
+checks for GMRES, the solver-agnostic residual guard for the rest, and
+selective reliability (which is always on) for FT-GMRES.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.krylov.result import SolveResult
+
+__all__ = [
+    "RegisteredSolver",
+    "SolverRegistry",
+    "default_solver_registry",
+    "solver_names",
+]
+
+# Generic policy axis values campaigns sweep; resolve_policy maps them
+# onto each solver's concrete policies.
+GENERIC_POLICIES = ("none", "guard", "skeptical")
+
+
+def _guarded(solve_fn: Callable) -> Callable:
+    """Wrap a policy-aware solver function with residual-guard support."""
+    from repro.krylov.engine import ResidualGuardPolicy
+
+    def run(operator, b, x0, policy: str, options: dict, params: dict) -> SolveResult:
+        if policy == "none":
+            return solve_fn(operator, b, x0, **params)
+        guard = ResidualGuardPolicy(**options)
+        return solve_fn(operator, b, x0, policy=guard, **params)
+
+    return run
+
+
+@dataclass(frozen=True)
+class RegisteredSolver:
+    """One named solver configuration.
+
+    Attributes
+    ----------
+    name:
+        Stable registry key (``"gmres"``, ``"pipelined_cg"``, ...).
+    family:
+        ``"gmres"`` (nonsymmetric Arnoldi), ``"cg"`` (SPD recurrence)
+        or ``"outer_inner"`` (composed reliable-outer solvers).
+    title:
+        One-line human description.
+    policies:
+        Concrete resilience-policy names this solver supports; the
+        first entry is the default.
+    spd_only:
+        Whether the solver requires a symmetric positive definite
+        operator.
+    distributed:
+        Whether the solver runs on the simulated distributed backend.
+    experiments:
+        Experiment ids whose benchmarks exercise this solver (drives
+        ``run_benchmarks.py --solver``).
+    """
+
+    name: str
+    family: str
+    title: str
+    policies: Tuple[str, ...]
+    _solve: Callable = field(repr=False)
+    spd_only: bool = False
+    distributed: bool = True
+    experiments: Tuple[str, ...] = ()
+
+    @property
+    def default_policy(self) -> str:
+        return self.policies[0]
+
+    def resolve_policy(self, requested: Optional[str]) -> str:
+        """Map a requested (possibly generic) policy onto a supported one.
+
+        ``None`` selects the solver default.  Generic values degrade
+        gracefully: ``"skeptical"`` prefers the full Arnoldi-state
+        checks, then the residual guard, then whatever resilience the
+        solver has built in; ``"guard"`` prefers the residual guard.
+        Concrete names must be supported exactly.
+        """
+        if requested is None:
+            return self.default_policy
+        requested = requested.lower()
+        if requested in self.policies:
+            return requested
+        preferences = {
+            "none": ("none",),
+            "guard": ("residual_guard", "none"),
+            "skeptical": ("skeptical_restart", "residual_guard", "srp"),
+        }
+        for candidate in preferences.get(requested, ()):
+            if candidate in self.policies:
+                return candidate
+        if requested in GENERIC_POLICIES:
+            # Solver has a single built-in behaviour (e.g. FT-GMRES's
+            # selective reliability); every generic request maps to it.
+            return self.default_policy
+        raise ValueError(
+            f"solver {self.name!r} does not support policy {requested!r} "
+            f"(supported: {self.policies}; generic: {GENERIC_POLICIES})"
+        )
+
+    def solve(
+        self,
+        operator,
+        b,
+        x0=None,
+        *,
+        policy: Optional[str] = None,
+        policy_options: Optional[Mapping] = None,
+        **params,
+    ) -> SolveResult:
+        """Run this solver with a named resilience policy.
+
+        ``params`` are forwarded to the underlying solver function;
+        ``policy_options`` configure the policy object (e.g. the
+        residual guard's ``growth_factor``).  The effective policy name
+        is recorded in ``result.info["policy_name"]``.
+        """
+        effective = self.resolve_policy(policy)
+        result = self._solve(operator, b, x0, effective, dict(policy_options or {}), dict(params))
+        result.info.setdefault("solver_name", self.name)
+        result.info["policy_name"] = effective
+        return result
+
+
+class SolverRegistry:
+    """Index of named solver configurations."""
+
+    def __init__(self, solvers: Optional[List[RegisteredSolver]] = None):
+        self._by_name: Dict[str, RegisteredSolver] = {}
+        for solver in solvers if solvers is not None else _builtin_solvers():
+            self.add(solver)
+
+    def add(self, solver: RegisteredSolver) -> None:
+        key = solver.name.lower()
+        if key in self._by_name:
+            raise ValueError(f"duplicate solver name {key!r}")
+        self._by_name[key] = solver
+
+    def get(self, name: str) -> RegisteredSolver:
+        try:
+            return self._by_name[name.lower()]
+        except KeyError:
+            raise KeyError(
+                f"unknown solver {name!r} (known: {', '.join(self.names())})"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._by_name
+
+    def __iter__(self):
+        return iter(sorted(self._by_name.values(), key=lambda s: s.name))
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+
+def _builtin_solvers() -> List[RegisteredSolver]:
+    # Local imports: the registry is imported by repro.krylov.__init__.
+    from repro.ftgmres.outer import ft_gmres
+    from repro.krylov.cg import cg
+    from repro.krylov.fgmres import fgmres
+    from repro.krylov.gmres import gmres
+    from repro.krylov.pipelined_cg import pipelined_cg
+    from repro.krylov.pipelined_gmres import pipelined_gmres
+    from repro.skeptical.gmres_sdc import sdc_detecting_gmres
+
+    def solve_sdc(operator, b, x0, policy, options, params):
+        response = {"skeptical_restart": "restart", "skeptical_abort": "abort"}[policy]
+        return sdc_detecting_gmres(operator, b, x0, policy=response, **options, **params)
+
+    def solve_ft(operator, b, x0, policy, options, params):
+        return ft_gmres(operator, b, x0, **options, **params)
+
+    guard_only = ("none", "residual_guard")
+    return [
+        RegisteredSolver(
+            name="gmres",
+            family="gmres",
+            title="Restarted GMRES, right preconditioning, blocking CGS2",
+            policies=("none", "residual_guard", "skeptical_restart", "skeptical_abort"),
+            _solve=_dispatch_gmres(gmres, sdc_detecting_gmres),
+            experiments=("E1", "E3", "E6", "E8"),
+        ),
+        RegisteredSolver(
+            name="fgmres",
+            family="gmres",
+            title="Flexible GMRES (variable preconditioner, reliable outer)",
+            policies=guard_only,
+            _solve=_guarded(fgmres),
+            experiments=("E6", "E8"),
+        ),
+        RegisteredSolver(
+            name="pipelined_gmres",
+            family="gmres",
+            title="Single-reduction (latency-tolerant) GMRES",
+            policies=guard_only,
+            _solve=_guarded(pipelined_gmres),
+            experiments=("E3", "E8"),
+        ),
+        RegisteredSolver(
+            name="cg",
+            family="cg",
+            title="Preconditioned conjugate gradients",
+            policies=guard_only,
+            _solve=_guarded(cg),
+            spd_only=True,
+            experiments=("E3", "E5", "E8"),
+        ),
+        RegisteredSolver(
+            name="pipelined_cg",
+            family="cg",
+            title="Pipelined (overlapped single-reduction) CG",
+            policies=guard_only,
+            _solve=_guarded(pipelined_cg),
+            spd_only=True,
+            experiments=("E3", "E8"),
+        ),
+        RegisteredSolver(
+            name="sdc_gmres",
+            family="gmres",
+            title="SDC-detecting (skeptical) GMRES",
+            policies=("skeptical_restart", "skeptical_abort"),
+            _solve=solve_sdc,
+            distributed=False,
+            experiments=("E1", "E8"),
+        ),
+        RegisteredSolver(
+            name="ft_gmres",
+            family="outer_inner",
+            title="Fault-tolerant GMRES (selective reliability, unreliable inner)",
+            policies=("srp",),
+            _solve=solve_ft,
+            distributed=False,
+            experiments=("E6", "E8"),
+        ),
+    ]
+
+
+def _dispatch_gmres(gmres_fn, sdc_fn) -> Callable:
+    """GMRES dispatch: plain / guarded / full skeptical by policy name."""
+    from repro.krylov.engine import ResidualGuardPolicy
+
+    def run(operator, b, x0, policy, options, params):
+        if policy == "none":
+            return gmres_fn(operator, b, x0, **params)
+        if policy == "residual_guard":
+            return gmres_fn(operator, b, x0, policy=ResidualGuardPolicy(**options), **params)
+        response = {"skeptical_restart": "restart", "skeptical_abort": "abort"}[policy]
+        params.pop("gram_schmidt", None)  # the skeptical solver pins CGS2
+        # Uniform solve() contract: a gmres iteration_hook becomes the
+        # skeptical solver's pre-check hook (same run-before-checks slot).
+        hook = params.pop("iteration_hook", None)
+        if hook is not None and "fault_hook" not in params:
+            params["fault_hook"] = hook
+        return sdc_fn(operator, b, x0, policy=response, **options, **params)
+
+    return run
+
+
+_DEFAULT: Optional[SolverRegistry] = None
+
+
+def default_solver_registry() -> SolverRegistry:
+    """The process-wide registry of named solver configurations."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = SolverRegistry()
+    return _DEFAULT
+
+
+def solver_names() -> List[str]:
+    """Sorted names of all registered solvers."""
+    return default_solver_registry().names()

@@ -11,7 +11,7 @@ exercise them in isolation.
 from __future__ import annotations
 
 import math
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -23,6 +23,7 @@ __all__ = [
     "apply_givens",
     "rotate_hessenberg_column",
     "back_substitution",
+    "HessenbergLsq",
     "modified_gram_schmidt_step",
     "classical_gram_schmidt_step",
     "cgs2_step",
@@ -119,6 +120,51 @@ def back_substitution(upper: np.ndarray, rhs: np.ndarray) -> np.ndarray:
     for i in range(n - 1, -1, -1):
         y[i] = (rhs[i] - upper[i, i + 1 : n] @ y[i + 1 : n]) / pivots[i]
     return y
+
+
+class HessenbergLsq:
+    """Incremental QR least-squares state of one restarted-Arnoldi cycle.
+
+    Owns the pieces every GMRES-family solver used to hand-roll per
+    cycle: the ``(m+1) x m`` Hessenberg array, the accumulated Givens
+    rotations and the rotated least-squares right-hand side ``g``
+    (initialized to ``beta * e_1``).  :meth:`append_column` performs the
+    incremental QR update for the newest Arnoldi column and returns the
+    recurrence residual ``|g[j+1]|``; :meth:`solve` back-substitutes for
+    the cycle's correction coefficients.
+
+    The stored :attr:`hessenberg` array is the live solver state the
+    iteration hooks see -- fault-injection campaigns write into it, and
+    :meth:`solve` reads whatever is there at restart time (the rotations
+    and ``g`` are *not* re-derived from a mutated array, matching the
+    pre-engine behaviour the SDC experiments were calibrated against).
+    """
+
+    def __init__(self, m: int, beta: float):
+        self.hessenberg = np.zeros((int(m) + 1, int(m)), dtype=np.float64)
+        self._givens: list = []
+        self._g = [0.0] * (int(m) + 1)
+        self._g[0] = float(beta)
+        self.size = 0
+
+    def append_column(self, coefficients: np.ndarray, h_next: float) -> float:
+        """Rotate and store Arnoldi column ``size``; return the residual."""
+        j = self.size
+        col = coefficients.tolist()
+        col.append(h_next)
+        residual = rotate_hessenberg_column(col, self._g, self._givens, j)
+        self.hessenberg[: j + 2, j] = col
+        self.size = j + 1
+        return residual
+
+    def solve(self, k: Optional[int] = None) -> np.ndarray:
+        """Back-substitute for the first ``k`` correction coefficients.
+
+        Raises ``np.linalg.LinAlgError`` on a zero/non-finite pivot, as
+        :func:`back_substitution` does.
+        """
+        k = self.size if k is None else int(k)
+        return back_substitution(self.hessenberg[:k, :k], self._g[:k])
 
 
 def modified_gram_schmidt_step(

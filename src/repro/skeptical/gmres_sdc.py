@@ -3,8 +3,8 @@
 The concrete algorithm the paper holds up as an SkP exemplar (§III-A)
 is a GMRES "that detects and, optionally, corrects single bit flips
 very inexpensively as part of the Arnoldi process" (Elliott & Hoemmen).
-This module provides that solver: restarted GMRES whose iteration hook
-runs a :class:`~repro.skeptical.monitor.SkepticalMonitor` with
+This module provides that solver: restarted GMRES whose resilience
+policy runs a :class:`~repro.skeptical.monitor.SkepticalMonitor` with
 
 * a finiteness check of the newest basis vector and Hessenberg column
   (O(n) -- catches exponent-bit flips),
@@ -16,11 +16,14 @@ runs a :class:`~repro.skeptical.monitor.SkepticalMonitor` with
 * a periodic residual-consistency check (recurrence vs true residual,
   one extra matvec).
 
-On detection, the configured policy applies: the default
-``restart`` policy discards the corrupted Krylov cycle and restarts
-from the current iterate -- cheap, and sufficient because GMRES
-restarts are already part of the algorithm (the "rolling back to a
-previous valid state" response of §II-A).
+The monitor wiring is the engine's
+:class:`~repro.krylov.engine.resilience.SkepticalGmresPolicy`: on
+detection, the configured response applies -- the default ``restart``
+response abandons the corrupted Krylov cycle
+(:class:`~repro.krylov.engine.resilience.CycleAbandoned`) and this
+driver restarts GMRES from the current iterate, which is cheap and
+sufficient because GMRES restarts are already part of the algorithm
+(the "rolling back to a previous valid state" response of §II-A).
 """
 
 from __future__ import annotations
@@ -30,6 +33,13 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.krylov import ops
+from repro.krylov.engine.core import canonical_kernel_counters
+from repro.krylov.engine.resilience import (
+    CallbackPolicy,
+    CompositePolicy,
+    CycleAbandoned,
+    SkepticalGmresPolicy,
+)
 from repro.krylov.gmres import GmresState, gmres
 from repro.krylov.result import SolveResult
 from repro.skeptical.checks import (
@@ -40,17 +50,12 @@ from repro.skeptical.checks import (
     residual_consistency_check,
 )
 from repro.skeptical.monitor import SkepticalMonitor
-from repro.skeptical.policies import ResponsePolicy, SkepticalAbort
 from repro.utils.validation import check_integer, check_positive
 
-__all__ = ["sdc_detecting_gmres"]
+__all__ = ["sdc_detecting_gmres", "default_sdc_monitor", "estimate_operator_norm"]
 
 
-class _CycleRestart(Exception):
-    """Internal signal: abandon the current Krylov cycle and restart."""
-
-
-def _estimate_operator_norm(operator, probe: np.ndarray, n_samples: int = 4) -> float:
+def estimate_operator_norm(operator, probe: np.ndarray, n_samples: int = 4) -> float:
     """Cheap randomized lower-bound estimate of ||A||_2.
 
     A few matvecs on random unit vectors give a (slight under-)estimate
@@ -68,12 +73,74 @@ def _estimate_operator_norm(operator, probe: np.ndarray, n_samples: int = 4) -> 
     return max(estimate, np.finfo(float).tiny)
 
 
+def default_sdc_monitor(
+    norm_estimate: float,
+    *,
+    check_period: int = 1,
+    orthogonality_period: int = 5,
+    residual_check_period: int = 10,
+    hessenberg_safety: float = 4.0,
+    orthogonality_tol: float = 1e-6,
+) -> SkepticalMonitor:
+    """The standard SkP check set for GMRES, as a configured monitor."""
+    monitor = SkepticalMonitor()
+    monitor.add_check(
+        "finite_basis",
+        lambda state: finite_check(
+            np.asarray(state["basis"][state["inner"] + 1]), name="finite_basis"
+        ),
+        period=check_period,
+    )
+    monitor.add_check(
+        "finite_hessenberg",
+        lambda state: finite_check(
+            state["hessenberg"][: state["inner"] + 2, state["inner"]],
+            name="finite_hessenberg",
+        ),
+        period=check_period,
+    )
+    monitor.add_check(
+        "hessenberg_bound",
+        lambda state: hessenberg_bound_check(
+            state["hessenberg"],
+            norm_estimate,
+            n_columns=state["inner"] + 1,
+            safety=hessenberg_safety,
+        ),
+        period=check_period,
+    )
+    monitor.add_check(
+        "residual_monotone",
+        lambda state: monotonicity_check(state["residual_history"]),
+        period=check_period,
+    )
+    monitor.add_check(
+        "orthogonality",
+        # The basis block is already an ndarray (vectors as columns);
+        # check the stored vectors in place, no column_stack copies.
+        lambda state: orthogonality_check(
+            state["basis"].matrix(),
+            tol=orthogonality_tol,
+        ),
+        period=orthogonality_period,
+    )
+    monitor.add_check(
+        "residual_consistency",
+        lambda state: residual_consistency_check(
+            state["residual_norm"], state["true_residual"]()
+        ),
+        period=residual_check_period,
+    )
+    return monitor
+
+
 def sdc_detecting_gmres(
     operator,
     b: np.ndarray,
     x0: Optional[np.ndarray] = None,
     *,
     tol: float = 1e-8,
+    atol: float = 0.0,
     restart: int = 30,
     maxiter: int = 1000,
     preconditioner=None,
@@ -86,12 +153,13 @@ def sdc_detecting_gmres(
     monitor: Optional[SkepticalMonitor] = None,
     fault_hook: Optional[Callable[[GmresState], None]] = None,
     max_restarts_on_detection: int = 5,
+    operator_norm: Optional[float] = None,
 ) -> SolveResult:
     """Restarted GMRES with skeptical SDC detection in the Arnoldi process.
 
     Parameters
     ----------
-    operator, b, x0, tol, restart, maxiter, preconditioner:
+    operator, b, x0, tol, atol, restart, maxiter, preconditioner:
         As for :func:`repro.krylov.gmres.gmres` (sequential NumPy
         vectors only -- the checks need the basis as a dense array).
     check_period:
@@ -118,6 +186,12 @@ def sdc_detecting_gmres(
         bit flip would land.
     max_restarts_on_detection:
         Upper bound on detection-triggered restarts before giving up.
+    operator_norm:
+        Trusted ``||A||`` estimate for the Hessenberg-bound check.  By
+        default it is probed from ``operator`` with a few matvecs;
+        supply it explicitly when the operator itself is unreliable
+        (fault-injection campaigns), so the *setup* of the checks runs
+        in reliable mode as the SkP model assumes.
 
     Returns
     -------
@@ -133,100 +207,35 @@ def sdc_detecting_gmres(
         raise ValueError("policy must be 'restart' or 'abort'")
 
     b = np.asarray(b, dtype=np.float64)
-    norm_estimate = _estimate_operator_norm(operator, b)
+    norm_estimate = (
+        float(operator_norm) if operator_norm is not None
+        else estimate_operator_norm(operator, b)
+    )
 
     if monitor is None:
-        monitor = SkepticalMonitor()
-        monitor.add_check(
-            "finite_basis",
-            lambda state: finite_check(
-                np.asarray(state["basis"][state["inner"] + 1]), name="finite_basis"
-            ),
-            period=check_period,
-        )
-        monitor.add_check(
-            "finite_hessenberg",
-            lambda state: finite_check(
-                state["hessenberg"][: state["inner"] + 2, state["inner"]],
-                name="finite_hessenberg",
-            ),
-            period=check_period,
-        )
-        monitor.add_check(
-            "hessenberg_bound",
-            lambda state: hessenberg_bound_check(
-                state["hessenberg"],
-                norm_estimate,
-                n_columns=state["inner"] + 1,
-                safety=hessenberg_safety,
-            ),
-            period=check_period,
-        )
-        monitor.add_check(
-            "residual_monotone",
-            lambda state: monotonicity_check(state["residual_history"]),
-            period=check_period,
-        )
-        monitor.add_check(
-            "orthogonality",
-            # The basis block is already an ndarray (vectors as columns);
-            # check the stored vectors in place, no column_stack copies.
-            lambda state: orthogonality_check(
-                state["basis"].matrix(),
-                tol=orthogonality_tol,
-            ),
-            period=orthogonality_period,
-        )
-        monitor.add_check(
-            "residual_consistency",
-            lambda state: residual_consistency_check(
-                state["residual_norm"], state["true_residual"]()
-            ),
-            period=residual_check_period,
+        monitor = default_sdc_monitor(
+            norm_estimate,
+            check_period=check_period,
+            orthogonality_period=orthogonality_period,
+            residual_check_period=residual_check_period,
+            hessenberg_safety=hessenberg_safety,
+            orthogonality_tol=orthogonality_tol,
         )
 
-    detection_restarts = 0
-    residual_history = []
-
-    def make_hook(current_x):
-        def hook(state: GmresState) -> None:
-            nonlocal detection_restarts
-            if fault_hook is not None:
-                fault_hook(state)
-            residual_history.append(state.residual_norm)
-
-            def true_residual() -> float:
-                # Reconstruct the current iterate's residual explicitly:
-                # costs one matvec, so it runs only at its (long) period.
-                return float(
-                    np.linalg.norm(b - np.asarray(ops.matvec(operator, current_x)))
-                    if state.inner == 0
-                    else state.residual_norm
-                )
-
-            observation = {
-                "basis": state.basis,
-                "hessenberg": state.hessenberg,
-                "inner": state.inner,
-                "residual_norm": state.residual_norm,
-                "residual_history": residual_history,
-                "true_residual": true_residual,
-            }
-            try:
-                monitor.observe(observation)
-            except SkepticalAbort:
-                if policy == "abort":
-                    raise
-                detection_restarts += 1
-                raise _CycleRestart() from None
-
-        return hook
+    skeptical = SkepticalGmresPolicy(monitor, operator=operator, b=b, response=policy)
+    engine_policy = (
+        skeptical
+        if fault_hook is None
+        else CompositePolicy([CallbackPolicy(fault_hook, "state"), skeptical])
+    )
 
     x = np.array(x0, dtype=np.float64, copy=True) if x0 is not None else np.zeros_like(b)
     total_iterations = 0
     all_residuals = []
     converged = False
     breakdown = False
+    kernels = canonical_kernel_counters()
+    target = None
 
     attempts = 0
     while attempts <= max_restarts_on_detection and not converged:
@@ -240,26 +249,30 @@ def sdc_detecting_gmres(
                 b,
                 x0=x,
                 tol=tol,
+                atol=atol,
                 restart=restart,
                 maxiter=remaining,
                 preconditioner=preconditioner,
-                iteration_hook=make_hook(x),
+                policy=engine_policy,
             )
-        except _CycleRestart:
+        except CycleAbandoned as abandoned:
             # The corrupted cycle is discarded; the current iterate x is
             # still valid (it was formed before the corruption), so we
-            # simply try again from it.
+            # simply try again from it -- keeping the abandoned
+            # attempt's kernel work in the accounting.
+            if abandoned.kernels:
+                kernels.merge_dict(abandoned.kernels)
             total_iterations += 1
-            residual_history.clear()
             continue
         total_iterations += result.iterations
         all_residuals.extend(result.residual_norms)
+        kernels.merge_dict(result.info["kernels"])
+        target = result.info["target"]
         x = np.asarray(result.x)
         converged = result.converged
         breakdown = result.breakdown
         if converged or breakdown:
             break
-        residual_history.clear()
 
     summary = monitor.summary()
     return SolveResult(
@@ -270,10 +283,12 @@ def sdc_detecting_gmres(
         breakdown=breakdown,
         detected_faults=monitor.n_detections,
         info={
-            "detection_restarts": detection_restarts,
+            "detection_restarts": skeptical.detection_restarts,
             "checks_run": summary["checks_run"],
             "check_flops": summary["check_flops"],
             "policy": policy,
             "operator_norm_estimate": norm_estimate,
+            "target": target,
+            "kernels": kernels.as_dict(),
         },
     )

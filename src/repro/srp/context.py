@@ -31,7 +31,52 @@ from repro.utils.logging import EventLog
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_probability
 
-__all__ = ["SelectiveReliabilityEnvironment"]
+__all__ = ["SelectiveReliabilityEnvironment", "UnreliableOperator"]
+
+
+class UnreliableOperator:
+    """An operator whose every application runs in the unreliable domain.
+
+    Wraps a plain apply-callable so each result is ``touch``-ed by the
+    environment's unreliable domain (and may therefore be corrupted by
+    its fault injector), while accounting the flops performed
+    unreliably.  This is the one sanctioned way to slip an unreliable
+    operator underneath *any* engine-backed solver -- the FT-GMRES
+    inner solver and the solver-matrix fault campaigns both use it
+    instead of hand-rolling domain wiring.
+
+    Parameters
+    ----------
+    environment:
+        The owning :class:`SelectiveReliabilityEnvironment`.
+    apply:
+        The underlying (correct) operator application ``x -> A x``.
+    flops_per_call:
+        Flops charged to the unreliable domain per application
+        (``2 * nnz`` for a sparse matvec).
+
+    Attributes
+    ----------
+    flops:
+        Total flops performed through this operator so far.
+    now:
+        Logical timestamp handed to the fault schedule on each
+        application; callers running phased computations (e.g. one
+        inner solve per outer iteration) update it between phases.
+    """
+
+    def __init__(self, environment: "SelectiveReliabilityEnvironment", apply, *,
+                 flops_per_call: float = 0.0):
+        self.environment = environment
+        self.apply = apply
+        self.flops_per_call = float(flops_per_call)
+        self.flops = 0.0
+        self.now = 0.0
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        result = self.apply(x)
+        self.flops += self.flops_per_call
+        return self.environment.unreliable_domain.touch(result, now=self.now)
 
 
 class SelectiveReliabilityEnvironment:
@@ -89,6 +134,10 @@ class SelectiveReliabilityEnvironment:
     def unreliable(self):
         """Context manager yielding the unreliable domain."""
         yield self.unreliable_domain
+
+    def unreliable_operator(self, apply, *, flops_per_call: float = 0.0) -> UnreliableOperator:
+        """Wrap ``apply`` as an :class:`UnreliableOperator` of this environment."""
+        return UnreliableOperator(self, apply, flops_per_call=flops_per_call)
 
     # ------------------------------------------------------------------
     def faults_injected(self) -> int:

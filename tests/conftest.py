@@ -14,12 +14,26 @@ def pytest_addoption(parser):
         help="regenerate tests/goldens/*.txt from the current drivers "
         "instead of asserting against them",
     )
+    parser.addoption(
+        "--update-parity",
+        action="store_true",
+        default=False,
+        help="regenerate tests/data/engine_parity.json from the current "
+        "solvers instead of asserting against it (see "
+        "tests/test_engine_parity.py)",
+    )
 
 
 @pytest.fixture
 def update_goldens(request) -> bool:
     """Whether ``--update-goldens`` was passed (see tests/test_goldens.py)."""
     return request.config.getoption("--update-goldens")
+
+
+@pytest.fixture
+def update_parity(request) -> bool:
+    """Whether ``--update-parity`` was passed (see tests/test_engine_parity.py)."""
+    return request.config.getoption("--update-parity")
 
 from repro.linalg.matgen import convection_diffusion_2d, poisson_1d, poisson_2d
 from repro.machine.model import MachineModel
