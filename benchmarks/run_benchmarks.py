@@ -39,14 +39,18 @@ def _with_src_on_path() -> None:
         sys.path.insert(0, SRC_DIR)
 
 
-def bench_modules(solver: str = None) -> list:
+def bench_modules(solver: str = None, faults: str = None) -> list:
     """One benchmark module per registered experiment, in E-number order.
 
     Modules are matched by prefix (``bench_e3_*.py`` covers E3) so the
     benchmark file name can carry a fuller description than the driver
     module does.  With ``solver``, only the experiments the solver
     registry lists as exercising that solver are kept (so
-    ``--solver pipelined_cg`` runs just the E3/E8 benchmarks).
+    ``--solver pipelined_cg`` runs just the E3/E8 benchmarks).  With
+    ``faults`` -- a reliability-registry name or compact fault spec --
+    only the experiments registered as exercising that fault model are
+    kept (so ``--faults proc_fail`` runs just the E4/E5/E7 benchmarks);
+    inline specs map through their kind's registry entries.
     """
     _with_src_on_path()
     from repro.campaign.registry import default_registry
@@ -60,6 +64,38 @@ def bench_modules(solver: str = None) -> list:
         except KeyError as exc:
             raise SystemExit(str(exc)) from None
         wanted = set(entry.experiments)
+
+    if faults is not None:
+        from repro.reliability.registry import (
+            default_fault_registry,
+            resolve_faults,
+        )
+
+        registry = default_fault_registry()
+        try:
+            if faults in registry:
+                fault_experiments = set(registry.get(faults).experiments)
+            else:
+                # An inline spec: validate it, then take the union of
+                # the registry entries matching its component kinds.
+                model = resolve_faults(faults)
+                kinds = {component.kind for component in model.components()}
+                fault_experiments = {
+                    experiment
+                    for entry in registry
+                    if entry.spec.kind in kinds
+                    for experiment in entry.experiments
+                }
+        except (KeyError, ValueError) as exc:
+            raise SystemExit(str(exc)) from None
+        if not fault_experiments:
+            raise SystemExit(
+                f"fault spec {faults!r} maps to no registered experiments"
+            )
+        wanted = (
+            fault_experiments if wanted is None
+            else wanted & fault_experiments
+        )
 
     modules = []
     for driver in default_registry():
@@ -136,6 +172,15 @@ def main(argv=None) -> int:
         "a filtered run is not comparable against a full baseline",
     )
     parser.add_argument(
+        "--faults",
+        default=None,
+        help="run only the benchmarks exercising this fault model "
+        "(a repro.reliability registry name, e.g. 'proc_fail', or a "
+        "compact spec string like 'bitflip:p=0.02'); combines with "
+        "--solver as an intersection; a filtered run is not comparable "
+        "against a full baseline",
+    )
+    parser.add_argument(
         "pytest_args",
         nargs="*",
         help="extra arguments forwarded to pytest (after --)",
@@ -154,7 +199,8 @@ def main(argv=None) -> int:
         sys.executable,
         "-m",
         "pytest",
-        *[os.path.join(BENCH_DIR, module) for module in bench_modules(args.solver)],
+        *[os.path.join(BENCH_DIR, module)
+          for module in bench_modules(args.solver, args.faults)],
         "--benchmark-only",
         f"--benchmark-json={args.json}",
         "-q",

@@ -11,7 +11,7 @@ Run with:  python examples/lflr_heat_equation.py
 
 import numpy as np
 
-from repro.faults import FailurePlan
+from repro.reliability import FailurePlan
 from repro.lflr import run_lflr_heat
 from repro.machine import MachineModel
 

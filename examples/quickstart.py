@@ -14,8 +14,8 @@ Run with:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.faults import FailurePlan
-from repro.faults.bitflip import flip_bit_array
+from repro.reliability import FailurePlan
+from repro.reliability.bitflip import flip_bit_array
 from repro.ftgmres import ft_gmres
 from repro.lflr import run_lflr_heat
 from repro.linalg import poisson_2d

@@ -38,6 +38,34 @@ python -m repro.campaign list --campaign solvers > /dev/null
 echo "registry OK (7 solvers, 'solvers' campaign expands)"
 
 echo
+echo "== reliability registry self-check =="
+grep -q "registered fault models" <<<"$listing" || {
+    echo "ERROR: 'campaign list' does not include the fault axis" >&2
+    exit 1
+}
+for model in none bitflip bitflip_mantissa bitflip_exponent basis_bitflip \
+             sdc_value msg_corrupt proc_fail proc_fail_weibull; do
+    grep -qE "^$model " <<<"$listing" || {
+        echo "ERROR: fault model '$model' missing from the registry listing" >&2
+        exit 1
+    }
+done
+# Every named fault model must instantiate, serialize to its compact
+# string form, and round-trip back to the identical spec.
+python - <<'PY'
+from repro.reliability.registry import default_fault_registry
+from repro.reliability.spec import FaultSpec
+
+for entry in default_fault_registry():
+    model = entry.build()
+    text = model.describe()
+    roundtrip = FaultSpec.parse(text)
+    assert roundtrip == entry.spec, (entry.name, text, roundtrip, entry.spec)
+    assert FaultSpec.from_dict(entry.spec.to_dict()) == entry.spec, entry.name
+print(f"reliability registry OK ({len(default_fault_registry())} fault models round-trip)")
+PY
+
+echo
 echo "== engine parity + registry contract suite, second pass =="
 if [[ "$FAST" == "1" ]]; then
     echo "(skipped: --fast)"

@@ -17,8 +17,12 @@ Subpackage overview
 -------------------
 ``repro.utils``
     RNG management, validation, timing, tables, event logs.
-``repro.faults``
-    Bit flips, fault schedules, injectors, process-failure models.
+``repro.reliability``
+    The unified reliability layer: declarative fault specs and the
+    named fault-model registry over bit flips, fault schedules,
+    injectors, process-failure models, SRP domains, TMR and the
+    reliability cost model.  (``repro.faults`` and ``repro.srp``
+    remain as deprecated shims.)
 ``repro.machine``
     Machine model, performance-variability models, collective cost and
     application-efficiency formulas.
@@ -34,8 +38,6 @@ Subpackage overview
     SkP: invariant checks, policies, monitors, SDC-detecting GMRES.
 ``repro.rbsp``
     RBSP: asynchronous-collective helpers and latency analysis.
-``repro.srp``
-    SRP: reliable/unreliable regions, TMR, reliability cost model.
 ``repro.ftgmres``
     FT-GMRES: reliable outer / unreliable inner iteration.
 ``repro.lflr``
@@ -52,6 +54,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "utils",
+    "reliability",
     "faults",
     "machine",
     "simmpi",

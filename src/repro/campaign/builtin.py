@@ -122,17 +122,24 @@ def _default() -> List[Scenario]:
 
 
 def _solvers() -> List[Scenario]:
-    # The solver x resilience-policy x fault-schedule grid of E8: each
+    # The solver x resilience-policy x fault-spec grid of E8: each
     # scenario runs EVERY solver in the krylov registry, so the solver
-    # axis is swept inside the driver while policy and fault schedule
-    # are campaign axes.
+    # axis is swept inside the driver while policy and fault model are
+    # campaign axes.  The fault axis is declarative -- reliability
+    # registry names and compact spec strings, resolved by the driver
+    # exactly like solver names -- and its "none"/bit-flip values are
+    # legacy-equivalent to the old fault_probability grid.
     return Sweep(
         "E8",
         axes={
             "policy": ("none", "guard", "skeptical"),
-            "fault_probability": (0.0, 0.02),
+            "faults": (
+                "none",
+                "bitflip:p=0.02,bits=52..62",
+                "perturb:p=0.01,scale=1000.0",
+            ),
         },
-        base={"grid": 8, "bit_range": (52, 62), "seed": 2013},
+        base={"grid": 8, "seed": 2013},
         tag="solvers",
     ).expand()
 

@@ -34,6 +34,7 @@ from typing import List, Optional
 from repro.campaign.builtin import builtin_campaign, builtin_campaign_names
 from repro.campaign.registry import default_registry
 from repro.krylov.registry import default_solver_registry
+from repro.reliability.registry import default_fault_registry
 from repro.campaign.report import render_report
 from repro.campaign.runner import CampaignRunner, ScenarioOutcome
 from repro.campaign.spec import Scenario
@@ -48,7 +49,7 @@ DEFAULT_STORE = "campaign_results.jsonl"
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.campaign",
-        description="Declarative scenario sweeps over the E1-E7 experiment drivers.",
+        description="Declarative scenario sweeps over the E1-E8 experiment drivers.",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -143,6 +144,16 @@ def _cmd_list(args) -> int:
             solver.name, solver.family, ",".join(solver.policies), solver.title
         )
     print(solvers.render())
+    print()
+    fault_registry = default_fault_registry()
+    faults = Table(["fault_model", "spec", "experiments", "title"],
+                   title=f"registered fault models ({len(fault_registry)})")
+    for entry in fault_registry:
+        faults.add_row(
+            entry.name, entry.spec.to_string(),
+            ",".join(entry.experiments), entry.title,
+        )
+    print(faults.render())
     print()
     campaigns = Table(["campaign", "scenarios", "experiments"],
                       title="built-in campaigns")

@@ -21,7 +21,6 @@ methods.
 
 from __future__ import annotations
 
-import hashlib
 import multiprocessing
 import time
 import traceback
@@ -34,19 +33,12 @@ from repro.campaign.spec import Scenario
 from repro.campaign.store import ResultStore
 from repro.experiments.common import ExperimentResult
 
+# The per-scenario seed derivation is shared with the reliability
+# layer (repro.reliability.seeding), so fault models built from a
+# scenario seed draw the same streams at every entry point.
+from repro.reliability.seeding import derive_seed
+
 __all__ = ["CampaignRunner", "ScenarioOutcome", "derive_seed"]
-
-
-def derive_seed(base_seed: int, scenario_key: str) -> int:
-    """Deterministic per-scenario seed from the campaign base seed.
-
-    Stable across processes and Python versions (SHA-256, no
-    ``hash()``), and different for scenarios with different keys, so
-    sweeps that vary only non-seed parameters still draw independent
-    randomness per scenario.
-    """
-    digest = hashlib.sha256(f"{base_seed}:{scenario_key}".encode("utf-8")).digest()
-    return int.from_bytes(digest[:4], "little")
 
 
 @dataclass(frozen=True)

@@ -5,7 +5,7 @@ classical global CPR discipline: checkpoint every ``interval`` steps;
 when a failure strikes, *all* ranks are killed, the job pays the
 restart overhead plus checkpoint read time, and execution resumes from
 the last checkpoint -- recomputing every step since.  Failures are
-driven by the same :class:`~repro.faults.process.FailurePlan` the LFLR
+driven by the same :class:`~repro.reliability.process.FailurePlan` the LFLR
 driver uses, so experiment E4 can compare the two recovery disciplines
 on identical failure traces.
 
@@ -24,7 +24,7 @@ from typing import Any, Callable, Dict, Optional
 import numpy as np
 
 from repro.checkpoint.store import CheckpointStore
-from repro.faults.process import FailurePlan
+from repro.reliability.process import FailurePlan
 from repro.machine.model import MachineModel
 from repro.utils.validation import check_integer, check_positive
 

@@ -20,11 +20,11 @@ from typing import Optional
 import numpy as np
 
 from repro.experiments.common import ExperimentResult, ExperimentSpec
-from repro.faults.bitflip import flip_bit_array
-from repro.faults.events import FaultEvent, FaultRecord
-from repro.faults.sdc import SdcCampaign, classify_outcome
 from repro.krylov.registry import default_solver_registry
 from repro.linalg.matgen import poisson_2d
+from repro.reliability.events import FaultEvent, FaultRecord
+from repro.reliability.registry import resolve_faults
+from repro.reliability.sdc import SdcCampaign, classify_outcome
 from repro.utils.rng import RngFactory
 from repro.utils.tables import Table
 
@@ -48,23 +48,20 @@ _BIT_CLASSES = {
 
 
 def _solve_with_injection(
-    matrix, b, x_true, *, bit_range, inject_at, rng, skeptical: bool, tol: float,
+    matrix, b, x_true, *, fault_model, inject_at, rng, skeptical: bool, tol: float,
     check_period: int,
 ):
-    """One faulty run; returns a FaultRecord."""
-    flip_bit = int(rng.integers(bit_range[0], bit_range[1] + 1))
-    injected = {"done": False, "bit": flip_bit, "index": None}
+    """One faulty run; returns a FaultRecord.
 
-    def fault_hook(state):
-        if injected["done"] or state.total_iteration != inject_at:
-            return
-        target = np.asarray(state.basis[state.inner + 1])
-        if target.size == 0:
-            return
-        index = int(rng.integers(0, target.size))
-        flip_bit_array(target, index, flip_bit, inplace=True)
-        injected["done"] = True
-        injected["index"] = index
+    The injection comes from the fault model's engine iteration hook
+    (see :meth:`repro.reliability.models.BasisBitflipFaults.iteration_hook`),
+    which replays the historical draw order exactly: bit position at
+    hook creation, victim index at fire time.
+    """
+    if fault_model.is_null:
+        fault_hook, injected = None, {"bit": None, "index": None}
+    else:
+        fault_hook, injected = fault_model.iteration_hook(rng, at=inject_at)
 
     solvers = default_solver_registry()
     if skeptical:
@@ -107,6 +104,7 @@ def run(
     inject_at: int = 10,
     tol: float = 1e-8,
     check_period: int = 1,
+    faults=None,
     seed: int = 2013,
 ) -> ExperimentResult:
     """Run experiment E1 and return its table.
@@ -123,9 +121,36 @@ def run(
         Solver tolerance.
     check_period:
         Period of the cheap skeptical checks (the ablation knob).
+    faults:
+        Injection model template (reliability-registry name, compact
+        spec string or dict); each bit class instantiates it with its
+        own ``bits`` range.  ``None`` keeps the legacy-equivalent
+        targeted basis bit flip (``"basis_bitflip"``); ``"none"`` runs
+        the whole campaign fault-free.
     seed:
         Root seed.
     """
+    # Record the requested axis value (like every other driver); the
+    # template below may degrade to the component E1 actually consumes.
+    fault_template = resolve_faults(
+        faults if faults is not None else "basis_bitflip"
+    )
+    faults_label = fault_template.describe() if faults is not None else None
+    # Degrade gracefully on a shared fault axis: any bit-level model
+    # becomes the targeted basis flip it implies, and models with no
+    # bit-level component (e.g. pure proc_fail) run the campaign
+    # fault-free rather than crashing the sweep.
+    if not fault_template.is_null:
+        basis_component = fault_template.component("basis_bitflip")
+        bit_component = fault_template.component("bitflip")
+        if basis_component is not None:
+            fault_template = basis_component
+        elif bit_component is not None:
+            fault_template = resolve_faults(
+                "basis_bitflip", bits=bit_component.bits
+            )
+        else:
+            fault_template = resolve_faults("none")
     matrix = poisson_2d(grid)
     factory = RngFactory(seed)
     rng_rhs = factory.spawn("rhs")
@@ -152,12 +177,17 @@ def run(
     )
     summary = {}
     for class_name, bit_range in _BIT_CLASSES.items():
+        class_model = (
+            fault_template
+            if fault_template.is_null
+            else fault_template.with_params(bits=bit_range)
+        )
         for skeptical in (False, True):
             rng = factory.spawn(f"{class_name}-{skeptical}")
 
-            def run_once(trial, _rng=rng, _bits=bit_range, _skeptical=skeptical):
+            def run_once(trial, _rng=rng, _model=class_model, _skeptical=skeptical):
                 return _solve_with_injection(
-                    matrix, b, x_true, bit_range=_bits, inject_at=inject_at,
+                    matrix, b, x_true, fault_model=_model, inject_at=inject_at,
                     rng=_rng, skeptical=_skeptical, tol=tol, check_period=check_period,
                 )
 
@@ -180,6 +210,15 @@ def run(
             summary[key + "_sdc_rate"] = campaign.rate_outcome("sdc")
             summary[key + "_detection_rate"] = campaign.detection_rate
     summary["baseline_iterations"] = baseline.iterations
+    parameters = {
+        "grid": grid,
+        "n_trials": n_trials,
+        "inject_at": inject_at,
+        "check_period": check_period,
+        "seed": seed,
+    }
+    if faults_label is not None:
+        parameters["faults"] = faults_label
     return ExperimentResult(
         experiment="E1",
         claim=(
@@ -188,11 +227,5 @@ def run(
         ),
         table=table,
         summary=summary,
-        parameters={
-            "grid": grid,
-            "n_trials": n_trials,
-            "inject_at": inject_at,
-            "check_period": check_period,
-            "seed": seed,
-        },
+        parameters=parameters,
     )

@@ -15,9 +15,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.common import ExperimentResult, ExperimentSpec
-from repro.faults.bitflip import flip_bit_array
 from repro.linalg.checksum import checked_matmul, checked_matvec
 from repro.linalg.matgen import poisson_2d
+from repro.reliability.bitflip import flip_bit_array
+from repro.reliability.registry import resolve_faults
 from repro.utils.rng import RngFactory
 from repro.utils.tables import Table
 
@@ -37,9 +38,45 @@ def run(
     *,
     sizes=(16, 32, 64),
     n_trials: int = 30,
+    faults=None,
     seed: int = 2013,
 ) -> ExperimentResult:
-    """Run experiment E2 and return its table."""
+    """Run experiment E2 and return its table.
+
+    ``faults`` selects the corruption model the checksums must catch
+    (reliability-registry name, compact spec string or dict): bit-flip
+    components inject flips bounded by their ``bits`` range, value
+    perturbations overwrite/scale the victim element.  ``None`` keeps
+    the legacy-equivalent any-significant-bit flip (bits 20..62); specs
+    with no soft-fault component probe false positives only.
+    """
+    fault_model = resolve_faults(faults) if faults is not None else None
+    # Only the soft-fault component corrupts kernel results; specs
+    # without one (e.g. pure proc_fail) probe false positives only.
+    soft_model = fault_model.soft_component() if fault_model is not None else None
+    inject = fault_model is None or soft_model is not None
+    perturb = soft_model is not None and soft_model.kind == "perturb"
+    if soft_model is not None:
+        # An explicit model means what it says: unbounded bit-flip
+        # models flip any bit (0..63); only the legacy default keeps
+        # the historical skip-the-lowest-mantissa-bits range.
+        bits_lo, bits_hi = soft_model.bits if soft_model.bits is not None else (0, 63)
+    else:
+        bits_lo, bits_hi = 20, 62
+
+    def corrupt_element(array, flat_index, bit):
+        """Corrupt one element the way the fault model prescribes."""
+        if perturb:
+            out = array.copy()
+            flat = out.reshape(-1)
+            value = soft_model.spec.get("value")
+            flat[flat_index] = (
+                float(value) if value is not None
+                else flat[flat_index] * float(soft_model.spec.get("scale"))
+            )
+            return out
+        return flip_bit_array(array, flat_index, bit)
+
     factory = RngFactory(seed)
     table = Table(
         [
@@ -62,13 +99,16 @@ def run(
         for _ in range(n_trials):
             i = int(rng.integers(0, n))
             j = int(rng.integers(0, n))
-            bit = int(rng.integers(20, 63))  # skip the lowest mantissa bits
+            # Default bits 20..62 skip the lowest mantissa bits.
+            bit = int(rng.integers(bits_lo, bits_hi + 1))
 
             def corrupt(c, _i=i, _j=j, _bit=bit):
                 flat = int(np.ravel_multi_index((_i, _j), c.shape))
-                return flip_bit_array(c, flat, _bit)
+                return corrupt_element(c, flat, _bit)
 
-            product, report = checked_matmul(a, bmat, corrupt=corrupt, correct=True)
+            product, report = checked_matmul(
+                a, bmat, corrupt=corrupt if inject else None, correct=True
+            )
             if report.corrected:
                 corrected += 1
                 detected += 1
@@ -96,12 +136,12 @@ def run(
         detected = false_pos = 0
         for _ in range(n_trials):
             index = int(rng.integers(0, n))
-            bit = int(rng.integers(20, 63))
+            bit = int(rng.integers(bits_lo, bits_hi + 1))
 
             def corrupt(y, _index=index, _bit=bit):
-                return flip_bit_array(y, _index, _bit)
+                return corrupt_element(y, _index, _bit)
 
-            _, ok = checked_matvec(matrix, x, corrupt=corrupt)
+            _, ok = checked_matvec(matrix, x, corrupt=corrupt if inject else None)
             if not ok:
                 detected += 1
             _, clean_ok = checked_matvec(matrix, x)
@@ -120,5 +160,10 @@ def run(
         ),
         table=table,
         summary=summary,
-        parameters={"sizes": tuple(sizes), "n_trials": n_trials, "seed": seed},
+        parameters={
+            "sizes": tuple(sizes),
+            "n_trials": n_trials,
+            "seed": seed,
+            **({"faults": fault_model.describe()} if faults is not None else {}),
+        },
     )

@@ -30,6 +30,8 @@ from repro.linalg.matgen import poisson_2d
 from repro.machine.model import MachineModel
 from repro.machine.noise import EccStallNoise
 from repro.rbsp.variability import IterationTimeModel, scaling_study
+from repro.reliability.registry import resolve_faults
+from repro.reliability.seeding import derive_fault_seed
 from repro.utils.rng import RngFactory
 from repro.utils.tables import Table
 
@@ -58,21 +60,54 @@ def run(
     noise_event_rate: float = 10.0,
     noise_stall: float = 50e-6,
     iterations: int = 100,
+    faults=None,
     seed: int = 2013,
 ) -> ExperimentResult:
-    """Run experiment E3 and return its table."""
+    """Run experiment E3 and return its table.
+
+    ``faults`` (reliability-registry name, compact spec string or
+    dict) runs every numerical-anchor solve against an unreliable
+    operator built from the named fault model -- the pipelined
+    reformulations' convergence equivalence can then be probed *under
+    corruption*, not just clean.  ``None`` keeps the fault-free legacy
+    anchors.
+    """
+    fault_model = resolve_faults(faults)
     matrix = poisson_2d(grid)
     rng = RngFactory(seed).spawn("rhs")
     b = rng.standard_normal(matrix.n_rows)
 
+    # Only the soft-fault component can corrupt an operator; a shared
+    # fault axis may also carry hard-fault components E3 has no use
+    # for (pure proc_fail specs run the anchors fault-free).
+    soft_model = fault_model.soft_component()
+
+    def operator_for(solver_name: str):
+        # Every anchor solver gets its own independent fault stream,
+        # named like E8's per-solver streams (see reliability.seeding).
+        if soft_model is None:
+            return matrix
+        environment = soft_model.environment(
+            seed=derive_fault_seed(seed, solver_name)
+        )
+        return environment.unreliable_operator(
+            matrix.matvec, flops_per_call=2.0 * matrix.nnz
+        )
+
     # Solvers are resolved by registry name -- the solver axis campaigns
     # sweep -- not imported; each pair shares identical settings.
     solvers = default_solver_registry()
-    cg_result = solvers.get("cg").solve(matrix, b, tol=1e-8, maxiter=2000)
-    pcg_result = solvers.get("pipelined_cg").solve(matrix, b, tol=1e-8, maxiter=2000)
-    gmres_result = solvers.get("gmres").solve(matrix, b, tol=1e-8, restart=40, maxiter=2000)
+    cg_result = solvers.get("cg").solve(
+        operator_for("cg"), b, tol=1e-8, maxiter=2000
+    )
+    pcg_result = solvers.get("pipelined_cg").solve(
+        operator_for("pipelined_cg"), b, tol=1e-8, maxiter=2000
+    )
+    gmres_result = solvers.get("gmres").solve(
+        operator_for("gmres"), b, tol=1e-8, restart=40, maxiter=2000
+    )
     pgmres_result = solvers.get("pipelined_gmres").solve(
-        matrix, b, tol=1e-8, restart=40, maxiter=2000
+        operator_for("pipelined_gmres"), b, tol=1e-8, restart=40, maxiter=2000
     )
 
     anchor = Table(
@@ -140,6 +175,7 @@ def run(
             "noise_event_rate": noise_event_rate,
             "noise_stall": noise_stall,
             "seed": seed,
+            **({"faults": fault_model.describe()} if faults is not None else {}),
         },
     )
     # Attach the anchor table for completeness.

@@ -20,7 +20,8 @@ import numpy as np
 
 from repro.checkpoint.cpr import run_cpr_stepped
 from repro.experiments.common import ExperimentResult, ExperimentSpec
-from repro.faults.process import FailurePlan
+from repro.reliability.process import FailurePlan
+from repro.reliability.registry import resolve_faults
 from repro.lflr.explicit import run_lflr_heat
 from repro.machine.model import MachineModel
 from repro.pde.heat import HeatProblem1D, heat_step_explicit, stable_time_step
@@ -51,9 +52,19 @@ def run(
     n_steps: int = 30,
     failure_counts=(0, 1, 2),
     checkpoint_interval: int = 10,
+    faults=None,
     seed: int = 2013,
 ) -> ExperimentResult:
-    """Run experiment E4 and return its table."""
+    """Run experiment E4 and return its table.
+
+    ``faults`` (reliability-registry name, compact spec string or
+    dict) derives the hard-fault plan from a declarative process-
+    failure model -- e.g. ``"proc_fail:mtbf=0.05"`` samples failures
+    over the reference run's virtual time -- replacing the legacy
+    evenly-spaced plans of ``failure_counts``.  The fault-free row is
+    always kept as the reference.
+    """
+    fault_model = resolve_faults(faults) if faults is not None else None
     machine = MachineModel(
         flop_rate=1e9,
         latency=1e-6,
@@ -94,23 +105,46 @@ def run(
         title="E4: LFLR vs global checkpoint/restart on the explicit heat equation",
     )
     summary = {}
-    for n_failures in failure_counts:
-        if n_failures == 0:
-            plan = FailurePlan.none()
-        else:
-            # Space failures far enough apart that each recovery completes
-            # before the next failure (see run_lflr_heat notes); rotate the
-            # failing rank so partners differ.
-            spacing = reference.virtual_time * 0.5 / n_failures + 50 * machine.local_recovery_overhead
-            plan = FailurePlan(
-                [
-                    (reference.virtual_time * 0.2 + i * spacing, 1 + (2 * i) % (n_ranks - 1))
-                    for i in range(n_failures)
-                ]
+    if fault_model is not None:
+        # Only the spec's process-failure component matters here; a
+        # fault axis shared across experiments may also carry soft-fault
+        # components E4 has no use for (and "none"/soft-only specs just
+        # run the fault-free reference).
+        proc = fault_model.component("proc_fail")
+        spec_plan = (
+            proc.failure_plan(
+                n_ranks=n_ranks, horizon=reference.virtual_time, seed=seed
             )
+            if proc is not None
+            else FailurePlan.none()
+        )
+        plans = [(0, FailurePlan.none())]
+        if len(spec_plan):
+            plans.append((len(spec_plan), spec_plan))
+    else:
+        plans = []
+        for n_failures in failure_counts:
+            if n_failures == 0:
+                plan = FailurePlan.none()
+            else:
+                # Space failures far enough apart that each recovery completes
+                # before the next failure (see run_lflr_heat notes); rotate the
+                # failing rank so partners differ.
+                spacing = reference.virtual_time * 0.5 / n_failures + 50 * machine.local_recovery_overhead
+                plan = FailurePlan(
+                    [
+                        (reference.virtual_time * 0.2 + i * spacing, 1 + (2 * i) % (n_ranks - 1))
+                        for i in range(n_failures)
+                    ]
+                )
+            plans.append((n_failures, plan))
+    for n_failures, plan in plans:
         lflr = run_lflr_heat(
             n_ranks, n_global=n_global, n_steps=n_steps,
             failure_plan=plan, machine=machine,
+            # The spec's msg_corrupt component (if any) corrupts message
+            # payloads; hard faults stay pinned by the explicit plan.
+            faults=fault_model, fault_seed=seed,
         )
         correct = bool(np.allclose(lflr.field, sequential, atol=1e-12))
         lflr_overhead = lflr.virtual_time - reference.virtual_time
@@ -161,5 +195,6 @@ def run(
             "n_steps": n_steps,
             "checkpoint_interval": checkpoint_interval,
             "seed": seed,
+            **({"faults": fault_model.describe()} if fault_model is not None else {}),
         },
     )

@@ -22,6 +22,7 @@ from repro.experiments.common import ExperimentResult, ExperimentSpec
 from repro.krylov.registry import default_solver_registry
 from repro.lflr.coarse import CoarseModelStore, prolong_field
 from repro.pde.implicit import ImplicitHeatProblem1D
+from repro.reliability.registry import resolve_faults
 from repro.utils.tables import Table
 
 __all__ = ["run", "SPEC"]
@@ -58,16 +59,35 @@ def run(
     steps_before_failure: int = 20,
     dt: float = 2e-3,
     coarsening_factors=(2, 4, 8),
+    faults=None,
     seed: int = 2013,
 ) -> ExperimentResult:
-    """Run experiment E5 and return its table."""
+    """Run experiment E5 and return its table.
+
+    ``faults`` names the hard fault whose state loss is rebuilt: the
+    ``proc_fail`` component's ``rank`` parameter selects the victim
+    block (e.g. ``"proc_fail:rank=2"``).  ``None`` keeps the legacy
+    victim, rank 1.  Interior ranks only -- the neighbour-average
+    strategy needs both neighbours.
+    """
+    fault_model = resolve_faults(faults) if faults is not None else None
+    failed_rank = 1
+    if fault_model is not None:
+        proc = fault_model.component("proc_fail")
+        if proc is not None and proc.rank is not None:
+            failed_rank = proc.rank
+    if not 1 <= failed_rank <= n_ranks - 2:
+        raise ValueError(
+            f"failed rank must be interior (1..{n_ranks - 2}), got {failed_rank}"
+        )
+
     problem = ImplicitHeatProblem1D(n_points=n_points, dt=dt)
     problem.step(steps_before_failure)
     u_true = problem.u.copy()
 
     # The failed rank owns a contiguous block.
     block = n_points // n_ranks
-    lost_lo, lost_hi = block, 2 * block  # rank 1's block
+    lost_lo, lost_hi = failed_rank * block, (failed_rank + 1) * block
     lost_state = u_true[lost_lo:lost_hi].copy()
 
     # Baseline: iterations of the next step from the intact state.
@@ -106,12 +126,12 @@ def run(
 
     for factor in coarsening_factors:
         store = CoarseModelStore(factor=factor)
-        store.store(owner=1, field=lost_state, step=steps_before_failure)
-        rebuilt = store.recover(owner=1)
+        store.store(owner=failed_rank, field=lost_state, step=steps_before_failure)
+        rebuilt = store.recover(owner=failed_rank)
         error = float(np.linalg.norm(rebuilt - lost_state)) / scale
         iters = _cg_iterations_from(problem, recovered_field(rebuilt))
         table.add_row(
-            f"coarse_model", factor, store.memory_overhead(1), error, iters,
+            f"coarse_model", factor, store.memory_overhead(failed_rank), error, iters,
             iters - baseline_iters,
         )
         summary[f"coarse_{factor}_error"] = error
@@ -132,5 +152,6 @@ def run(
             "dt": dt,
             "coarsening_factors": tuple(coarsening_factors),
             "seed": seed,
+            **({"faults": fault_model.describe()} if fault_model is not None else {}),
         },
     )

@@ -20,11 +20,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.common import ExperimentResult, ExperimentSpec
-from repro.faults.injector import ArrayInjector
-from repro.faults.schedule import BernoulliPerCallSchedule
 from repro.krylov.registry import default_solver_registry
 from repro.linalg.matgen import convection_diffusion_2d
-from repro.srp.cost import ReliabilityCostModel
+from repro.reliability.cost import ReliabilityCostModel
+from repro.reliability.registry import resolve_faults
+from repro.reliability.spec import FaultSpec
 from repro.utils.rng import RngFactory
 from repro.utils.tables import Table
 
@@ -61,9 +61,37 @@ def run(
     outer_maxiter: int = 40,
     inner_maxiter: int = 15,
     n_trials: int = 3,
+    faults=None,
     seed: int = 2013,
 ) -> ExperimentResult:
-    """Run experiment E6 and return its table."""
+    """Run experiment E6 and return its table.
+
+    ``faults`` selects the *kind* of fault the unreliable domain
+    injects (a reliability-registry name, compact spec string or dict);
+    ``fault_probabilities`` remains the swept per-operation rate, so
+    e.g. ``faults="bitflip:bits=52..62"`` sweeps exponent-bit flips.
+    ``None`` keeps the legacy-equivalent any-bit flip model.
+    """
+    # The fault template: each probability in the sweep instantiates it
+    # with p=prob, so the when-axis (rate) and the what-axis (model)
+    # stay independent.  "bitflip" with no bits restriction reproduces
+    # the pre-registry wiring draw-for-draw.  Only the soft-fault
+    # component of a shared axis applies here; specs without one (e.g.
+    # pure proc_fail) sweep the rates fault-free.
+    fault_template = resolve_faults(faults if faults is not None else "bitflip")
+    faults_label = fault_template.describe() if faults is not None else None
+    if not fault_template.is_null:
+        fault_template = fault_template.soft_component() or resolve_faults("none")
+    if fault_template.kind != "none":
+        # The sweep re-parameterizes the when-axis as the per-call
+        # probability, so a template pinning its own when-axis
+        # (times=/rate=) must shed it before each p=prob override.
+        stripped = {
+            k: v for k, v in fault_template.spec.params.items()
+            if k not in ("times", "rate")
+        }
+        fault_template = resolve_faults(FaultSpec(fault_template.spec.kind, stripped))
+
     solvers = default_solver_registry()
     matrix = convection_diffusion_2d(grid, peclet=10.0)
     factory = RngFactory(seed)
@@ -86,16 +114,14 @@ def run(
     summary = {}
 
     for prob in fault_probabilities:
+        fault_model = fault_template.with_params(p=prob)
         # --- all-unreliable plain GMRES baseline -----------------------
         conv = 0
         residuals = []
         iters = []
         for trial in range(n_trials):
             rng = factory.spawn(f"plain-{prob}-{trial}")
-            injector = ArrayInjector(
-                schedule=BernoulliPerCallSchedule(prob, rng=rng), rng=rng,
-                target="plain_matvec",
-            )
+            injector = fault_model.injector(rng, target="plain_matvec")
             calls = {"n": 0}
 
             def unreliable_op(x, _inj=injector, _calls=calls):
@@ -125,12 +151,22 @@ def run(
         unreliable_fracs = []
         costs = []
         for trial in range(n_trials):
+            extra = {}
+            if not fault_model.is_null and fault_model.component("bitflip") is None:
+                # Non-bit-flip fault kinds (e.g. value perturbation)
+                # supply the whole SRP environment themselves.
+                extra["environment"] = fault_model.environment(
+                    seed=seed + 7 * trial, cost_model=cost_model
+                )
             result = solvers.get("ft_gmres").solve(
                 matrix, b, tol=tol,
                 outer_maxiter=outer_maxiter, outer_restart=outer_maxiter,
                 inner_tol=1e-2, inner_maxiter=inner_maxiter, inner_restart=inner_maxiter,
-                fault_probability=prob, seed=seed + 7 * trial,
+                fault_probability=fault_model.probability,
+                bit_range=fault_model.bits,
+                seed=seed + 7 * trial,
                 cost_model=cost_model,
+                **extra,
             )
             true_res = float(
                 np.linalg.norm(b - matrix.matvec(np.asarray(result.x))) / b_norm
@@ -147,6 +183,17 @@ def run(
         )
         summary[f"ftgmres_{prob}_converged"] = conv / n_trials
         summary[f"ftgmres_{prob}_unreliable_fraction"] = float(np.mean(unreliable_fracs))
+    parameters = {
+        "grid": grid,
+        "fault_probabilities": tuple(fault_probabilities),
+        "tol": tol,
+        "outer_maxiter": outer_maxiter,
+        "inner_maxiter": inner_maxiter,
+        "n_trials": n_trials,
+        "seed": seed,
+    }
+    if faults_label is not None:
+        parameters["faults"] = faults_label
     return ExperimentResult(
         experiment="E6",
         claim=(
@@ -156,13 +203,5 @@ def run(
         ),
         table=table,
         summary=summary,
-        parameters={
-            "grid": grid,
-            "fault_probabilities": tuple(fault_probabilities),
-            "tol": tol,
-            "outer_maxiter": outer_maxiter,
-            "inner_maxiter": inner_maxiter,
-            "n_trials": n_trials,
-            "seed": seed,
-        },
+        parameters=parameters,
     )

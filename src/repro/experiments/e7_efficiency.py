@@ -19,7 +19,8 @@ which local recovery is required to stay efficient).
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult, ExperimentSpec
-from repro.faults.process import system_mtbf
+from repro.reliability.process import system_mtbf
+from repro.reliability.registry import resolve_faults
 from repro.machine.efficiency import (
     cpr_efficiency,
     daly_optimal_interval,
@@ -53,10 +54,23 @@ def run(
     redundancy_overhead: float = 0.02,
     mtbf_sweep_hours=(24.0, 12.0, 6.0, 3.0, 1.0),
     sweep_nodes: int = 100_000,
+    faults=None,
 ) -> ExperimentResult:
-    """Run experiment E7 and return its table."""
+    """Run experiment E7 and return its table.
+
+    ``faults`` (reliability-registry name, compact spec string or
+    dict) supplies the per-node failure model: the ``proc_fail``
+    component's MTBF overrides ``node_mtbf_years``, so campaigns sweep
+    machine reliability through the same fault axis as every other
+    experiment (e.g. ``"proc_fail:mtbf_years=1"``).
+    """
     seconds_per_year = 365.25 * 24 * 3600.0
     node_mtbf = node_mtbf_years * seconds_per_year
+    fault_model = resolve_faults(faults) if faults is not None else None
+    if fault_model is not None:
+        proc = fault_model.component("proc_fail")
+        if proc is not None and proc.mtbf is not None:
+            node_mtbf = proc.mtbf
 
     table = Table(
         [
@@ -119,5 +133,6 @@ def run(
             "local_recovery_time": local_recovery_time,
             "redundancy_overhead": redundancy_overhead,
             "sweep_nodes": sweep_nodes,
+            **({"faults": fault_model.describe()} if fault_model is not None else {}),
         },
     )

@@ -6,22 +6,27 @@ orthogonal, sweepable axes (paper thesis: resilience is an
 demonstrates it: run every solver in the
 :mod:`repro.krylov.registry` -- resolved **by name**, no solver
 imports -- on one SPD model problem, under one resilience-policy
-setting and one fault schedule, and classify each outcome against a
+setting and one declarative fault model from the
+:mod:`repro.reliability.registry`, and classify each outcome against a
 trusted direct solution.
 
-Faults are injected the SRP way, uniformly for every solver: the
-operator is wrapped in a
-:class:`~repro.srp.context.UnreliableOperator` whose applications are
-corrupted by a per-call Bernoulli bit-flip schedule.  FT-GMRES is the
-exception by design -- selective reliability *is* its policy, so the
-fault probability is routed into its unreliable inner domain while its
-outer iteration stays reliable.
+Faults are resolved the reliability-layer way, uniformly for every
+solver: the ``faults`` spec (a registry name, compact spec string or
+dict -- e.g. ``"bitflip:p=0.02,bits=52..62"``) builds a
+:class:`~repro.reliability.models.FaultModel` whose environment wraps
+the operator in an
+:class:`~repro.reliability.environment.UnreliableOperator`.  FT-GMRES
+is the exception by design -- selective reliability *is* its policy,
+so the fault model's probability is routed into its unreliable inner
+domain while its outer iteration stays reliable.  The legacy
+``fault_probability``/``bit_range`` parameters remain as the
+fault-free/bit-flip shorthand and resolve to the same model.
 
 The table shows, per solver, the effective policy (generic sweep
 values degrade to the strongest policy each solver supports), the work
 done, how many faults hit the operator, how many were detected, and
 the trusted-error classification of
-:func:`repro.faults.sdc.classify_outcome`.
+:func:`repro.reliability.sdc.classify_outcome`.
 """
 
 from __future__ import annotations
@@ -31,11 +36,12 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from repro.experiments.common import ExperimentResult, ExperimentSpec
-from repro.faults.sdc import classify_outcome
 from repro.krylov.registry import default_solver_registry
 from repro.linalg.matgen import poisson_2d
+from repro.reliability.registry import resolve_faults
+from repro.reliability.sdc import classify_outcome
+from repro.reliability.seeding import derive_fault_seed
 from repro.skeptical.gmres_sdc import estimate_operator_norm
-from repro.srp.context import SelectiveReliabilityEnvironment
 from repro.utils.rng import RngFactory
 from repro.utils.tables import Table
 
@@ -58,6 +64,7 @@ def run(
     grid: int = 8,
     solvers: Optional[Union[str, Sequence[str]]] = None,
     policy: str = "none",
+    faults=None,
     fault_probability: float = 0.0,
     bit_range=None,
     tol: float = 1e-8,
@@ -77,11 +84,15 @@ def run(
         Resilience-policy axis value -- generic (``"none"``,
         ``"guard"``, ``"skeptical"``) or a concrete policy name; each
         solver resolves it to the strongest policy it supports.
-    fault_probability:
-        Per-operator-application corruption probability (the
-        fault-schedule axis).
-    bit_range:
-        Restrict injected flips to these bit positions (``None`` = all).
+    faults:
+        The fault axis: a registered fault-model name, compact spec
+        string, dict or :class:`~repro.reliability.spec.FaultSpec`
+        (e.g. ``"bitflip:p=0.02,bits=52..62"``).  ``None`` builds the
+        legacy-equivalent bit-flip model from ``fault_probability`` /
+        ``bit_range``.
+    fault_probability, bit_range:
+        Legacy shorthand for ``faults="bitflip:p=...,bits=..."``;
+        ignored when ``faults`` is given.
     tol, maxiter:
         Solver settings (mapped onto outer/inner limits for FT-GMRES).
     error_tolerance:
@@ -96,6 +107,20 @@ def run(
         names = [solvers]
     else:
         names = list(solvers)
+
+    if faults is None:
+        fault_model = resolve_faults(
+            "bitflip:p=0.0",
+            p=float(fault_probability),
+            bits=tuple(bit_range) if bit_range is not None else None,
+        )
+    else:
+        fault_model = resolve_faults(faults)
+    # Operator corruption comes from the spec's soft-fault component;
+    # hard-fault-only specs (e.g. pure proc_fail) run the matrix clean.
+    soft_model = fault_model.soft_component()
+    fault_p = soft_model.probability if soft_model is not None else 0.0
+    fault_bits = soft_model.bits if soft_model is not None else None
 
     matrix = poisson_2d(grid)
     factory = RngFactory(seed)
@@ -119,7 +144,7 @@ def run(
     total_faults = 0
     for name in names:
         solver = registry.get(name)
-        fault_seed = int(factory.spawn(f"faults/{name}").integers(0, 2**31 - 1))
+        fault_seed = derive_fault_seed(seed, name)
         environment = None
         params = {"tol": tol}
         if solver.name == "ft_gmres":
@@ -129,18 +154,20 @@ def run(
             params.update(
                 outer_maxiter=min(maxiter, 50),
                 inner_maxiter=20,
-                fault_probability=fault_probability,
-                bit_range=bit_range,
+                fault_probability=fault_p,
+                bit_range=fault_bits,
                 seed=fault_seed,
             )
+            if soft_model is not None and soft_model.kind != "bitflip":
+                # Non-bit-flip fault kinds (e.g. value perturbation)
+                # supply the whole SRP environment themselves, so
+                # ft_gmres sees the same fault model as every other
+                # solver in the row.
+                params["environment"] = soft_model.environment(seed=fault_seed)
         else:
             params["maxiter"] = maxiter
-            if fault_probability > 0.0:
-                environment = SelectiveReliabilityEnvironment(
-                    fault_probability=fault_probability,
-                    seed=fault_seed,
-                    bit_range=bit_range,
-                )
+            if soft_model is not None:
+                environment = soft_model.environment(seed=fault_seed)
                 operator = environment.unreliable_operator(
                     matrix.matvec, flops_per_call=2.0 * matrix.nnz
                 )
@@ -158,9 +185,9 @@ def run(
         )
 
         if solver.name == "ft_gmres":
-            faults = int(result.info["srp_summary"]["faults_injected"])
+            faults_hit = int(result.info["srp_summary"]["faults_injected"])
         else:
-            faults = environment.faults_injected() if environment is not None else 0
+            faults_hit = environment.faults_injected() if environment is not None else 0
         x = np.asarray(result.x, dtype=np.float64)
         finite = bool(np.all(np.isfinite(x)))
         error = (
@@ -177,12 +204,12 @@ def run(
             result.info["policy_name"],
             result.iterations,
             result.converged,
-            faults,
+            faults_hit,
             result.detected_faults,
             f"{error:.3e}" if finite else "inf",
             outcome,
         )
-        total_faults += faults
+        total_faults += faults_hit
         n_detected += int(result.detected_faults > 0)
         n_silent += int(outcome == "sdc")
         n_correct += int(result.converged and error <= error_tolerance)
@@ -194,8 +221,22 @@ def run(
         "n_silent_corruptions": n_silent,
         "total_faults_injected": total_faults,
         "policy": policy,
-        "fault_probability": fault_probability,
+        "fault_probability": fault_probability if faults is None else fault_p,
     }
+    parameters = {
+        "grid": grid,
+        "solvers": tuple(names),
+        "policy": policy,
+        "fault_probability": fault_probability,
+        "bit_range": tuple(bit_range) if bit_range is not None else None,
+        "tol": tol,
+        "maxiter": maxiter,
+        "error_tolerance": error_tolerance,
+        "seed": seed,
+    }
+    if faults is not None:
+        summary["faults"] = fault_model.describe()
+        parameters["faults"] = fault_model.describe()
     return ExperimentResult(
         experiment="E8",
         claim=(
@@ -205,15 +246,5 @@ def run(
         ),
         table=table,
         summary=summary,
-        parameters={
-            "grid": grid,
-            "solvers": tuple(names),
-            "policy": policy,
-            "fault_probability": fault_probability,
-            "bit_range": tuple(bit_range) if bit_range is not None else None,
-            "tol": tol,
-            "maxiter": maxiter,
-            "error_tolerance": error_tolerance,
-            "seed": seed,
-        },
+        parameters=parameters,
     )

@@ -1,49 +1,56 @@
-"""Fault models and fault-injection machinery.
+"""Deprecated shim: :mod:`repro.faults` moved to :mod:`repro.reliability`.
 
-The paper's premise is that future systems will expose applications to
-two classes of faults:
-
-* **soft faults / silent data corruption (SDC)** -- bit flips in data
-  or logic that do not crash the program but silently change values;
-* **hard faults** -- loss of a process (node crash).
-
-This subpackage provides both, in a form the resilient-algorithm layers
-can reason about:
-
-* :mod:`repro.faults.bitflip` -- IEEE-754 bit manipulation on scalars
-  and NumPy arrays.
-* :mod:`repro.faults.events` -- fault-event records and campaign
-  results.
-* :mod:`repro.faults.schedule` -- deterministic and Poisson-process
-  fault schedules in virtual time or iteration counts.
-* :mod:`repro.faults.injector` -- targeted injectors that corrupt
-  arrays, either unconditionally or according to a schedule and a
-  *reliability domain* (see :mod:`repro.srp`).
-* :mod:`repro.faults.process` -- process-failure (MTBF) models for
-  hard faults.
-* :mod:`repro.faults.sdc` -- higher-level silent-data-corruption
-  campaign helpers used by the experiments.
+The fault machinery (bit flips, schedules, injectors, process-failure
+models, SDC campaign helpers) now lives in the unified reliability
+layer, alongside the declarative :class:`~repro.reliability.FaultSpec`
+API and the named fault-model registry.  This package re-exports the
+old names unchanged; update imports to ``repro.reliability``.
 """
 
-from repro.faults.bitflip import (
-    flip_bit_float64,
-    flip_bit_array,
-    flip_random_bit,
+import warnings as _warnings
+
+_warnings.warn(
+    "repro.faults is deprecated; import from repro.reliability instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.reliability.bitflip import (  # noqa: E402,F401
     bits_of,
+    flip_bit_array,
+    flip_bit_float64,
+    flip_random_bit,
     float_from_bits,
     relative_perturbation,
 )
-from repro.faults.events import FaultEvent, FaultRecord, CampaignResult
-from repro.faults.schedule import (
-    FaultSchedule,
-    DeterministicSchedule,
-    PoissonSchedule,
-    BernoulliPerCallSchedule,
-    NeverSchedule,
+from repro.reliability.events import (  # noqa: E402,F401
+    CampaignResult,
+    FaultEvent,
+    FaultRecord,
 )
-from repro.faults.injector import ArrayInjector, TargetedInjector, InjectionSession
-from repro.faults.process import ProcessFailureModel, ExponentialFailureModel, WeibullFailureModel, FailurePlan
-from repro.faults.sdc import SdcCampaign, classify_outcome, OUTCOME_KINDS
+from repro.reliability.schedule import (  # noqa: E402,F401
+    BernoulliPerCallSchedule,
+    DeterministicSchedule,
+    FaultSchedule,
+    NeverSchedule,
+    PoissonSchedule,
+)
+from repro.reliability.injector import (  # noqa: E402,F401
+    ArrayInjector,
+    InjectionSession,
+    TargetedInjector,
+)
+from repro.reliability.process import (  # noqa: E402,F401
+    ExponentialFailureModel,
+    FailurePlan,
+    ProcessFailureModel,
+    WeibullFailureModel,
+)
+from repro.reliability.sdc import (  # noqa: E402,F401
+    OUTCOME_KINDS,
+    SdcCampaign,
+    classify_outcome,
+)
 
 __all__ = [
     "flip_bit_float64",

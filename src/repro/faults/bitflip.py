@@ -1,183 +1,11 @@
-"""Bit-level fault primitives for IEEE-754 double precision.
+"""Deprecated shim: moved to :mod:`repro.reliability.bitflip`."""
 
-Silent data corruption is modeled, as in the SDC-detection literature
-the paper builds on (Elliott & Hoemmen's bit-flip-resilient GMRES),
-as the flip of a single bit in the 64-bit representation of a floating
-point number.  The *position* of the flipped bit determines the
-magnitude of the induced error:
+import warnings as _warnings
 
-* bits 0-51  -- mantissa: small relative error (at most a factor of 2);
-* bits 52-62 -- exponent: error can be astronomically large or drive
-  the value toward zero;
-* bit 63     -- sign flip.
+_warnings.warn(
+    "repro.faults.bitflip is deprecated; import from repro.reliability.bitflip instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-All helpers operate out-of-place on NumPy data and never use Python
-``struct`` in inner loops; views via :func:`numpy.ndarray.view` keep
-array-scale injection vectorized.
-"""
-
-from __future__ import annotations
-
-from typing import Optional, Tuple, Union
-
-import numpy as np
-
-from repro.utils.rng import as_generator
-from repro.utils.validation import check_integer
-
-__all__ = [
-    "bits_of",
-    "float_from_bits",
-    "flip_bit_float64",
-    "flip_bit_array",
-    "flip_random_bit",
-    "relative_perturbation",
-    "MANTISSA_BITS",
-    "EXPONENT_BITS",
-    "SIGN_BIT",
-]
-
-#: Bit indices (little-endian, 0 = least significant mantissa bit).
-MANTISSA_BITS = tuple(range(0, 52))
-EXPONENT_BITS = tuple(range(52, 63))
-SIGN_BIT = 63
-
-
-def bits_of(value: float) -> int:
-    """Return the 64-bit integer pattern of a double-precision value."""
-    return int(np.float64(value).view(np.uint64))
-
-
-def float_from_bits(bits: int) -> float:
-    """Return the double-precision value whose bit pattern is ``bits``."""
-    if not 0 <= int(bits) < 2**64:
-        raise ValueError("bits must fit in 64 bits")
-    return float(np.uint64(bits).view(np.float64))
-
-
-def flip_bit_float64(value: float, bit: int) -> float:
-    """Flip bit ``bit`` (0..63) of a double-precision value.
-
-    Parameters
-    ----------
-    value:
-        The original value.
-    bit:
-        Bit index; 0 is the least-significant mantissa bit and 63 is
-        the sign bit.
-
-    Returns
-    -------
-    float
-        The corrupted value.  Note that exponent-bit flips can yield
-        ``inf`` or ``nan``; this is intentional and the skeptical
-        checks must cope with it.
-    """
-    bit = check_integer(bit, "bit")
-    if not 0 <= bit <= 63:
-        raise ValueError(f"bit must be in [0, 63], got {bit}")
-    pattern = np.uint64(bits_of(value)) ^ np.uint64(1 << bit)
-    return float(pattern.view(np.float64))
-
-
-def flip_bit_array(
-    array: np.ndarray,
-    index: Union[int, Tuple[int, ...]],
-    bit: int,
-    *,
-    inplace: bool = False,
-) -> np.ndarray:
-    """Flip one bit of one element of a float64 array.
-
-    Parameters
-    ----------
-    array:
-        Array of dtype ``float64`` (other dtypes are rejected to avoid
-        silent precision surprises).
-    index:
-        Flat index (int) or multi-dimensional index tuple of the
-        element to corrupt.
-    bit:
-        Bit position, 0..63.
-    inplace:
-        If ``True`` the array is modified in place and returned;
-        otherwise a corrupted copy is returned and the input is left
-        untouched.
-    """
-    arr = np.asarray(array)
-    if arr.dtype != np.float64:
-        raise TypeError(f"flip_bit_array requires float64 data, got {arr.dtype}")
-    bit = check_integer(bit, "bit")
-    if not 0 <= bit <= 63:
-        raise ValueError(f"bit must be in [0, 63], got {bit}")
-    out = arr if inplace else arr.copy()
-    flat = out.reshape(-1)
-    if isinstance(index, tuple):
-        flat_index = int(np.ravel_multi_index(index, out.shape))
-    else:
-        flat_index = int(index)
-        if flat_index < 0:
-            flat_index += flat.size
-    if not 0 <= flat_index < flat.size:
-        raise IndexError(f"index {index!r} out of bounds for size {flat.size}")
-    view = flat.view(np.uint64)
-    view[flat_index] = view[flat_index] ^ np.uint64(1 << bit)
-    return out
-
-
-def flip_random_bit(
-    array: np.ndarray,
-    rng: Union[None, int, np.random.Generator] = None,
-    *,
-    bit_range: Optional[Tuple[int, int]] = None,
-    inplace: bool = False,
-) -> Tuple[np.ndarray, int, int]:
-    """Flip a uniformly random bit of a uniformly random element.
-
-    Parameters
-    ----------
-    array:
-        Target float64 array.
-    rng:
-        Seed or generator controlling the random choice.
-    bit_range:
-        Inclusive ``(low, high)`` range of bit positions to choose
-        from.  Defaults to the full 0..63 range.  Restricting the range
-        (e.g. ``(52, 62)`` for exponent bits) is how experiments sweep
-        error magnitudes.
-    inplace:
-        Whether to modify the array in place.
-
-    Returns
-    -------
-    (corrupted, flat_index, bit):
-        The corrupted array, the flat index of the victim element and
-        the flipped bit position.
-    """
-    arr = np.asarray(array)
-    if arr.size == 0:
-        raise ValueError("cannot flip a bit of an empty array")
-    gen = as_generator(rng)
-    low, high = bit_range if bit_range is not None else (0, 63)
-    low = check_integer(low, "bit_range[0]")
-    high = check_integer(high, "bit_range[1]")
-    if not (0 <= low <= high <= 63):
-        raise ValueError(f"invalid bit_range {bit_range!r}")
-    flat_index = int(gen.integers(0, arr.size))
-    bit = int(gen.integers(low, high + 1))
-    corrupted = flip_bit_array(arr, flat_index, bit, inplace=inplace)
-    return corrupted, flat_index, bit
-
-
-def relative_perturbation(original: float, corrupted: float) -> float:
-    """Return ``|corrupted - original| / max(|original|, tiny)``.
-
-    Infinite or NaN corrupted values map to ``inf`` so that experiment
-    tables can bucket "catastrophic" flips separately.
-    """
-    if not np.isfinite(corrupted):
-        return float("inf")
-    denom = max(abs(original), np.finfo(float).tiny)
-    with np.errstate(over="ignore"):
-        ratio = abs(corrupted - original) / denom
-    return float(ratio)
+from repro.reliability.bitflip import *  # noqa: E402,F401,F403

@@ -1,108 +1,11 @@
-"""Silent-data-corruption campaign helpers.
+"""Deprecated shim: moved to :mod:`repro.reliability.sdc`."""
 
-Experiment E1 (SDC detection in GMRES) and E6 (FT-GMRES) run the same
-solver many times, each run with one injected fault, and classify the
-outcome.  :class:`SdcCampaign` drives such campaigns and
-:func:`classify_outcome` implements the standard outcome taxonomy used
-by the SDC literature:
+import warnings as _warnings
 
-``benign``
-    the fault changed nothing observable: the solver converged to the
-    correct answer without any resilience mechanism firing;
-``detected``
-    a skeptical check flagged the fault (and the configured policy
-    handled it) -- the run still produced a correct answer;
-``corrected``
-    the fault was detected *and* transparently repaired (e.g. ABFT
-    single-error correction);
-``sdc``
-    the solver reported success but the answer is wrong -- the
-    dangerous case the paper warns about;
-``crash``
-    the solver failed to converge or produced non-finite output.
-"""
+_warnings.warn(
+    "repro.faults.sdc is deprecated; import from repro.reliability.sdc instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-from __future__ import annotations
-
-from typing import Callable, Dict, Optional
-
-import numpy as np
-
-from repro.faults.events import CampaignResult, FaultRecord
-from repro.utils.validation import check_positive
-
-__all__ = ["OUTCOME_KINDS", "classify_outcome", "SdcCampaign"]
-
-#: Canonical outcome labels, in "severity" order.
-OUTCOME_KINDS = ("benign", "detected", "corrected", "sdc", "crash")
-
-
-def classify_outcome(
-    *,
-    converged: bool,
-    error_norm: float,
-    tolerance: float,
-    detected: bool,
-    corrected: bool = False,
-) -> str:
-    """Classify a faulty run.
-
-    Parameters
-    ----------
-    converged:
-        Whether the solver claims success.
-    error_norm:
-        A trusted measure of final answer quality (e.g. true residual
-        or error against a fault-free reference).
-    tolerance:
-        Threshold below which the answer counts as correct.
-    detected:
-        Whether a resilience check fired during the run.
-    corrected:
-        Whether the fault was transparently repaired.
-    """
-    check_positive(tolerance, "tolerance")
-    correct = bool(converged) and np.isfinite(error_norm) and error_norm <= tolerance
-    if corrected:
-        return "corrected"
-    if detected:
-        return "detected" if correct else "crash"
-    if correct:
-        return "benign"
-    if bool(converged) and (not np.isfinite(error_norm) or error_norm > tolerance):
-        return "sdc"
-    return "crash"
-
-
-class SdcCampaign:
-    """Run a single-fault experiment many times and aggregate outcomes.
-
-    Parameters
-    ----------
-    run_once:
-        Callable ``run_once(trial_index) -> FaultRecord`` performing one
-        faulty run.  The campaign does not impose how the fault is
-        injected; the callable owns that.
-    n_trials:
-        Number of runs.
-    """
-
-    def __init__(self, run_once: Callable[[int], FaultRecord], n_trials: int):
-        if n_trials <= 0:
-            raise ValueError("n_trials must be positive")
-        self._run_once = run_once
-        self.n_trials = int(n_trials)
-
-    def run(self, metadata: Optional[Dict] = None) -> CampaignResult:
-        """Execute all trials and return the aggregated result."""
-        result = CampaignResult(metadata=dict(metadata or {}))
-        for trial in range(self.n_trials):
-            record = self._run_once(trial)
-            if not isinstance(record, FaultRecord):
-                raise TypeError("run_once must return a FaultRecord")
-            if record.outcome not in OUTCOME_KINDS:
-                raise ValueError(
-                    f"unknown outcome {record.outcome!r}; expected one of {OUTCOME_KINDS}"
-                )
-            result.add(record)
-        return result
+from repro.reliability.sdc import *  # noqa: E402,F401,F403

@@ -3,7 +3,7 @@
 Wraps a (restarted) GMRES solve that is executed entirely inside the
 SRP *unreliable* domain: every application of the operator may be
 corrupted by the domain's fault injector.  The domain wiring is the
-shared :class:`~repro.srp.context.UnreliableOperator`, so the inner
+shared :class:`~repro.reliability.environment.UnreliableOperator`, so the inner
 solver is just "plain GMRES on an unreliable operator" -- the
 composition the paper's selective-reliability model calls for.  The
 wrapper exposes the counters experiment E6 needs -- how many inner
@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.krylov.gmres import gmres
 from repro.linalg.csr import CsrMatrix
-from repro.srp.context import SelectiveReliabilityEnvironment
+from repro.reliability.environment import SelectiveReliabilityEnvironment
 from repro.utils.timing import KernelCounters
 from repro.utils.validation import check_integer, check_positive
 
@@ -36,7 +36,7 @@ class UnreliableInnerSolver:
         The system matrix (CSR or dense); the inner solver approximately
         inverts it.
     environment:
-        The :class:`~repro.srp.context.SelectiveReliabilityEnvironment`
+        The :class:`~repro.reliability.environment.SelectiveReliabilityEnvironment`
         whose unreliable domain supplies fault injection.
     inner_tol:
         Relative tolerance of each inner solve (loose by design; the

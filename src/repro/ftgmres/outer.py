@@ -1,7 +1,7 @@
 """The FT-GMRES driver: reliable outer, unreliable inner.
 
 :func:`ft_gmres` assembles the pieces: a
-:class:`~repro.srp.context.SelectiveReliabilityEnvironment` supplies
+:class:`~repro.reliability.environment.SelectiveReliabilityEnvironment` supplies
 the unreliable domain (with fault injection at the requested rate), an
 :class:`~repro.ftgmres.inner.UnreliableInnerSolver` runs the bulk of
 the work inside it, and the **reliable** outer loop is the solver
@@ -26,8 +26,8 @@ from repro.ftgmres.inner import UnreliableInnerSolver
 from repro.krylov.fgmres import fgmres
 from repro.krylov.result import SolveResult
 from repro.linalg.csr import CsrMatrix
-from repro.srp.context import SelectiveReliabilityEnvironment
-from repro.srp.cost import ReliabilityCostModel
+from repro.reliability.environment import SelectiveReliabilityEnvironment
+from repro.reliability.cost import ReliabilityCostModel
 from repro.utils.validation import check_probability
 
 __all__ = ["ft_gmres"]

@@ -36,6 +36,7 @@ from repro.krylov.engine.resilience import (
     CallbackPolicy,
     CompositePolicy,
     CycleAbandoned,
+    FaultInjectionPolicy,
     IterationEvent,
     NullPolicy,
     ResidualGuardPolicy,
@@ -64,6 +65,7 @@ __all__ = [
     "CompositePolicy",
     "ResidualGuardPolicy",
     "SkepticalGmresPolicy",
+    "FaultInjectionPolicy",
     "CycleAbandoned",
     "IterationEvent",
 ]

@@ -42,7 +42,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.faults.process import FailurePlan
+from repro.reliability.process import FailurePlan
 from repro.lflr.manager import LFLRManager
 from repro.lflr.store import PersistentStore
 from repro.machine.model import MachineModel
@@ -179,6 +179,8 @@ def run_lflr_heat(
     alpha: float = 1.0,
     failure_plan: Optional[FailurePlan] = None,
     machine: Optional[MachineModel] = None,
+    faults=None,
+    fault_seed: Optional[int] = None,
     partner_offset: int = 1,
     history: int = 4,
     watchdog: float = 60.0,
@@ -200,6 +202,10 @@ def run_lflr_heat(
     machine:
         Machine model (defaults to the commodity-cluster model so
         virtual times are non-trivial).
+    faults, fault_seed:
+        Declarative fault spec forwarded to :class:`SimRuntime`
+        (an explicit ``failure_plan`` still wins for hard faults; the
+        spec's ``msg_corrupt`` component corrupts message payloads).
     partner_offset, history:
         Persistent-store parameters (see
         :class:`~repro.lflr.store.PersistentStore`).
@@ -239,7 +245,8 @@ def run_lflr_heat(
         "history": history,
     }
     runtime = SimRuntime(
-        n_ranks, machine=machine, failure_plan=failure_plan, watchdog=watchdog
+        n_ranks, machine=machine, failure_plan=failure_plan,
+        faults=faults, fault_seed=fault_seed, watchdog=watchdog,
     )
     results = runtime.run(_rank_program, runtime, config, timeout=300.0)
     payloads = [r.value for r in results if isinstance(r.value, dict)]

@@ -1,0 +1,207 @@
+"""Reliability domains: the sanctioned way to run anything unreliably.
+
+A :class:`ReliabilityDomain` is a named region of data/compute with a
+reliability level.  The *unreliable* domain owns a fault injector that
+corrupts arrays passing through it (according to whatever schedule the
+experiment configures); the *reliable* domain never corrupts anything
+but charges a cost multiplier (see :mod:`repro.reliability.cost`).
+
+The module-level context managers are the declarative front door: any
+operator, vector or region can be run unreliably under *any* solver by
+naming a fault spec, without touching injector machinery::
+
+    from repro import reliability
+
+    with reliability.unreliable("bitflip:p=1e-3,bits=52..62", seed=7) as dom:
+        op = dom.operator(A.matvec, flops_per_call=2 * A.nnz)
+        result = gmres(op, b)          # any registered solver works
+        print(dom.faults_injected())
+
+    with reliability.reliable() as dom:
+        accepted = dom.run(validate, result.x)   # never corrupted
+
+Arrays allocated through a domain are wrapped in
+:class:`TrackedAllocation` records so an experiment can report the
+paper's key SRP metric: *what fraction of the data/compute actually had
+to be reliable*.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.reliability.injector import ArrayInjector
+from repro.utils.logging import EventLog
+from repro.utils.validation import check_in
+
+__all__ = [
+    "ReliabilityDomain",
+    "TrackedAllocation",
+    "DomainOperator",
+    "unreliable",
+    "reliable",
+]
+
+
+class DomainOperator:
+    """An operator whose every application passes through one domain.
+
+    Wraps a plain apply-callable so each result is ``touch``-ed by the
+    owning domain (and may therefore be corrupted by its injector),
+    while accounting the flops performed there.  The domain-scoped
+    sibling of :class:`~repro.reliability.environment.UnreliableOperator`.
+
+    Attributes
+    ----------
+    flops:
+        Total flops performed through this operator so far.
+    now:
+        Logical timestamp handed to the fault schedule on each
+        application; callers running phased computations update it
+        between phases.
+    """
+
+    def __init__(self, domain: "ReliabilityDomain", apply, *,
+                 flops_per_call: float = 0.0):
+        self.domain = domain
+        self.apply = apply
+        self.flops_per_call = float(flops_per_call)
+        self.flops = 0.0
+        self.now = 0.0
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        result = self.apply(x)
+        self.flops += self.flops_per_call
+        self.domain.flops += self.flops_per_call
+        return self.domain.touch(result, now=self.now)
+
+
+@dataclass
+class TrackedAllocation:
+    """Book-keeping record of one array allocated in a domain."""
+
+    name: str
+    nbytes: int
+    domain: str
+
+
+class ReliabilityDomain:
+    """A named data/compute region with a reliability level.
+
+    Parameters
+    ----------
+    name:
+        Identifier ("reliable", "unreliable", or anything descriptive).
+    level:
+        ``"reliable"`` or ``"unreliable"``.
+    injector:
+        Fault injector applied by :meth:`touch` and :meth:`run`; only
+        meaningful (and required) for unreliable domains.
+    log:
+        Shared event log.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        level: str = "unreliable",
+        injector: Optional[ArrayInjector] = None,
+        log: Optional[EventLog] = None,
+    ):
+        self.name = name
+        self.level = check_in(level, ("reliable", "unreliable"), "level")
+        if self.level == "reliable" and injector is not None:
+            raise ValueError("a reliable domain cannot have a fault injector")
+        self.injector = injector
+        self.log = log if log is not None else EventLog()
+        self.allocations: List[TrackedAllocation] = []
+        self.operations = 0
+        self.flops = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def is_reliable(self) -> bool:
+        """Whether this domain is the reliable one."""
+        return self.level == "reliable"
+
+    def allocate(self, shape, name: str = "array", fill: float = 0.0) -> np.ndarray:
+        """Allocate a float64 array tracked as belonging to this domain."""
+        array = np.full(shape, fill, dtype=np.float64)
+        self.allocations.append(
+            TrackedAllocation(name=name, nbytes=array.nbytes, domain=self.name)
+        )
+        return array
+
+    def adopt(self, array: np.ndarray, name: str = "array") -> np.ndarray:
+        """Track an existing array as belonging to this domain."""
+        arr = np.asarray(array)
+        self.allocations.append(
+            TrackedAllocation(name=name, nbytes=arr.nbytes, domain=self.name)
+        )
+        return arr
+
+    @property
+    def bytes_allocated(self) -> int:
+        """Total bytes tracked in this domain."""
+        return sum(a.nbytes for a in self.allocations)
+
+    # ------------------------------------------------------------------
+    def touch(self, array: np.ndarray, now: float = 0.0) -> np.ndarray:
+        """Pass data through the domain (may corrupt it if unreliable)."""
+        self.operations += 1
+        if self.injector is not None and self.level == "unreliable":
+            return self.injector.maybe_inject(np.asarray(array, dtype=np.float64), now=now)
+        return array
+
+    def run(self, func, *args, flops: float = 0.0, now: float = 0.0, **kwargs):
+        """Execute ``func`` in this domain.
+
+        The function's array result (if it is an ndarray) is passed
+        through :meth:`touch`, so computations performed in the
+        unreliable domain can be corrupted by the injector -- the
+        software analogue of running on low-reliability hardware.
+        """
+        self.operations += 1
+        self.flops += float(flops)
+        result = func(*args, **kwargs)
+        if isinstance(result, np.ndarray) and self.level == "unreliable" and self.injector is not None:
+            result = self.injector.maybe_inject(result, now=now)
+        return result
+
+    def operator(self, apply, *, flops_per_call: float = 0.0) -> DomainOperator:
+        """Wrap ``apply`` so every application runs in this domain."""
+        return DomainOperator(self, apply, flops_per_call=flops_per_call)
+
+    def faults_injected(self) -> int:
+        """Number of faults the domain's injector has injected."""
+        return self.injector.n_injected if self.injector is not None else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReliabilityDomain(name={self.name!r}, level={self.level!r})"
+
+
+@contextmanager
+def unreliable(faults="none", *, seed=None, rng=None, name="unreliable",
+               target=None, log=None):
+    """Context manager yielding an unreliable domain for a fault spec.
+
+    ``faults`` is anything :func:`repro.reliability.resolve_faults`
+    accepts -- a registry name, a compact spec string, a dict or a
+    built model.  The domain's injector draws from the canonical fault
+    stream of ``(seed, name)`` (or from an explicitly shared ``rng``).
+    """
+    from repro.reliability.registry import resolve_faults
+
+    model = resolve_faults(faults)
+    injector = model.injector(rng, seed=seed, name=name, target=target)
+    yield ReliabilityDomain(name, level="unreliable", injector=injector, log=log)
+
+
+@contextmanager
+def reliable(name="reliable", *, log=None):
+    """Context manager yielding a reliable (never-corrupted) domain."""
+    yield ReliabilityDomain(name, level="reliable", log=log)

@@ -1,0 +1,123 @@
+"""Fault-event records and campaign results.
+
+An injection campaign (many runs of a solver, each with one or more
+injected faults) produces a :class:`CampaignResult` summarising per-run
+:class:`FaultRecord` entries.  The experiment drivers turn these into
+the detection/overhead tables recorded in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["FaultEvent", "FaultRecord", "CampaignResult"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A single injected fault.
+
+    Attributes
+    ----------
+    kind:
+        ``"bitflip"``, ``"value"`` (direct overwrite), or
+        ``"process"`` (hard failure).
+    target:
+        Name of the corrupted object (e.g. ``"arnoldi_basis"``,
+        ``"inner_solution"``, ``"rank"``).
+    location:
+        Element index, rank number, or other location information.
+    bit:
+        Flipped bit position for bit flips, else ``None``.
+    time:
+        Virtual time or iteration number at which the fault occurred.
+    magnitude:
+        Relative perturbation caused by the fault (``inf`` for
+        non-finite corruption), when meaningful.
+    """
+
+    kind: str
+    target: str
+    location: Any = None
+    bit: Optional[int] = None
+    time: Optional[float] = None
+    magnitude: Optional[float] = None
+
+
+@dataclass
+class FaultRecord:
+    """The outcome of one faulty run.
+
+    Attributes
+    ----------
+    events:
+        The faults injected during the run.
+    detected:
+        Whether the resilience mechanism under test flagged the fault.
+    detection_time:
+        Iteration/virtual time at which detection happened (if any).
+    outcome:
+        One of the categories in :data:`repro.reliability.sdc.OUTCOME_KINDS`
+        (``"benign"``, ``"detected"``, ``"corrected"``, ``"sdc"``,
+        ``"crash"``).
+    extra:
+        Free-form per-run metrics (final residual, iterations, ...).
+    """
+
+    events: List[FaultEvent] = field(default_factory=list)
+    detected: bool = False
+    detection_time: Optional[float] = None
+    outcome: str = "benign"
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate over many faulty runs.
+
+    Provides the counting helpers used by experiment tables.
+    """
+
+    records: List[FaultRecord] = field(default_factory=list)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def add(self, record: FaultRecord) -> None:
+        """Append one run's record."""
+        self.records.append(record)
+
+    @property
+    def n_runs(self) -> int:
+        """Number of runs in the campaign."""
+        return len(self.records)
+
+    def count_outcome(self, outcome: str) -> int:
+        """Number of runs with the given outcome label."""
+        return sum(1 for r in self.records if r.outcome == outcome)
+
+    def rate_outcome(self, outcome: str) -> float:
+        """Fraction of runs with the given outcome label."""
+        if not self.records:
+            return 0.0
+        return self.count_outcome(outcome) / len(self.records)
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of runs in which the fault was detected."""
+        if not self.records:
+            return 0.0
+        return sum(1 for r in self.records if r.detected) / len(self.records)
+
+    def mean_extra(self, key: str, default: float = 0.0) -> float:
+        """Mean of a per-run ``extra`` metric over runs that define it."""
+        values = [r.extra[key] for r in self.records if key in r.extra]
+        if not values:
+            return default
+        return float(sum(values)) / len(values)
+
+    def outcomes(self) -> Dict[str, int]:
+        """Histogram of outcome labels."""
+        hist: Dict[str, int] = {}
+        for record in self.records:
+            hist[record.outcome] = hist.get(record.outcome, 0) + 1
+        return hist

@@ -1,0 +1,240 @@
+"""Array-level fault injectors.
+
+The injectors tie together a :class:`~repro.reliability.schedule.FaultSchedule`
+(when), a target selection policy (where) and a corruption primitive
+(what) and record every injected fault in an
+:class:`~repro.utils.logging.EventLog` plus a list of
+:class:`~repro.reliability.events.FaultEvent` records.
+
+Two injectors are provided:
+
+* :class:`ArrayInjector` -- corrupt a random element of whatever array
+  it is handed, whenever the schedule says so.  This is what the
+  unreliable compute regions of :mod:`repro.reliability` use.
+* :class:`TargetedInjector` -- corrupt a specific element/bit at a
+  specific opportunity, used by the controlled sweeps of experiment E1
+  where we need to know exactly which bit was flipped.
+
+Both operate **only** on data registered as unreliable when used
+through the SRP layer; used directly they corrupt whatever they are
+given (the caller is the one declaring it unreliable).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.reliability.bitflip import flip_bit_array, flip_random_bit, relative_perturbation
+from repro.reliability.events import FaultEvent
+from repro.reliability.schedule import FaultSchedule, NeverSchedule
+from repro.utils.logging import EventLog
+from repro.utils.rng import as_generator
+
+__all__ = ["ArrayInjector", "TargetedInjector", "InjectionSession"]
+
+
+class InjectionSession:
+    """Book-keeping shared by injectors during one run.
+
+    Collects the :class:`FaultEvent` records and exposes counters that
+    the experiment drivers read after the run.
+    """
+
+    def __init__(self, log: Optional[EventLog] = None):
+        self.log = log if log is not None else EventLog()
+        self.events: List[FaultEvent] = []
+
+    def record(self, event: FaultEvent) -> None:
+        """Store a fault event and mirror it into the event log."""
+        self.events.append(event)
+        self.log.record(
+            "fault_injected",
+            time=event.time,
+            target=event.target,
+            fault_kind=event.kind,
+            bit=event.bit,
+            location=event.location,
+            magnitude=event.magnitude,
+        )
+
+    @property
+    def n_injected(self) -> int:
+        """Total number of injected faults in this session."""
+        return len(self.events)
+
+    def clear(self) -> None:
+        """Forget all recorded events (does not clear the shared log)."""
+        self.events.clear()
+
+
+class ArrayInjector:
+    """Schedule-driven random bit-flip injector for float64 arrays.
+
+    Parameters
+    ----------
+    schedule:
+        Decides at each opportunity how many faults to inject.
+        Defaults to :class:`NeverSchedule` (fault-free).
+    rng:
+        Seed or generator for victim-element and bit selection.
+    bit_range:
+        Inclusive range of bit positions to flip; ``None`` means the
+        full 0..63 range.
+    target:
+        Label attached to the fault events (useful when one injector
+        guards one named data structure).
+    session:
+        Shared :class:`InjectionSession`; a private one is created if
+        omitted.
+    """
+
+    def __init__(
+        self,
+        schedule: Optional[FaultSchedule] = None,
+        rng: Union[None, int, np.random.Generator] = None,
+        *,
+        bit_range: Optional[Tuple[int, int]] = None,
+        target: str = "array",
+        session: Optional[InjectionSession] = None,
+    ):
+        self.schedule = schedule if schedule is not None else NeverSchedule()
+        self._rng = as_generator(rng)
+        self.bit_range = bit_range
+        self.target = target
+        self.session = session if session is not None else InjectionSession()
+
+    def maybe_inject(self, array: np.ndarray, now: float = 0.0) -> np.ndarray:
+        """Possibly corrupt ``array`` in place, according to the schedule.
+
+        Returns the (possibly corrupted) array for call-chaining.  The
+        array must be float64 and writable; zero-size arrays are passed
+        through untouched.
+        """
+        arr = np.asarray(array)
+        n_faults = self.schedule.due(now)
+        if n_faults == 0 or arr.size == 0:
+            return arr
+        if arr.dtype != np.float64:
+            raise TypeError(
+                f"ArrayInjector only corrupts float64 arrays, got {arr.dtype}"
+            )
+        for _ in range(n_faults):
+            before_index = None
+            flat = arr.reshape(-1)
+            # Choose the victim first so we can compute the perturbation.
+            flat_index = int(self._rng.integers(0, arr.size))
+            low, high = self.bit_range if self.bit_range is not None else (0, 63)
+            bit = int(self._rng.integers(low, high + 1))
+            original = float(flat[flat_index])
+            flip_bit_array(arr, flat_index, bit, inplace=True)
+            corrupted = float(arr.reshape(-1)[flat_index])
+            event = FaultEvent(
+                kind="bitflip",
+                target=self.target,
+                location=flat_index if before_index is None else before_index,
+                bit=bit,
+                time=now,
+                magnitude=relative_perturbation(original, corrupted),
+            )
+            self.session.record(event)
+        return arr
+
+    @property
+    def n_injected(self) -> int:
+        """Number of faults injected so far through this injector."""
+        return self.session.n_injected
+
+    def reset(self) -> None:
+        """Reset the schedule and forget session events."""
+        self.schedule.reset()
+        self.session.clear()
+
+
+class TargetedInjector:
+    """Inject a precisely specified fault at a specified opportunity.
+
+    Parameters
+    ----------
+    at:
+        Opportunity coordinate (iteration number or virtual time) at
+        which to inject.  The fault fires on the first call whose
+        ``now`` is greater than or equal to ``at``.
+    index:
+        Flat index of the element to corrupt; ``None`` selects a random
+        element.
+    bit:
+        Bit to flip; ``None`` selects a random bit.
+    value:
+        If given, the element is overwritten with ``value`` instead of
+        flipping a bit (kind ``"value"``).
+    """
+
+    def __init__(
+        self,
+        at: float,
+        *,
+        index: Optional[int] = None,
+        bit: Optional[int] = None,
+        value: Optional[float] = None,
+        rng: Union[None, int, np.random.Generator] = None,
+        target: str = "array",
+        session: Optional[InjectionSession] = None,
+    ):
+        self.at = float(at)
+        self.index = index
+        self.bit = bit
+        self.value = value
+        self._rng = as_generator(rng)
+        self.target = target
+        self.session = session if session is not None else InjectionSession()
+        self._fired = False
+
+    @property
+    def fired(self) -> bool:
+        """Whether the fault has already been injected."""
+        return self._fired
+
+    def maybe_inject(self, array: np.ndarray, now: float = 0.0) -> np.ndarray:
+        """Inject the configured fault if ``now`` has reached ``at``."""
+        if self._fired or now < self.at:
+            return array
+        arr = np.asarray(array)
+        if arr.size == 0:
+            return arr
+        if arr.dtype != np.float64:
+            raise TypeError(
+                f"TargetedInjector only corrupts float64 arrays, got {arr.dtype}"
+            )
+        flat = arr.reshape(-1)
+        index = self.index if self.index is not None else int(self._rng.integers(0, arr.size))
+        if not 0 <= index < arr.size:
+            raise IndexError(f"index {index} out of bounds for size {arr.size}")
+        original = float(flat[index])
+        if self.value is not None:
+            flat[index] = self.value
+            kind = "value"
+            bit = None
+            corrupted = float(self.value)
+        else:
+            bit = self.bit if self.bit is not None else int(self._rng.integers(0, 64))
+            flip_bit_array(arr, index, bit, inplace=True)
+            corrupted = float(arr.reshape(-1)[index])
+            kind = "bitflip"
+        self._fired = True
+        event = FaultEvent(
+            kind=kind,
+            target=self.target,
+            location=index,
+            bit=bit,
+            time=now,
+            magnitude=relative_perturbation(original, corrupted),
+        )
+        self.session.record(event)
+        return arr
+
+    def reset(self) -> None:
+        """Allow the injector to fire again (e.g. for a new run)."""
+        self._fired = False
+        self.session.clear()

@@ -1,0 +1,757 @@
+"""Fault models: the runtime side of declarative fault specs.
+
+A :class:`FaultModel` turns a :class:`~repro.reliability.spec.FaultSpec`
+into the concrete machinery the rest of the toolkit consumes --
+schedules, injectors, selective-reliability environments, failure
+plans, message corruptors and engine iteration hooks -- through one
+capability surface, so drivers never construct injectors by hand:
+
+===============  ====================================================
+capability        consumed by
+===============  ====================================================
+``schedule``      anything that needs a *when* (injectors, domains)
+``injector``      :class:`~repro.reliability.domain.ReliabilityDomain`
+``environment``   SRP solvers / operator-wrapping experiments (E6, E8)
+``failure_plan``  :mod:`repro.simmpi`, LFLR/CPR experiments (E4, E7)
+``message_corruptor``  :class:`repro.simmpi.comm.Comm` send paths
+``iteration_hook``     the solver engine's resilience-policy surface
+===============  ====================================================
+
+Every capability takes either an explicit ``rng`` (a shared generator,
+for legacy-parity wiring) or a ``seed``/``name`` pair resolved through
+:func:`repro.reliability.seeding.fault_stream`, so the same scenario
+seed draws the same fault sequence at every entry point.
+
+Models a given kind does not support raise
+:class:`FaultCapabilityError` -- e.g. asking a process-failure model
+for an array injector is a programming error, not an empty schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
+
+import numpy as np
+
+from repro.reliability.bitflip import (
+    flip_bit_array,
+    flip_bit_float64,
+    flip_random_bit,
+    relative_perturbation,
+)
+from repro.reliability.events import FaultEvent
+from repro.reliability.injector import ArrayInjector, InjectionSession
+from repro.reliability.process import (
+    ExponentialFailureModel,
+    FailurePlan,
+    WeibullFailureModel,
+)
+from repro.reliability.schedule import (
+    BernoulliPerCallSchedule,
+    DeterministicSchedule,
+    FaultSchedule,
+    NeverSchedule,
+    PoissonSchedule,
+)
+from repro.reliability.seeding import fault_stream
+from repro.reliability.spec import COMPOSE_KIND, FaultSpec
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_probability
+
+__all__ = [
+    "FaultModel",
+    "FaultCapabilityError",
+    "NoFaults",
+    "BitflipFaults",
+    "PerturbationFaults",
+    "MessageCorruptionFaults",
+    "ProcessFaults",
+    "BasisBitflipFaults",
+    "CompositeFaults",
+    "PerturbationInjector",
+    "MessageCorruptor",
+    "MODEL_KINDS",
+    "build_model",
+]
+
+_SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+class FaultCapabilityError(TypeError):
+    """A fault model was asked for a capability its kind does not have."""
+
+
+def _resolve_rng(
+    rng: Union[None, int, np.random.Generator],
+    seed: Optional[int],
+    name: str,
+) -> np.random.Generator:
+    """Shared-generator override, or the canonical named fault stream."""
+    if rng is not None:
+        return as_generator(rng)
+    return fault_stream(seed, name)
+
+
+class FaultModel:
+    """Base fault model: a validated spec plus the capability surface."""
+
+    kind = ""
+
+    def __init__(self, spec: FaultSpec):
+        if spec.kind != self.kind:
+            raise ValueError(
+                f"{type(self).__name__} cannot model kind {spec.kind!r}"
+            )
+        self.spec = spec
+        self._validate()
+
+    def _validate(self) -> None:
+        """Subclass hook: raise on malformed parameters."""
+
+    # -- generic surface ----------------------------------------------
+    @property
+    def is_null(self) -> bool:
+        """Whether this model never injects anything."""
+        return False
+
+    @property
+    def probability(self) -> float:
+        """Per-opportunity fault probability (0.0 when not applicable)."""
+        return 0.0
+
+    @property
+    def bits(self) -> Optional[Tuple[int, int]]:
+        """Inclusive bit-position range for bit-level models, else None."""
+        return None
+
+    def components(self) -> List["FaultModel"]:
+        """The leaf models (just ``self`` for non-composite kinds)."""
+        return [self]
+
+    def component(self, kind: str) -> Optional["FaultModel"]:
+        """The first leaf component of the given kind, or ``None``."""
+        for model in self.components():
+            if model.kind == kind:
+                return model
+        return None
+
+    def soft_component(self) -> Optional["FaultModel"]:
+        """The first component able to corrupt in-memory data, or ``None``.
+
+        The one definition of "soft fault" the experiment drivers share:
+        a shared fault axis may mix soft components (bit flips, value
+        perturbations) with hard ones (process failures, message
+        corruption); drivers that corrupt operators or kernel results
+        consume exactly this component and run clean when there is none.
+        """
+        if self.is_null:
+            return None
+        for kind in ("bitflip", "perturb"):
+            component = self.component(kind)
+            if component is not None and not component.is_null:
+                return component
+        return None
+
+    def with_params(self, **overrides) -> "FaultModel":
+        """A new model of the same kind with parameter overrides.
+
+        ``None`` overrides are ignored, so optional driver arguments
+        can be forwarded verbatim.
+        """
+        return build_model(self.spec.with_params(**overrides))
+
+    def describe(self) -> str:
+        """The compact spec-string form (stable, parseable)."""
+        return self.spec.to_string()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.describe()!r})"
+
+    # -- capabilities (unsupported by default) ------------------------
+    def _unsupported(self, capability: str) -> FaultCapabilityError:
+        return FaultCapabilityError(
+            f"fault model kind {self.kind!r} has no {capability!r} capability"
+        )
+
+    def schedule(self, rng=None, *, seed=None, name="schedule") -> FaultSchedule:
+        raise self._unsupported("schedule")
+
+    def injector(self, rng=None, *, seed=None, name="injector",
+                 target=None, session=None):
+        raise self._unsupported("injector")
+
+    def environment(self, *, seed=None, cost_model=None, log=None):
+        raise self._unsupported("environment")
+
+    def failure_plan(self, *, n_ranks=None, horizon=None, seed=None) -> FailurePlan:
+        raise self._unsupported("failure_plan")
+
+    def message_corruptor(self, rng=None, *, seed=None, name="messages"):
+        raise self._unsupported("message_corruptor")
+
+    def iteration_hook(self, rng=None, *, seed=None, name="basis", at=None):
+        raise self._unsupported("iteration_hook")
+
+
+class NoFaults(FaultModel):
+    """The fault-free control (kind ``"none"``)."""
+
+    kind = "none"
+
+    @property
+    def is_null(self) -> bool:
+        return True
+
+    def schedule(self, rng=None, *, seed=None, name="schedule") -> FaultSchedule:
+        return NeverSchedule()
+
+    def injector(self, rng=None, *, seed=None, name="injector",
+                 target=None, session=None) -> ArrayInjector:
+        return ArrayInjector(
+            schedule=NeverSchedule(),
+            rng=_resolve_rng(rng, seed, name),
+            target=target or "array",
+            session=session,
+        )
+
+    def failure_plan(self, *, n_ranks=None, horizon=None, seed=None) -> FailurePlan:
+        return FailurePlan.none()
+
+
+class _ScheduledFaults(FaultModel):
+    """Shared when-axis handling: ``p`` | ``rate`` | ``times``."""
+
+    def _validate(self) -> None:
+        given = [k for k in ("p", "rate", "times") if k in self.spec.params]
+        if len(given) > 1:
+            raise ValueError(
+                f"fault spec {self.describe()!r} mixes {given}; give exactly "
+                f"one of p (Bernoulli), rate (Poisson) or times (deterministic)"
+            )
+        if "p" in self.spec.params:
+            check_probability(float(self.spec.params["p"]), "p")
+
+    @property
+    def probability(self) -> float:
+        return float(self.spec.get("p", 0.0))
+
+    def schedule(self, rng=None, *, seed=None, name="schedule") -> FaultSchedule:
+        params = self.spec.params
+        if "times" in params:
+            times = params["times"]
+            if not isinstance(times, tuple):
+                times = (times,)
+            return DeterministicSchedule(times)
+        if "rate" in params:
+            return PoissonSchedule(
+                float(params["rate"]),
+                rng=_resolve_rng(rng, seed, name),
+                horizon=params.get("horizon"),
+            )
+        if "p" in params:
+            return BernoulliPerCallSchedule(
+                float(params["p"]),
+                rng=_resolve_rng(rng, seed, name),
+                max_faults=params.get("max_faults"),
+            )
+        return NeverSchedule()
+
+    @property
+    def is_null(self) -> bool:
+        params = self.spec.params
+        if "times" in params:
+            return False
+        if "rate" in params:
+            return float(params["rate"]) == 0.0
+        return float(params.get("p", 0.0)) == 0.0
+
+
+class BitflipFaults(_ScheduledFaults):
+    """IEEE-754 bit flips in arrays passing through a domain.
+
+    Parameters: one of ``p``/``rate``/``times`` (when), plus ``bits``
+    (inclusive bit-position range, default all 64), ``max_faults``
+    (Bernoulli cap) and ``target`` (event label).
+    """
+
+    kind = "bitflip"
+
+    def _validate(self) -> None:
+        super()._validate()
+        bits = self.spec.get("bits")
+        if bits is not None:
+            lo, hi = bits
+            if not (0 <= int(lo) <= int(hi) <= 63):
+                raise ValueError(f"invalid bits range {bits!r}")
+
+    @property
+    def bits(self) -> Optional[Tuple[int, int]]:
+        bits = self.spec.get("bits")
+        return (int(bits[0]), int(bits[1])) if bits is not None else None
+
+    def injector(self, rng=None, *, seed=None, name="injector",
+                 target=None, session=None) -> ArrayInjector:
+        # One shared generator drives schedule and victim selection, in
+        # that construction order -- the exact legacy wiring of the E6
+        # all-unreliable baseline, so spec-driven runs replay old draws.
+        gen = _resolve_rng(rng, seed, name)
+        return ArrayInjector(
+            schedule=self.schedule(gen),
+            rng=gen,
+            bit_range=self.bits,
+            target=target or self.spec.get("target", "array"),
+            session=session,
+        )
+
+    def environment(self, *, seed=None, cost_model=None, log=None):
+        from repro.reliability.environment import SelectiveReliabilityEnvironment
+        from repro.utils.logging import EventLog
+
+        if set(self.spec.params) <= {"p", "bits"}:
+            # Pure Bernoulli: defer entirely to the environment's own
+            # construction -- bitwise-identical to the pre-registry
+            # wiring.
+            return SelectiveReliabilityEnvironment(
+                fault_probability=self.probability, seed=seed,
+                bit_range=self.bits, cost_model=cost_model, log=log,
+            )
+        # Any further knobs (rate/times schedules, max_faults caps,
+        # target labels) must reach the injector, so build it here.
+        log = log if log is not None else EventLog()
+        gen = as_generator(seed)
+        injector = self.injector(
+            gen,
+            target=self.spec.get("target", "srp_unreliable"),
+            session=InjectionSession(log),
+        )
+        return SelectiveReliabilityEnvironment(
+            injector=injector, cost_model=cost_model, log=log,
+        )
+
+
+class PerturbationInjector:
+    """Schedule-driven value corruption (overwrite or scale).
+
+    The non-bit-flip SDC primitive: when the schedule fires, one random
+    element of the array is either overwritten with ``value`` or
+    multiplied by ``scale``.  Interface-compatible with
+    :class:`~repro.reliability.injector.ArrayInjector` so it slots into
+    domains and environments unchanged.
+    """
+
+    def __init__(self, schedule, rng, *, value=None, scale=None,
+                 target="array", session=None):
+        if (value is None) == (scale is None):
+            raise ValueError("give exactly one of value= or scale=")
+        self.schedule = schedule
+        self._rng = as_generator(rng)
+        self.value = value
+        self.scale = scale
+        self.target = target
+        self.session = session if session is not None else InjectionSession()
+
+    def maybe_inject(self, array: np.ndarray, now: float = 0.0) -> np.ndarray:
+        arr = np.asarray(array)
+        n_faults = self.schedule.due(now)
+        if n_faults == 0 or arr.size == 0:
+            return arr
+        for _ in range(n_faults):
+            index = int(self._rng.integers(0, arr.size))
+            # arr.flat assigns through any memory layout (reshape(-1)
+            # would corrupt a throw-away copy of non-contiguous views).
+            original = float(arr.flat[index])
+            corrupted = (
+                float(self.value) if self.value is not None
+                else original * float(self.scale)
+            )
+            arr.flat[index] = corrupted
+            self.session.record(FaultEvent(
+                kind="value", target=self.target, location=index, bit=None,
+                time=now, magnitude=relative_perturbation(original, corrupted),
+            ))
+        return arr
+
+    @property
+    def n_injected(self) -> int:
+        return self.session.n_injected
+
+    def reset(self) -> None:
+        self.schedule.reset()
+        self.session.clear()
+
+
+class PerturbationFaults(_ScheduledFaults):
+    """SDC value perturbation (kind ``"perturb"``).
+
+    Parameters: one of ``p``/``rate``/``times``, plus exactly one of
+    ``value`` (overwrite the victim element) or ``scale`` (multiply
+    it), and ``target``.
+    """
+
+    kind = "perturb"
+
+    def _validate(self) -> None:
+        super()._validate()
+        has_value = "value" in self.spec.params
+        has_scale = "scale" in self.spec.params
+        if has_value == has_scale:
+            raise ValueError(
+                f"perturb spec {self.describe()!r} needs exactly one of "
+                f"value= or scale="
+            )
+
+    def injector(self, rng=None, *, seed=None, name="injector",
+                 target=None, session=None) -> PerturbationInjector:
+        gen = _resolve_rng(rng, seed, name)
+        return PerturbationInjector(
+            self.schedule(gen), gen,
+            value=self.spec.get("value"), scale=self.spec.get("scale"),
+            target=target or self.spec.get("target", "array"),
+            session=session,
+        )
+
+    def environment(self, *, seed=None, cost_model=None, log=None):
+        from repro.reliability.environment import SelectiveReliabilityEnvironment
+
+        from repro.utils.logging import EventLog
+
+        log = log if log is not None else EventLog()
+        injector = self.injector(seed=seed, session=InjectionSession(log))
+        return SelectiveReliabilityEnvironment(
+            injector=injector, cost_model=cost_model, log=log,
+        )
+
+
+class MessageCorruptor:
+    """Per-send Bernoulli bit corruption of message payloads.
+
+    Applied by :class:`repro.simmpi.comm.Comm` to the already-copied
+    payload, so sender-side state is never corrupted -- this models a
+    faulty interconnect, not faulty memory.  When a send is hit, one
+    uniformly chosen corruptible leaf of the payload gets a single bit
+    flip: float64 ndarrays (corrupted in place, including inside
+    containers), bare Python floats, and floats inside dicts/lists
+    (rewritten in the copied container).  Floats inside tuples are
+    skipped (tuples are immutable); non-float payloads pass through.
+    """
+
+    def __init__(self, probability: float, rng, *, bits=None):
+        self.probability = check_probability(probability, "probability")
+        self._rng = as_generator(rng)
+        self.bits = bits
+        self.n_corrupted = 0
+
+    def _collect_leaves(self, obj, setter, leaves) -> None:
+        """Gather (victim, write-back) pairs: float64 arrays are
+        corrupted in place (no write-back); floats need their
+        container's setter (``None`` only for a bare float payload,
+        which the caller handles via the return value)."""
+        if isinstance(obj, np.ndarray):
+            if obj.dtype == np.float64 and obj.size > 0:
+                leaves.append((obj, None))
+        elif isinstance(obj, bool):
+            pass
+        elif isinstance(obj, float):
+            leaves.append((obj, setter))
+        elif isinstance(obj, dict):
+            for key in obj:
+                self._collect_leaves(
+                    obj[key], lambda v, _o=obj, _k=key: _o.__setitem__(_k, v), leaves
+                )
+        elif isinstance(obj, list):
+            for index, item in enumerate(obj):
+                self._collect_leaves(
+                    item, lambda v, _o=obj, _i=index: _o.__setitem__(_i, v), leaves
+                )
+        elif isinstance(obj, tuple):
+            # Tuples are immutable: only their in-place-corruptible
+            # (array/container) members are reachable.
+            for item in obj:
+                if isinstance(item, (np.ndarray, dict, list, tuple)):
+                    self._collect_leaves(item, None, leaves)
+
+    def __call__(self, payload, dest: int = -1, tag: int = 0):
+        if self.probability <= 0.0 or float(self._rng.random()) >= self.probability:
+            return payload
+        leaves: list = []
+        self._collect_leaves(payload, None, leaves)
+        if not leaves:
+            return payload
+        victim, setter = leaves[int(self._rng.integers(0, len(leaves)))]
+        if isinstance(victim, np.ndarray):
+            flip_random_bit(victim, self._rng, bit_range=self.bits, inplace=True)
+        else:
+            low, high = self.bits if self.bits is not None else (0, 63)
+            corrupted = flip_bit_float64(victim, int(self._rng.integers(low, high + 1)))
+            if setter is not None:
+                setter(corrupted)
+            else:
+                payload = corrupted
+        self.n_corrupted += 1
+        return payload
+
+
+class MessageCorruptionFaults(_ScheduledFaults):
+    """Message corruption on the simulated interconnect (``"msg_corrupt"``).
+
+    Parameters: ``p`` (per-send corruption probability) and ``bits``.
+    """
+
+    kind = "msg_corrupt"
+
+    def _validate(self) -> None:
+        super()._validate()
+        if "rate" in self.spec.params or "times" in self.spec.params:
+            raise ValueError(
+                "msg_corrupt supports only per-send probability p= "
+                "(sends have no global time axis)"
+            )
+
+    @property
+    def bits(self) -> Optional[Tuple[int, int]]:
+        bits = self.spec.get("bits")
+        return (int(bits[0]), int(bits[1])) if bits is not None else None
+
+    def message_corruptor(self, rng=None, *, seed=None, name="messages"):
+        return MessageCorruptor(
+            self.probability, _resolve_rng(rng, seed, name), bits=self.bits
+        )
+
+
+class ProcessFaults(FaultModel):
+    """Hard process failures (kind ``"proc_fail"``).
+
+    Parameters: either explicit ``times``/``ranks`` pairs, or a
+    sampled plan via ``mtbf`` (seconds) or ``mtbf_years`` with
+    ``model`` = ``exponential`` (default) or ``weibull`` (plus
+    ``shape``), bounded by ``horizon`` and ``max_failures``.  A single
+    ``rank`` parameter marks the victim rank for experiments that kill
+    exactly one block (e.g. E5).
+    """
+
+    kind = "proc_fail"
+
+    def _validate(self) -> None:
+        params = self.spec.params
+        if "times" in params and not ("ranks" in params or "rank" in params):
+            raise ValueError("proc_fail with times= also needs ranks= (or rank=)")
+        if "mtbf" in params and "mtbf_years" in params:
+            raise ValueError("give mtbf= or mtbf_years=, not both")
+        model = params.get("model", "exponential")
+        if model not in ("exponential", "weibull"):
+            raise ValueError(f"unknown failure model {model!r}")
+
+    @property
+    def mtbf(self) -> Optional[float]:
+        """Per-node MTBF in seconds, if parameterized that way."""
+        if "mtbf" in self.spec.params:
+            return float(self.spec.params["mtbf"])
+        if "mtbf_years" in self.spec.params:
+            return float(self.spec.params["mtbf_years"]) * _SECONDS_PER_YEAR
+        return None
+
+    @property
+    def rank(self) -> Optional[int]:
+        """The single victim rank, when specified."""
+        rank = self.spec.get("rank")
+        return int(rank) if rank is not None else None
+
+    @property
+    def is_null(self) -> bool:
+        return False
+
+    def _interarrival_model(self):
+        if self.spec.get("model", "exponential") == "weibull":
+            return WeibullFailureModel(
+                self.mtbf, shape=float(self.spec.get("shape", 0.7))
+            )
+        return ExponentialFailureModel(self.mtbf)
+
+    def failure_plan(self, *, n_ranks=None, horizon=None, seed=None) -> FailurePlan:
+        params = self.spec.params
+        if "times" in params:
+            times = params["times"]
+            if not isinstance(times, tuple):
+                times = (times,)
+            ranks = params.get("ranks", params.get("rank"))
+            if not isinstance(ranks, tuple):
+                ranks = (ranks,) * len(times)
+            if len(ranks) != len(times):
+                raise ValueError("times= and ranks= must have equal lengths")
+            return FailurePlan(list(zip(times, ranks)))
+        if self.mtbf is None:
+            raise ValueError(
+                f"proc_fail spec {self.describe()!r} samples a plan but has "
+                f"neither times= nor mtbf=/mtbf_years="
+            )
+        horizon = horizon if horizon is not None else params.get("horizon")
+        if n_ranks is None or horizon is None:
+            raise ValueError(
+                "sampling a failure plan needs n_ranks and a horizon "
+                "(pass them, or put horizon= in the spec)"
+            )
+        return FailurePlan.sample(
+            self._interarrival_model(),
+            int(n_ranks),
+            float(horizon),
+            rng=fault_stream(seed, "proc_fail"),
+            max_failures=params.get("max_failures"),
+        )
+
+
+class BasisBitflipFaults(FaultModel):
+    """Targeted bit flip in the newest Krylov basis vector.
+
+    The controlled-injection model of experiment E1: at iteration
+    ``at``, flip one uniformly chosen bit (within ``bits``) of one
+    uniformly chosen element of the newest Arnoldi basis vector.
+    Exposed as an engine iteration hook so it composes with any
+    Arnoldi-type solver through the resilience-policy surface.
+    """
+
+    kind = "basis_bitflip"
+
+    def _validate(self) -> None:
+        bits = self.spec.get("bits")
+        if bits is not None:
+            lo, hi = bits
+            if not (0 <= int(lo) <= int(hi) <= 63):
+                raise ValueError(f"invalid bits range {bits!r}")
+
+    @property
+    def bits(self) -> Tuple[int, int]:
+        bits = self.spec.get("bits", (0, 63))
+        return (int(bits[0]), int(bits[1]))
+
+    def iteration_hook(self, rng=None, *, seed=None, name="basis", at=None):
+        """A ``(hook, info)`` pair injecting one flip at iteration ``at``.
+
+        The draw order (bit first, victim index at fire time) is the
+        historical E1 order, so spec-driven campaigns replay the seed
+        goldens bit-for-bit.
+        """
+        gen = _resolve_rng(rng, seed, name)
+        low, high = self.bits
+        flip_bit = int(gen.integers(low, high + 1))
+        fire_at = int(at if at is not None else self.spec.get("at", 0))
+        info = {"done": False, "bit": flip_bit, "index": None}
+
+        def hook(state):
+            if info["done"] or state.total_iteration != fire_at:
+                return
+            target = np.asarray(state.basis[state.inner + 1])
+            if target.size == 0:
+                return
+            index = int(gen.integers(0, target.size))
+            flip_bit_array(target, index, flip_bit, inplace=True)
+            info["done"] = True
+            info["index"] = index
+
+        return hook, info
+
+
+class CompositeFaults(FaultModel):
+    """Several fault models acting together (kind ``"compose"``).
+
+    Capability calls delegate to the first component that supports
+    them, so e.g. ``bitflip:p=0.05+proc_fail:mtbf=3600`` hands its
+    bit-flip half to operator wrappers and its process-failure half to
+    the simulated runtime.
+    """
+
+    kind = COMPOSE_KIND
+
+    def __init__(self, spec: FaultSpec):
+        super().__init__(spec)
+        self._children = [build_model(child) for child in spec.children]
+
+    @property
+    def is_null(self) -> bool:
+        return all(child.is_null for child in self._children)
+
+    @property
+    def probability(self) -> float:
+        for child in self._children:
+            if child.probability:
+                return child.probability
+        return 0.0
+
+    @property
+    def bits(self) -> Optional[Tuple[int, int]]:
+        for child in self._children:
+            if child.bits is not None:
+                return child.bits
+        return None
+
+    def components(self) -> List[FaultModel]:
+        return list(self._children)
+
+    def _delegate(self, capability: str, *args, **kwargs):
+        # Null components must not shadow active ones: "none" supports
+        # every capability as a working no-op, so composing it first
+        # (e.g. compose(control, extra)) would otherwise silently
+        # disable the rest.  Null children only serve when nothing
+        # active supports the capability.
+        candidates = [c for c in self._children if not c.is_null] or self._children
+        for child in candidates:
+            try:
+                return getattr(child, capability)(*args, **kwargs)
+            except FaultCapabilityError:
+                continue
+        raise self._unsupported(capability)
+
+    def schedule(self, rng=None, *, seed=None, name="schedule"):
+        return self._delegate("schedule", rng, seed=seed, name=name)
+
+    def injector(self, rng=None, *, seed=None, name="injector",
+                 target=None, session=None):
+        return self._delegate(
+            "injector", rng, seed=seed, name=name, target=target, session=session
+        )
+
+    def environment(self, *, seed=None, cost_model=None, log=None):
+        return self._delegate(
+            "environment", seed=seed, cost_model=cost_model, log=log
+        )
+
+    def failure_plan(self, *, n_ranks=None, horizon=None, seed=None):
+        return self._delegate(
+            "failure_plan", n_ranks=n_ranks, horizon=horizon, seed=seed
+        )
+
+    def message_corruptor(self, rng=None, *, seed=None, name="messages"):
+        return self._delegate(
+            "message_corruptor", rng, seed=seed, name=name
+        )
+
+    def iteration_hook(self, rng=None, *, seed=None, name="basis", at=None):
+        return self._delegate(
+            "iteration_hook", rng, seed=seed, name=name, at=at
+        )
+
+
+MODEL_KINDS: Dict[str, Type[FaultModel]] = {
+    cls.kind: cls
+    for cls in (
+        NoFaults,
+        BitflipFaults,
+        PerturbationFaults,
+        MessageCorruptionFaults,
+        ProcessFaults,
+        BasisBitflipFaults,
+        CompositeFaults,
+    )
+}
+
+
+def build_model(spec: Union[str, dict, FaultSpec]) -> FaultModel:
+    """Instantiate the fault model a spec describes."""
+    spec = FaultSpec.parse(spec)
+    try:
+        cls = MODEL_KINDS[spec.kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault kind {spec.kind!r} "
+            f"(known: {sorted(MODEL_KINDS)})"
+        ) from None
+    return cls(spec)

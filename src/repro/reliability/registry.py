@@ -1,0 +1,195 @@
+"""Named fault-model registry: the fault axis campaigns sweep.
+
+Mirrors :mod:`repro.krylov.registry`: each entry names one declarative
+:class:`~repro.reliability.spec.FaultSpec` under a stable key, so
+drivers, campaigns and the CLI resolve fault models *by name* -- or by
+inline spec string -- and sweep solver x policy x fault grids without
+constructing injectors by hand.
+
+:func:`resolve_faults` is the one resolution entry point used across
+the toolkit: it accepts a registry name, a compact spec string, a dict,
+a :class:`FaultSpec` or an already-built model, applies optional
+parameter overrides, and returns the ready
+:class:`~repro.reliability.models.FaultModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.reliability.models import FaultModel, build_model
+from repro.reliability.spec import FaultSpec
+
+__all__ = [
+    "RegisteredFaultModel",
+    "FaultRegistry",
+    "default_fault_registry",
+    "fault_names",
+    "resolve_faults",
+]
+
+
+@dataclass(frozen=True)
+class RegisteredFaultModel:
+    """One named fault-model configuration.
+
+    Attributes
+    ----------
+    name:
+        Stable registry key (``"bitflip_exponent"``, ``"proc_fail"``...).
+    spec:
+        The declarative configuration the name stands for.
+    title:
+        One-line human description.
+    experiments:
+        Experiment ids whose drivers/benchmarks exercise this fault
+        model (drives ``run_benchmarks.py --faults``).
+    """
+
+    name: str
+    spec: FaultSpec
+    title: str
+    experiments: Tuple[str, ...] = ()
+
+    def build(self, **overrides) -> FaultModel:
+        """Instantiate the model, with optional parameter overrides."""
+        spec = self.spec.with_params(**overrides) if overrides else self.spec
+        return build_model(spec)
+
+
+class FaultRegistry:
+    """Index of named fault-model configurations."""
+
+    def __init__(self, entries: Optional[List[RegisteredFaultModel]] = None):
+        self._by_name: Dict[str, RegisteredFaultModel] = {}
+        for entry in entries if entries is not None else _builtin_models():
+            self.add(entry)
+
+    def add(self, entry: RegisteredFaultModel) -> None:
+        key = entry.name.lower()
+        if key in self._by_name:
+            raise ValueError(f"duplicate fault-model name {key!r}")
+        self._by_name[key] = entry
+
+    def get(self, name: str) -> RegisteredFaultModel:
+        try:
+            return self._by_name[name.lower()]
+        except KeyError:
+            raise KeyError(
+                f"unknown fault model {name!r} (known: {', '.join(self.names())})"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return isinstance(name, str) and name.lower() in self._by_name
+
+    def __iter__(self):
+        return iter(sorted(self._by_name.values(), key=lambda e: e.name))
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+
+def _builtin_models() -> List[RegisteredFaultModel]:
+    def spec(text: str) -> FaultSpec:
+        return FaultSpec.parse(text)
+
+    return [
+        RegisteredFaultModel(
+            name="none",
+            spec=spec("none"),
+            title="Fault-free control",
+            experiments=("E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"),
+        ),
+        RegisteredFaultModel(
+            name="bitflip",
+            spec=spec("bitflip:p=0.02"),
+            title="Per-operation Bernoulli bit flip, any bit",
+            experiments=("E2", "E3", "E6", "E8"),
+        ),
+        RegisteredFaultModel(
+            name="bitflip_mantissa",
+            spec=spec("bitflip:p=0.02,bits=0..51"),
+            title="Bernoulli bit flip restricted to mantissa bits",
+            experiments=("E2", "E3", "E6", "E8"),
+        ),
+        RegisteredFaultModel(
+            name="bitflip_exponent",
+            spec=spec("bitflip:p=0.02,bits=52..62"),
+            title="Bernoulli bit flip restricted to exponent bits",
+            experiments=("E2", "E3", "E6", "E8"),
+        ),
+        RegisteredFaultModel(
+            name="basis_bitflip",
+            spec=spec("basis_bitflip:bits=0..63"),
+            title="Targeted single flip in the newest Krylov basis vector",
+            experiments=("E1",),
+        ),
+        RegisteredFaultModel(
+            name="sdc_value",
+            spec=spec("perturb:p=0.01,scale=1000.0"),
+            title="SDC value perturbation (scale one element x1e3)",
+            experiments=("E2", "E3", "E6", "E8"),
+        ),
+        RegisteredFaultModel(
+            name="msg_corrupt",
+            spec=spec("msg_corrupt:p=0.001"),
+            title="Per-send message payload corruption",
+            experiments=("E4",),
+        ),
+        RegisteredFaultModel(
+            name="proc_fail",
+            spec=spec("proc_fail:mtbf=3600.0"),
+            title="Exponential (memoryless) process failures",
+            experiments=("E4", "E5", "E7"),
+        ),
+        RegisteredFaultModel(
+            name="proc_fail_weibull",
+            spec=spec("proc_fail:mtbf=3600.0,model=weibull,shape=0.7"),
+            title="Weibull process failures (infant-mortality hazard)",
+            experiments=("E4", "E7"),
+        ),
+    ]
+
+
+_DEFAULT: Optional[FaultRegistry] = None
+
+
+def default_fault_registry() -> FaultRegistry:
+    """The process-wide registry of named fault models."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = FaultRegistry()
+    return _DEFAULT
+
+
+def fault_names() -> List[str]:
+    """Sorted names of all registered fault models."""
+    return default_fault_registry().names()
+
+
+def resolve_faults(
+    value: Union[None, str, Mapping, FaultSpec, FaultModel],
+    **overrides,
+) -> FaultModel:
+    """Resolve anything fault-shaped into a ready :class:`FaultModel`.
+
+    ``None`` resolves to the fault-free model.  Strings are looked up
+    in the registry first; anything else is parsed as a compact spec
+    string.  ``overrides`` merge into the spec's parameters (``None``
+    values are ignored), so drivers can forward optional arguments
+    like ``bits=bit_range`` without clobbering explicit spec values.
+    """
+    if isinstance(value, FaultModel):
+        return value.with_params(**overrides) if overrides else value
+    if value is None:
+        value = "none"
+    if isinstance(value, str) and value in default_fault_registry():
+        return default_fault_registry().get(value).build(**overrides)
+    spec = FaultSpec.parse(value)
+    if overrides:
+        spec = spec.with_params(**overrides)
+    return build_model(spec)

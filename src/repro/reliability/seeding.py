@@ -1,0 +1,66 @@
+"""Unified RNG seed derivation for fault injection.
+
+Before the reliability layer existed, fault randomness was derived in
+two unrelated ways: the campaign runner hashed ``(base_seed,
+scenario_key)`` into per-scenario seeds, while fault schedules and
+injectors spun their own streams from whatever integer the driver
+happened to pass -- so the same scenario key could draw *different*
+fault sequences depending on the entry point (driver called directly
+vs. through a campaign).
+
+This module is now the single source of both derivations:
+
+* :func:`derive_seed` -- per-scenario seed from a base seed and a
+  stable key (the campaign runner re-exports this unchanged); and
+* :func:`fault_stream` -- a named fault stream from a scenario seed,
+  namespaced under ``"faults/"`` exactly like the drivers' own
+  ``RngFactory(seed).spawn("faults/<name>")`` calls, so a fault model
+  built from ``(seed, name)`` draws the same sequence no matter which
+  layer built it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.utils.rng import RngFactory
+
+__all__ = ["derive_seed", "fault_stream", "derive_fault_seed"]
+
+
+def derive_seed(base_seed: int, scenario_key: str) -> int:
+    """Deterministic per-scenario seed from the campaign base seed.
+
+    Stable across processes and Python versions (SHA-256, no
+    ``hash()``), and different for scenarios with different keys, so
+    sweeps that vary only non-seed parameters still draw independent
+    randomness per scenario.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{scenario_key}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "little")
+
+
+def fault_stream(
+    seed: Optional[int], name: str = "default"
+) -> np.random.Generator:
+    """The canonical fault stream for ``(seed, name)``.
+
+    Namespaced under ``"faults/"`` in the :class:`RngFactory` spawn
+    space, matching the convention the experiment drivers already use,
+    so reliability models and hand-written drivers that agree on the
+    name draw identical fault sequences.
+    """
+    return RngFactory(seed).spawn(f"faults/{name}")
+
+
+def derive_fault_seed(seed: Optional[int], name: str = "default") -> int:
+    """A 31-bit integer seed drawn from the canonical fault stream.
+
+    This is the idiom experiment E8 uses to hand each solver its own
+    independent fault seed (``faults/<solver>``); centralizing it keeps
+    direct driver calls and campaign runs on identical streams.
+    """
+    return int(fault_stream(seed, name).integers(0, 2**31 - 1))

@@ -1,0 +1,91 @@
+"""Triple modular redundancy (TMR).
+
+The brute-force way to make a computation reliable: run it three times
+and vote.  The paper notes that "even very expensive approaches such as
+triple modular redundancy (TMR) can still be much faster than a fully
+unreliable approach" -- because only the small reliable region pays the
+3x cost.  :func:`tmr_execute` provides the executor; experiment E6 uses
+it to price the reliable outer iteration of FT-GMRES.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["TmrDisagreement", "tmr_execute"]
+
+
+class TmrDisagreement(RuntimeError):
+    """All three TMR replicas disagreed; no majority value exists."""
+
+    def __init__(self, results: Tuple[Any, Any, Any]):
+        super().__init__("TMR voting failed: all three replicas disagree")
+        self.results = results
+
+
+def _agree(a: Any, b: Any, rtol: float, atol: float) -> bool:
+    """Whether two replica results agree to within tolerance."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        a_arr = np.asarray(a, dtype=np.float64)
+        b_arr = np.asarray(b, dtype=np.float64)
+        if a_arr.shape != b_arr.shape:
+            return False
+        both_finite = np.isfinite(a_arr) & np.isfinite(b_arr)
+        if not both_finite.all():
+            return bool(np.array_equal(np.isfinite(a_arr), np.isfinite(b_arr)))
+        return bool(np.allclose(a_arr, b_arr, rtol=rtol, atol=atol))
+    if isinstance(a, (int, float, np.floating, np.integer)) and isinstance(
+        b, (int, float, np.floating, np.integer)
+    ):
+        if not (np.isfinite(a) and np.isfinite(b)):
+            return a == b
+        return bool(np.isclose(float(a), float(b), rtol=rtol, atol=atol))
+    return a == b
+
+
+def tmr_execute(
+    func: Callable[[], Any],
+    *,
+    rtol: float = 1e-12,
+    atol: float = 0.0,
+    counter: Optional[dict] = None,
+) -> Any:
+    """Run ``func`` three times and return the majority result.
+
+    Parameters
+    ----------
+    func:
+        Zero-argument callable; it is the caller's job to close over the
+        inputs.  If the unreliable substrate corrupts one execution, the
+        other two still agree and their value is returned.
+    rtol, atol:
+        Agreement tolerances for numeric results.
+    counter:
+        Optional dict; ``counter["tmr_executions"]`` and
+        ``counter["tmr_corrections"]`` are incremented so experiments
+        can report the redundancy overhead and how often it mattered.
+
+    Raises
+    ------
+    TmrDisagreement
+        When no two replicas agree (double fault within one TMR group).
+    """
+    results = (func(), func(), func())
+    if counter is not None:
+        counter["tmr_executions"] = counter.get("tmr_executions", 0) + 3
+    a, b, c = results
+    if _agree(a, b, rtol, atol):
+        if not _agree(a, c, rtol, atol) and counter is not None:
+            counter["tmr_corrections"] = counter.get("tmr_corrections", 0) + 1
+        return a
+    if _agree(a, c, rtol, atol):
+        if counter is not None:
+            counter["tmr_corrections"] = counter.get("tmr_corrections", 0) + 1
+        return a
+    if _agree(b, c, rtol, atol):
+        if counter is not None:
+            counter["tmr_corrections"] = counter.get("tmr_corrections", 0) + 1
+        return b
+    raise TmrDisagreement(results)

@@ -19,7 +19,7 @@ care about:
 * Blocking and non-blocking point-to-point messages and collectives
   (barrier, broadcast, reduce, allreduce, gather, allgather, scatter,
   and their ``i``-prefixed asynchronous forms).
-* Hard-fault injection: a :class:`~repro.faults.process.FailurePlan`
+* Hard-fault injection: a :class:`~repro.reliability.process.FailurePlan`
   kills ranks at prescribed virtual times; surviving ranks observe the
   failure as a :class:`~repro.simmpi.errors.RankFailedError` raised
   from their next communication involving the dead rank -- the ULFM

@@ -89,6 +89,13 @@ class Comm:
     born_at:
         Virtual time at which this incarnation of the rank started
         (non-zero for respawned ranks).
+    message_corruptor:
+        Optional callable ``(payload, dest, tag) -> payload`` applied
+        to the already-copied payload of every point-to-point send --
+        the runtime's hook for declarative message-corruption fault
+        models (``"msg_corrupt:p=..."``).  It runs in the sender's
+        thread in program order, so corruption stays a deterministic
+        function of the per-rank fault stream.
     """
 
     def __init__(
@@ -98,15 +105,24 @@ class Comm:
         machine: MachineModel,
         failure_times: Sequence[float] = (),
         born_at: float = 0.0,
+        message_corruptor: Optional[Callable[[Any, int, int], Any]] = None,
     ):
         self._state = state
         self._rank = int(rank)
         self._machine = machine
         self._failure_times = sorted(float(t) for t in failure_times)
+        self._message_corruptor = message_corruptor
         self.clock = VirtualClock(born_at)
         self._born_at = float(born_at)
         self._epoch = 0
         self._seq = 0
+
+    def _outgoing_payload(self, obj: Any, dest: int, tag: int) -> Any:
+        """Copy (and possibly corrupt) a payload entering the network."""
+        payload = _copy_payload(obj)
+        if self._message_corruptor is not None:
+            payload = self._message_corruptor(payload, dest, tag)
+        return payload
 
     # ------------------------------------------------------------------
     # Introspection
@@ -281,7 +297,7 @@ class Comm:
             send_time = self.clock.now
             available = send_time + cost
             box = self._state.mailbox((self._epoch, self._rank, dest, int(tag)))
-            box.append((_copy_payload(obj), available))
+            box.append((self._outgoing_payload(obj, dest, int(tag)), available))
             self._state.condition.notify_all()
         # Sender pays the message cost (eager protocol).
         self.clock.advance(cost)
@@ -303,7 +319,7 @@ class Comm:
             send_time = self.clock.now
             available = send_time + cost
             box = self._state.mailbox((self._epoch, self._rank, dest, int(tag)))
-            box.append((_copy_payload(obj), available))
+            box.append((self._outgoing_payload(obj, dest, int(tag)), available))
             self._state.condition.notify_all()
         latency = self._machine.latency
 

@@ -2,7 +2,7 @@
 
 :class:`SimRuntime` creates one thread per rank, hands each a
 :class:`~repro.simmpi.comm.Comm`, and runs the user's SPMD function.
-Hard faults (from a :class:`~repro.faults.process.FailurePlan`) surface
+Hard faults (from a :class:`~repro.reliability.process.FailurePlan`) surface
 inside the affected rank as
 :class:`~repro.simmpi.errors.ProcessDeathError`, which the runtime
 catches: the rank is marked dead, its thread exits, and all other ranks
@@ -20,7 +20,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.faults.process import FailurePlan
+from repro.reliability.process import FailurePlan
 from repro.machine.model import MachineModel
 from repro.simmpi.comm import Comm
 from repro.simmpi.errors import ProcessDeathError, SimMpiError
@@ -28,7 +28,34 @@ from repro.simmpi.state import RuntimeState
 from repro.utils.logging import EventLog
 from repro.utils.validation import check_integer
 
-__all__ = ["SimRuntime", "RankResult", "run_spmd"]
+__all__ = ["SimRuntime", "RankResult", "run_spmd", "coerce_failure_plan"]
+
+
+def coerce_failure_plan(plan, n_ranks: int, *, seed: Optional[int] = None) -> FailurePlan:
+    """Coerce a failure plan or declarative fault spec into a plan.
+
+    Accepts ``None`` (no failures), a ready
+    :class:`~repro.reliability.process.FailurePlan`, or anything
+    :func:`repro.reliability.resolve_faults` accepts (a registry name,
+    a compact spec string such as ``"proc_fail:mtbf=3600,horizon=7200"``,
+    a dict, a :class:`~repro.reliability.spec.FaultSpec` or a built
+    model) -- the one uniform way every layer names its fault axis.
+    Composite specs contribute their ``proc_fail`` component; specs
+    with no process-failure component coerce to an empty plan.
+    """
+    if plan is None:
+        return FailurePlan.none()
+    if isinstance(plan, FailurePlan):
+        return plan
+    # Local import: the declarative layer sits above the runtime.
+    from repro.reliability.models import FaultCapabilityError
+    from repro.reliability.registry import resolve_faults
+
+    model = resolve_faults(plan)
+    try:
+        return model.failure_plan(n_ranks=n_ranks, seed=seed)
+    except FaultCapabilityError:
+        return FailurePlan.none()
 
 
 @dataclass
@@ -81,7 +108,18 @@ class SimRuntime:
         Machine model used for virtual-time accounting (defaults to
         :meth:`MachineModel.ideal`).
     failure_plan:
-        Hard-fault plan; ``None`` means no rank ever dies.
+        Hard-fault plan; ``None`` means no rank ever dies.  Also
+        accepts a declarative fault spec (registry name, compact spec
+        string, dict, :class:`~repro.reliability.spec.FaultSpec` or
+        built model) resolved through :func:`coerce_failure_plan`.
+    faults:
+        Declarative fault spec for the runtime as a whole: its
+        ``proc_fail`` component supplies the failure plan (unless
+        ``failure_plan`` is given explicitly) and its ``msg_corrupt``
+        component corrupts message payloads on the simulated
+        interconnect.
+    fault_seed:
+        Seed of the fault streams spec resolution draws from.
     watchdog:
         Wall-clock seconds a rank may block in one operation before the
         runtime declares the simulated program deadlocked.
@@ -93,6 +131,8 @@ class SimRuntime:
         machine: Optional[MachineModel] = None,
         failure_plan: Optional[FailurePlan] = None,
         *,
+        faults=None,
+        fault_seed: Optional[int] = None,
         watchdog: float = 30.0,
     ):
         check_integer(n_ranks, "n_ranks")
@@ -100,7 +140,29 @@ class SimRuntime:
             raise ValueError("n_ranks must be positive")
         self.n_ranks = int(n_ranks)
         self.machine = machine if machine is not None else MachineModel.ideal()
-        self.failure_plan = failure_plan if failure_plan is not None else FailurePlan.none()
+        self.fault_model = None
+        self._corruptor_factory = None
+        if faults is not None:
+            from repro.reliability.registry import resolve_faults
+
+            self.fault_model = resolve_faults(faults)
+            if failure_plan is None:
+                failure_plan = coerce_failure_plan(
+                    self.fault_model, self.n_ranks, seed=fault_seed
+                )
+            msg_model = self.fault_model.component("msg_corrupt")
+            if msg_model is not None:
+                def _corruptor_factory(rank: int, _model=msg_model):
+                    # One stream per rank, named so any entry point that
+                    # agrees on (fault_seed, rank) replays the same
+                    # corruption sequence (see repro.reliability.seeding).
+                    return _model.message_corruptor(
+                        seed=fault_seed, name=f"messages/{rank}"
+                    )
+                self._corruptor_factory = _corruptor_factory
+        self.failure_plan = coerce_failure_plan(
+            failure_plan, self.n_ranks, seed=fault_seed
+        )
         self.state = RuntimeState(self.n_ranks, watchdog=watchdog)
         self._threads: Dict[int, _RankThread] = {}
         self._extra_results: List[RankResult] = []
@@ -116,12 +178,18 @@ class SimRuntime:
         return [f.time for f in self.failure_plan.failures_for_rank(rank)]
 
     def _make_comm(self, rank: int, born_at: float = 0.0) -> Comm:
+        corruptor = (
+            self._corruptor_factory(rank)
+            if self._corruptor_factory is not None
+            else None
+        )
         return Comm(
             self.state,
             rank,
             self.machine,
             failure_times=self._failure_times_for(rank),
             born_at=born_at,
+            message_corruptor=corruptor,
         )
 
     def _run_rank(
@@ -298,6 +366,8 @@ def run_spmd(
     *args: Any,
     machine: Optional[MachineModel] = None,
     failure_plan: Optional[FailurePlan] = None,
+    faults=None,
+    fault_seed: Optional[int] = None,
     watchdog: float = 30.0,
     **kwargs: Any,
 ) -> List[Any]:
@@ -309,9 +379,13 @@ def run_spmd(
             return comm.allreduce(comm.rank)
 
         totals = run_spmd(4, program)   # [6, 6, 6, 6]
+
+    ``failure_plan`` and ``faults`` accept declarative fault specs
+    exactly like :class:`SimRuntime`.
     """
     runtime = SimRuntime(
-        n_ranks, machine=machine, failure_plan=failure_plan, watchdog=watchdog
+        n_ranks, machine=machine, failure_plan=failure_plan,
+        faults=faults, fault_seed=fault_seed, watchdog=watchdog,
     )
     results = runtime.run(func, *args, **kwargs)
     by_rank: Dict[int, Any] = {}

@@ -24,7 +24,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from repro.faults.injector import ArrayInjector
+from repro.reliability.injector import ArrayInjector
 from repro.linalg.checksum import ChecksummedMatrix, checked_matmul, verify_checksum
 from repro.linalg.csr import CsrMatrix
 from repro.utils.logging import EventLog
@@ -40,7 +40,7 @@ class AbftMatvecOperator:
     matrix:
         The operand (CSR or dense).
     injector:
-        Optional :class:`~repro.faults.injector.ArrayInjector` applied
+        Optional :class:`~repro.reliability.injector.ArrayInjector` applied
         to every raw product before verification -- this is how the E2
         campaigns corrupt the computation.
     rtol, atol:

@@ -1,34 +1,38 @@
-"""Selective Reliability Programming (SRP) -- paper §II-D.
+"""Deprecated shim: :mod:`repro.srp` moved to :mod:`repro.reliability`.
 
-SRP lets the programmer "declare specific data and compute regions to
-be more reliable than the bulk reliability of the underlying system".
-Since no commodity hardware exposes such a control, the reliability
-boundary is enforced in software:
-
-* :mod:`repro.srp.region` -- :class:`ReliabilityDomain` objects that
-  own a fault injector (for the unreliable domain) or none (for the
-  reliable domain), plus tracked array allocation so experiments can
-  report how much data lives in each domain.
-* :mod:`repro.srp.context` -- ``reliable()`` / ``unreliable()`` context
-  managers and the :class:`SelectiveReliabilityEnvironment` tying the
-  domains together.
-* :mod:`repro.srp.tmr` -- triple modular redundancy executor, the
-  expensive way to buy reliability that the paper notes "can still be
-  much faster than a fully unreliable approach".
-* :mod:`repro.srp.cost` -- the reliability cost model (time and energy
-  multipliers for reliable storage/compute) used to report the benefit
-  of keeping *most* work unreliable.
+The Selective Reliability Programming layer (domains, environment,
+TMR, cost model) now lives in the unified reliability layer:
+``repro.reliability.domain`` (with ``unreliable()`` / ``reliable()``
+context managers), ``repro.reliability.environment``,
+``repro.reliability.tmr`` and ``repro.reliability.cost``.  This
+package re-exports the old names unchanged; update imports to
+``repro.reliability``.
 """
 
-from repro.srp.region import ReliabilityDomain, TrackedAllocation
-from repro.srp.context import SelectiveReliabilityEnvironment
-from repro.srp.tmr import tmr_execute, TmrDisagreement
-from repro.srp.cost import ReliabilityCostModel
+import warnings as _warnings
+
+_warnings.warn(
+    "repro.srp is deprecated; import from repro.reliability instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.reliability.domain import (  # noqa: E402,F401
+    ReliabilityDomain,
+    TrackedAllocation,
+)
+from repro.reliability.environment import (  # noqa: E402,F401
+    SelectiveReliabilityEnvironment,
+    UnreliableOperator,
+)
+from repro.reliability.tmr import TmrDisagreement, tmr_execute  # noqa: E402,F401
+from repro.reliability.cost import ReliabilityCostModel  # noqa: E402,F401
 
 __all__ = [
     "ReliabilityDomain",
     "TrackedAllocation",
     "SelectiveReliabilityEnvironment",
+    "UnreliableOperator",
     "tmr_execute",
     "TmrDisagreement",
     "ReliabilityCostModel",

@@ -1,180 +1,11 @@
-"""The selective-reliability environment.
+"""Deprecated shim: moved to :mod:`repro.reliability.environment`."""
 
-:class:`SelectiveReliabilityEnvironment` pairs one reliable and one
-unreliable :class:`~repro.srp.region.ReliabilityDomain` and exposes the
-context-manager style API the SRP model calls for::
+import warnings as _warnings
 
-    env = SelectiveReliabilityEnvironment(fault_probability=1e-3, seed=7)
-    with env.unreliable() as domain:
-        y = domain.run(lambda: A @ x, flops=2 * A.nnz)
-    with env.reliable() as domain:
-        # bookkeeping done here is never corrupted
-        accepted = validate(y)
+_warnings.warn(
+    "repro.srp.context is deprecated; import from repro.reliability.environment instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-It also produces the summary statistics (fraction of bytes / flops in
-each domain, number of injected faults) that experiment E6 reports, and
-a cost estimate through :class:`~repro.srp.cost.ReliabilityCostModel`.
-"""
-
-from __future__ import annotations
-
-from contextlib import contextmanager
-from typing import Dict, Optional, Union
-
-import numpy as np
-
-from repro.faults.injector import ArrayInjector, InjectionSession
-from repro.faults.schedule import BernoulliPerCallSchedule, FaultSchedule
-from repro.srp.cost import ReliabilityCostModel
-from repro.srp.region import ReliabilityDomain
-from repro.utils.logging import EventLog
-from repro.utils.rng import as_generator
-from repro.utils.validation import check_probability
-
-__all__ = ["SelectiveReliabilityEnvironment", "UnreliableOperator"]
-
-
-class UnreliableOperator:
-    """An operator whose every application runs in the unreliable domain.
-
-    Wraps a plain apply-callable so each result is ``touch``-ed by the
-    environment's unreliable domain (and may therefore be corrupted by
-    its fault injector), while accounting the flops performed
-    unreliably.  This is the one sanctioned way to slip an unreliable
-    operator underneath *any* engine-backed solver -- the FT-GMRES
-    inner solver and the solver-matrix fault campaigns both use it
-    instead of hand-rolling domain wiring.
-
-    Parameters
-    ----------
-    environment:
-        The owning :class:`SelectiveReliabilityEnvironment`.
-    apply:
-        The underlying (correct) operator application ``x -> A x``.
-    flops_per_call:
-        Flops charged to the unreliable domain per application
-        (``2 * nnz`` for a sparse matvec).
-
-    Attributes
-    ----------
-    flops:
-        Total flops performed through this operator so far.
-    now:
-        Logical timestamp handed to the fault schedule on each
-        application; callers running phased computations (e.g. one
-        inner solve per outer iteration) update it between phases.
-    """
-
-    def __init__(self, environment: "SelectiveReliabilityEnvironment", apply, *,
-                 flops_per_call: float = 0.0):
-        self.environment = environment
-        self.apply = apply
-        self.flops_per_call = float(flops_per_call)
-        self.flops = 0.0
-        self.now = 0.0
-
-    def __call__(self, x: np.ndarray) -> np.ndarray:
-        result = self.apply(x)
-        self.flops += self.flops_per_call
-        return self.environment.unreliable_domain.touch(result, now=self.now)
-
-
-class SelectiveReliabilityEnvironment:
-    """Owns the reliable and unreliable domains of one computation.
-
-    Parameters
-    ----------
-    fault_probability:
-        Per-operation corruption probability of the unreliable domain
-        (each ``touch``/``run`` independently corrupts its array with
-        this probability).  Ignored when ``schedule`` is given.
-    schedule:
-        Explicit fault schedule for the unreliable domain.
-    seed:
-        Seed for the unreliable domain's injector.
-    bit_range:
-        Bit positions the injector may flip.
-    cost_model:
-        Reliability cost model used by :meth:`cost_summary`.
-    """
-
-    def __init__(
-        self,
-        fault_probability: float = 0.0,
-        *,
-        schedule: Optional[FaultSchedule] = None,
-        seed: Union[None, int, np.random.Generator] = None,
-        bit_range=None,
-        cost_model: Optional[ReliabilityCostModel] = None,
-        log: Optional[EventLog] = None,
-    ):
-        check_probability(fault_probability, "fault_probability")
-        self.log = log if log is not None else EventLog()
-        rng = as_generator(seed)
-        if schedule is None:
-            schedule = BernoulliPerCallSchedule(fault_probability, rng=rng)
-        session = InjectionSession(self.log)
-        injector = ArrayInjector(
-            schedule=schedule, rng=rng, bit_range=bit_range,
-            target="srp_unreliable", session=session,
-        )
-        self.unreliable_domain = ReliabilityDomain(
-            "unreliable", level="unreliable", injector=injector, log=self.log
-        )
-        self.reliable_domain = ReliabilityDomain("reliable", level="reliable", log=self.log)
-        self.cost_model = cost_model if cost_model is not None else ReliabilityCostModel()
-
-    # ------------------------------------------------------------------
-    @contextmanager
-    def reliable(self):
-        """Context manager yielding the reliable domain."""
-        yield self.reliable_domain
-
-    @contextmanager
-    def unreliable(self):
-        """Context manager yielding the unreliable domain."""
-        yield self.unreliable_domain
-
-    def unreliable_operator(self, apply, *, flops_per_call: float = 0.0) -> UnreliableOperator:
-        """Wrap ``apply`` as an :class:`UnreliableOperator` of this environment."""
-        return UnreliableOperator(self, apply, flops_per_call=flops_per_call)
-
-    # ------------------------------------------------------------------
-    def faults_injected(self) -> int:
-        """Total faults injected into the unreliable domain."""
-        return self.unreliable_domain.faults_injected()
-
-    def summary(self) -> Dict[str, float]:
-        """Fractions of data and work in each domain, plus fault counts."""
-        rel_bytes = self.reliable_domain.bytes_allocated
-        unrel_bytes = self.unreliable_domain.bytes_allocated
-        total_bytes = rel_bytes + unrel_bytes
-        rel_flops = self.reliable_domain.flops
-        unrel_flops = self.unreliable_domain.flops
-        total_flops = rel_flops + unrel_flops
-        return {
-            "reliable_bytes": float(rel_bytes),
-            "unreliable_bytes": float(unrel_bytes),
-            "reliable_fraction_bytes": rel_bytes / total_bytes if total_bytes else 0.0,
-            "reliable_flops": rel_flops,
-            "unreliable_flops": unrel_flops,
-            "reliable_fraction_flops": rel_flops / total_flops if total_flops else 0.0,
-            "faults_injected": float(self.faults_injected()),
-        }
-
-    def cost_summary(self) -> Dict[str, float]:
-        """Estimated cost of this run vs an all-reliable execution."""
-        summary = self.summary()
-        selective = self.cost_model.execution_cost(
-            reliable_flops=summary["reliable_flops"],
-            unreliable_flops=summary["unreliable_flops"],
-        )
-        all_reliable = self.cost_model.execution_cost(
-            reliable_flops=summary["reliable_flops"] + summary["unreliable_flops"],
-            unreliable_flops=0.0,
-        )
-        return {
-            "selective_cost": selective,
-            "all_reliable_cost": all_reliable,
-            "savings_factor": all_reliable / selective if selective > 0 else 1.0,
-        }
+from repro.reliability.environment import *  # noqa: E402,F401,F403

@@ -1,72 +1,11 @@
-"""Reliability cost model.
+"""Deprecated shim: moved to :mod:`repro.reliability.cost`."""
 
-Making storage or computation "more reliable than the bulk reliability
-of the underlying system" costs something: ECC-protected or replicated
-memory, instruction replication, TMR.  The SRP argument only needs a
-first-order model of that cost: a multiplier on reliable bytes and a
-multiplier on reliable flops.  With those two numbers the model can
-answer the question the paper poses implicitly -- *how much cheaper is
-an execution that keeps most data and work unreliable* -- which is what
-:meth:`SelectiveReliabilityEnvironment.cost_summary` and experiment E6
-report.
-"""
+import warnings as _warnings
 
-from __future__ import annotations
+_warnings.warn(
+    "repro.srp.cost is deprecated; import from repro.reliability.cost instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-from dataclasses import dataclass
-
-from repro.utils.validation import check_non_negative, check_positive
-
-__all__ = ["ReliabilityCostModel"]
-
-
-@dataclass
-class ReliabilityCostModel:
-    """First-order cost multipliers for reliable storage and compute.
-
-    Attributes
-    ----------
-    reliable_compute_factor:
-        Cost multiplier of a reliable flop relative to an unreliable
-        one.  TMR corresponds to ~3 (plus voting); instruction
-        duplication ~2; hardened-but-slower cores somewhere in between.
-    reliable_storage_factor:
-        Cost multiplier of a reliably stored byte (e.g. ECC+chipkill or
-        software replication) relative to an unreliable byte.
-    unreliable_compute_cost:
-        Baseline cost per unreliable flop (arbitrary units; 1.0 by
-        default so returned costs are in "unreliable flop equivalents").
-    """
-
-    reliable_compute_factor: float = 3.0
-    reliable_storage_factor: float = 2.0
-    unreliable_compute_cost: float = 1.0
-
-    def __post_init__(self) -> None:
-        check_positive(self.reliable_compute_factor, "reliable_compute_factor")
-        check_positive(self.reliable_storage_factor, "reliable_storage_factor")
-        check_positive(self.unreliable_compute_cost, "unreliable_compute_cost")
-
-    def execution_cost(self, reliable_flops: float, unreliable_flops: float) -> float:
-        """Total compute cost of a run split between the two domains."""
-        check_non_negative(reliable_flops, "reliable_flops")
-        check_non_negative(unreliable_flops, "unreliable_flops")
-        return self.unreliable_compute_cost * (
-            unreliable_flops + self.reliable_compute_factor * reliable_flops
-        )
-
-    def storage_cost(self, reliable_bytes: float, unreliable_bytes: float) -> float:
-        """Total storage cost of data split between the two domains."""
-        check_non_negative(reliable_bytes, "reliable_bytes")
-        check_non_negative(unreliable_bytes, "unreliable_bytes")
-        return unreliable_bytes + self.reliable_storage_factor * reliable_bytes
-
-    def speedup_vs_all_reliable(
-        self, reliable_flops: float, unreliable_flops: float
-    ) -> float:
-        """How much cheaper selective reliability is than all-reliable."""
-        selective = self.execution_cost(reliable_flops, unreliable_flops)
-        everything = self.execution_cost(reliable_flops + unreliable_flops, 0.0)
-        if selective == 0.0:
-            return 1.0
-        return everything / selective
+from repro.reliability.cost import *  # noqa: E402,F401,F403

@@ -24,8 +24,8 @@ import pytest
 
 from repro.campaign.runner import CampaignRunner
 from repro.campaign.spec import Scenario
-from repro.faults.injector import ArrayInjector
-from repro.faults.schedule import BernoulliPerCallSchedule
+from repro.reliability.injector import ArrayInjector
+from repro.reliability.schedule import BernoulliPerCallSchedule
 from repro.krylov.gmres import gmres
 from repro.linalg.matgen import poisson_2d
 from repro.utils.rng import RngFactory

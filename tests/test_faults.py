@@ -1,11 +1,11 @@
-"""Tests for repro.faults (bit flips, schedules, injectors, process failures)."""
+"""Tests for the reliability-layer mechanisms (bit flips, schedules, injectors, process failures)."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.faults import (
+from repro.reliability import (
     ArrayInjector,
     BernoulliPerCallSchedule,
     CampaignResult,
@@ -27,7 +27,7 @@ from repro.faults import (
     float_from_bits,
     relative_perturbation,
 )
-from repro.faults.process import system_mtbf
+from repro.reliability.process import system_mtbf
 
 
 class TestBitflip:

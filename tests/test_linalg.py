@@ -34,7 +34,7 @@ from repro.linalg import (
     tridiagonal,
     verify_checksum,
 )
-from repro.faults.bitflip import flip_bit_array
+from repro.reliability.bitflip import flip_bit_array
 from repro.linalg.blas import apply_givens
 from repro.simmpi import run_spmd
 

@@ -7,7 +7,7 @@ import numpy as np
 import pytest
 
 from repro.checkpoint import CheckpointStore, run_cpr_stepped
-from repro.faults import FailurePlan
+from repro.reliability import FailurePlan
 from repro.lflr import (
     CoarseModelStore,
     PersistentStore,

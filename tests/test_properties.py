@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.faults.bitflip import flip_bit_array, flip_bit_float64
+from repro.reliability.bitflip import flip_bit_array, flip_bit_float64
 from repro.linalg.blas import back_substitution, givens_rotation
 from repro.linalg.blas import apply_givens
 from repro.linalg.checksum import checked_matmul

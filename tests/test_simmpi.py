@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.faults import FailurePlan
+from repro.reliability import FailurePlan
 from repro.machine import MachineModel
 from repro.simmpi import (
     CartTopology,

@@ -6,8 +6,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.faults import ArrayInjector, BernoulliPerCallSchedule, DeterministicSchedule
-from repro.faults.bitflip import flip_bit_array
+from repro.reliability import ArrayInjector, BernoulliPerCallSchedule, DeterministicSchedule
+from repro.reliability.bitflip import flip_bit_array
 from repro.ftgmres import UnreliableInnerSolver, ft_gmres
 from repro.krylov import gmres
 from repro.linalg import poisson_2d, convection_diffusion_2d
@@ -28,7 +28,7 @@ from repro.skeptical import (
     sdc_detecting_gmres,
     spd_coefficient_check,
 )
-from repro.srp import (
+from repro.reliability import (
     ReliabilityCostModel,
     ReliabilityDomain,
     SelectiveReliabilityEnvironment,
