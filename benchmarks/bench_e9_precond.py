@@ -1,0 +1,34 @@
+"""Benchmark/regeneration harness for experiment E9 (preconditioners).
+
+The selective-reliability demonstration: every default solver x every
+registered preconditioner with exponent-bit flips routed into the
+unreliable domain wrapping ``M^{-1} v``.  Exercises the whole
+preconditioner registry (spec parsing, builders, the domain proxy and
+the solvers' ``precond=`` wiring) in a single run.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments import e9_precond
+
+
+def test_e9_precond_matrix(benchmark):
+    """Regenerate the E9 table."""
+    result = benchmark.pedantic(
+        lambda: e9_precond.run(
+            grid=8,
+            preconds=("none", "jacobi", "ssor", "poly2", "bjacobi8"),
+            faults="bitflip:p=0.05,bits=52..62",
+            seed=2013,
+        ),
+        rounds=1, iterations=1,
+    )
+    report(result)
+    assert result.summary["n_preconds"] == 5
+    assert result.summary["n_silent_corruptions"] == 0
+    benchmark.extra_info["n_correct"] = result.summary["n_correct"]
+    benchmark.extra_info["total_faults_injected"] = result.summary[
+        "total_faults_injected"
+    ]

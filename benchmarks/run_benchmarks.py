@@ -39,18 +39,22 @@ def _with_src_on_path() -> None:
         sys.path.insert(0, SRC_DIR)
 
 
-def bench_modules(solver: str = None, faults: str = None) -> list:
+def bench_modules(solver: str = None, faults: str = None, precond: str = None) -> list:
     """One benchmark module per registered experiment, in E-number order.
 
     Modules are matched by prefix (``bench_e3_*.py`` covers E3) so the
     benchmark file name can carry a fuller description than the driver
     module does.  With ``solver``, only the experiments the solver
     registry lists as exercising that solver are kept (so
-    ``--solver pipelined_cg`` runs just the E3/E8 benchmarks).  With
+    ``--solver pipelined_cg`` runs just the E3/E8/E9 benchmarks).  With
     ``faults`` -- a reliability-registry name or compact fault spec --
     only the experiments registered as exercising that fault model are
     kept (so ``--faults proc_fail`` runs just the E4/E5/E7 benchmarks);
-    inline specs map through their kind's registry entries.
+    inline specs map through their kind's registry entries.  With
+    ``precond`` -- a :mod:`repro.precond` registry name or compact
+    preconditioner spec -- only the experiments registered as
+    exercising that preconditioner are kept; inline specs map through
+    their kind's registry entries.  Filters intersect.
     """
     _with_src_on_path()
     from repro.campaign.registry import default_registry
@@ -97,6 +101,35 @@ def bench_modules(solver: str = None, faults: str = None) -> list:
             else wanted & fault_experiments
         )
 
+    if precond is not None:
+        from repro.precond import default_precond_registry, parse_precond
+
+        registry = default_precond_registry()
+        try:
+            if precond in registry:
+                precond_experiments = set(registry.get(precond).experiments)
+            else:
+                # An inline spec: validate it, then take the union of
+                # the registry entries matching its kind.
+                kind = parse_precond(precond).kind
+                precond_experiments = {
+                    experiment
+                    for entry in registry
+                    if entry.spec.kind == kind
+                    for experiment in entry.experiments
+                }
+        except (KeyError, ValueError) as exc:
+            raise SystemExit(str(exc)) from None
+        if not precond_experiments:
+            raise SystemExit(
+                f"preconditioner spec {precond!r} maps to no registered "
+                f"experiments"
+            )
+        wanted = (
+            precond_experiments if wanted is None
+            else wanted & precond_experiments
+        )
+
     modules = []
     for driver in default_registry():
         if wanted is not None and driver.experiment not in wanted:
@@ -114,7 +147,8 @@ def bench_modules(solver: str = None, faults: str = None) -> list:
         modules.extend(os.path.basename(m) for m in matches)
     if not modules:
         raise SystemExit(
-            f"solver {solver!r} maps to no benchmark modules "
+            f"filters (solver={solver!r}, faults={faults!r}, "
+            f"precond={precond!r}) map to no benchmark modules "
             f"(experiments: {sorted(wanted or ())})"
         )
     return modules
@@ -181,6 +215,15 @@ def main(argv=None) -> int:
         "against a full baseline",
     )
     parser.add_argument(
+        "--precond",
+        default=None,
+        help="run only the benchmarks exercising this preconditioner "
+        "(a repro.precond registry name, e.g. 'bjacobi8', or a compact "
+        "spec string like 'ssor:omega=1.2'); combines with --solver and "
+        "--faults as an intersection; a filtered run is not comparable "
+        "against a full baseline",
+    )
+    parser.add_argument(
         "pytest_args",
         nargs="*",
         help="extra arguments forwarded to pytest (after --)",
@@ -200,7 +243,7 @@ def main(argv=None) -> int:
         "-m",
         "pytest",
         *[os.path.join(BENCH_DIR, module)
-          for module in bench_modules(args.solver, args.faults)],
+          for module in bench_modules(args.solver, args.faults, args.precond)],
         "--benchmark-only",
         f"--benchmark-json={args.json}",
         "-q",

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 tests + golden determinism + smoke campaign.
+# CI gate: tier-1 tests + registry self-checks (solver / fault /
+# preconditioner axes) + doc-link check + golden determinism + smoke
+# and precond campaigns with memoization re-runs.
 #
 #   scripts/verify.sh            # everything (~2 min)
 #   scripts/verify.sh --fast     # skip the second golden pass
@@ -66,6 +68,72 @@ print(f"reliability registry OK ({len(default_fault_registry())} fault models ro
 PY
 
 echo
+echo "== preconditioner registry self-check =="
+grep -q "registered preconditioners" <<<"$listing" || {
+    echo "ERROR: 'campaign list' does not include the preconditioner axis" >&2
+    exit 1
+}
+for entry in none jacobi ssor ssor_over poly2 poly4 bjacobi8; do
+    grep -qE "^$entry " <<<"$listing" || {
+        echo "ERROR: preconditioner '$entry' missing from the registry listing" >&2
+        exit 1
+    }
+done
+python -m repro.campaign list --campaign precond > /dev/null
+# Every named preconditioner must build against a model problem,
+# serialize to its compact string form, and round-trip back to the
+# identical spec (and through the dict form).
+python - <<'PY'
+from repro.linalg.matgen import poisson_2d
+from repro.precond import PrecondSpec, default_precond_registry
+
+matrix = poisson_2d(6)
+for entry in default_precond_registry():
+    built = entry.build(matrix)
+    assert (built is None) == (entry.spec.kind == "none"), entry.name
+    roundtrip = PrecondSpec.parse(entry.spec.to_string())
+    assert roundtrip == entry.spec, (entry.name, roundtrip, entry.spec)
+    assert PrecondSpec.from_dict(entry.spec.to_dict()) == entry.spec, entry.name
+print(f"preconditioner registry OK "
+      f"({len(default_precond_registry())} preconditioners build and round-trip)")
+PY
+
+echo
+echo "== documentation link check =="
+# Fail on dangling relative links in any tracked *.md file.  External
+# (http/https/mailto) links and pure #anchors are skipped; relative
+# targets must exist on disk (anchors on relative targets are checked
+# for file existence only).
+python - <<'PY'
+import pathlib
+import re
+import sys
+
+# Match every "](target)" rather than whole "[text](target)" links:
+# link text may itself contain brackets (badges, "[![CI](img)](url)"),
+# and a checker that skips those would wave dangling targets through.
+LINK_RE = re.compile(r"\]\(([^)\s]+)\)")
+root = pathlib.Path(".")
+broken = []
+for path in sorted(root.rglob("*.md")):
+    if any(part.startswith(".") or part == "node_modules" for part in path.parts):
+        continue
+    for match in LINK_RE.finditer(path.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        if not (path.parent / relative).exists():
+            broken.append(f"{path}: dangling link -> {target}")
+if broken:
+    print("\n".join(broken), file=sys.stderr)
+    sys.exit(1)
+print("doc links OK (no dangling relative links in *.md)")
+PY
+
+echo
 echo "== engine parity + registry contract suite, second pass =="
 if [[ "$FAST" == "1" ]]; then
     echo "(skipped: --fast)"
@@ -100,6 +168,22 @@ rerun_output="$(python -m repro.campaign run --smoke --workers 2 --store "$STORE
 echo "$rerun_output" | tail -2
 if ! grep -q " 0 ran, " <<<"$rerun_output"; then
     echo "ERROR: re-run executed scenarios; the store failed to memoize" >&2
+    exit 1
+fi
+
+echo
+echo "== precond campaign (fresh store) =="
+PRECOND_STORE="$(mktemp -t repro_precond_XXXXXX.jsonl)"
+trap 'rm -f "$STORE" "$PRECOND_STORE"' EXIT
+rm -f "$PRECOND_STORE"
+python -m repro.campaign run precond --workers 2 --store "$PRECOND_STORE"
+
+echo
+echo "== precond campaign re-run (must be fully cached) =="
+precond_rerun="$(python -m repro.campaign run precond --workers 2 --store "$PRECOND_STORE")"
+echo "$precond_rerun" | tail -2
+if ! grep -q " 0 ran, " <<<"$precond_rerun"; then
+    echo "ERROR: precond re-run executed scenarios; the store failed to memoize" >&2
     exit 1
 fi
 

@@ -33,7 +33,13 @@ Subpackage overview
     CSR sparse matrices, model problems, preconditioners, checksummed
     (ABFT) operations, distributed vectors/matrices.
 ``repro.krylov``
-    CG, GMRES, FGMRES, Arnoldi and their pipelined variants.
+    CG, GMRES, FGMRES, Arnoldi and their pipelined variants, unified
+    under one solver engine and a named, sweepable solver registry.
+``repro.precond``
+    The declarative preconditioning layer: serializable
+    ``PrecondSpec`` configurations, a named registry and
+    ``resolve_preconds`` -- the third sweepable axis, and the natural
+    home of selective reliability (only ``M^{-1} v`` unreliable).
 ``repro.skeptical``
     SkP: invariant checks, policies, monitors, SDC-detecting GMRES.
 ``repro.rbsp``
@@ -60,6 +66,7 @@ __all__ = [
     "simmpi",
     "linalg",
     "krylov",
+    "precond",
     "skeptical",
     "rbsp",
     "srp",

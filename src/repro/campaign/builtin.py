@@ -14,6 +14,11 @@ Three ship with the toolkit:
   :mod:`repro.krylov.registry`: every registered solver under every
   generic resilience policy, with and without operator faults
   (experiment E8).
+* ``precond`` -- the preconditioner-axis sweep over
+  :mod:`repro.precond` (experiment E9): every registered solver x
+  preconditioner cell under each fault spec, with the fault placed
+  either selectively (only ``M^{-1} v`` unreliable) or on the trusted
+  operator -- the paper's selective-reliability claim as a grid.
 
 Campaigns are plain lists of scenarios produced by declarative
 :class:`~repro.campaign.spec.Sweep` specs, so adding a campaign is
@@ -144,10 +149,40 @@ def _solvers() -> List[Scenario]:
     ).expand()
 
 
+def _precond() -> List[Scenario]:
+    # The solver x preconditioner x fault x reliability-placement grid
+    # of E9: each scenario runs every default solver against every
+    # registered preconditioner, so those two axes are swept inside the
+    # driver while the fault spec and its placement are campaign axes.
+    # target="precond" is the selective-reliability wiring (only
+    # M^{-1} v passes through the unreliable domain); target="operator"
+    # lands the same fault on data the solvers must trust.
+    base = {"grid": 8, "seed": 2013}
+    scenarios = Sweep(
+        "E9", axes={"faults": ("none",)}, base=base, tag="precond"
+    ).expand()
+    scenarios.extend(
+        Sweep(
+            "E9",
+            axes={
+                "faults": (
+                    "bitflip:p=0.05,bits=52..62",
+                    "perturb:p=0.02,scale=1000.0",
+                ),
+                "target": ("precond", "operator"),
+            },
+            base=base,
+            tag="precond",
+        ).expand()
+    )
+    return scenarios
+
+
 _BUILDERS: Dict[str, Callable[[], List[Scenario]]] = {
     "smoke": _smoke,
     "default": _default,
     "solvers": _solvers,
+    "precond": _precond,
 }
 
 

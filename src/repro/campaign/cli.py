@@ -2,16 +2,33 @@
 
 Examples
 --------
-List experiments and built-in campaigns::
+List every sweepable axis and built-in campaign::
 
     python -m repro.campaign list
+
+``list`` prints five tables, one per registry:
+
+* **registered experiments** -- the auto-discovered E1-E9 drivers
+  (:mod:`repro.campaign.registry`): id, short name, tags, the
+  parameters ``run()`` accepts, title.
+* **registered solvers** -- the named engine configurations
+  (:mod:`repro.krylov.registry`): name, family, supported resilience
+  policies, title.
+* **registered fault models** -- the named declarative fault specs
+  (:mod:`repro.reliability.registry`): name, compact spec string, the
+  experiments exercising it, title.
+* **registered preconditioners** -- the named preconditioner specs
+  (:mod:`repro.precond`): name, compact spec string, the experiments
+  exercising it, title.
+* **built-in campaigns** -- name, scenario count, experiments covered.
 
 Show the scenarios of a campaign::
 
     python -m repro.campaign list --campaign smoke
 
-Run the default sweep on two workers, memoized against the store::
+Run a built-in campaign (positional name or ``--campaign``)::
 
+    python -m repro.campaign run precond
     python -m repro.campaign run --workers 2 --store campaign_results.jsonl
 
 Run only the E1/E6 slice of the smoke campaign::
@@ -34,6 +51,7 @@ from typing import List, Optional
 from repro.campaign.builtin import builtin_campaign, builtin_campaign_names
 from repro.campaign.registry import default_registry
 from repro.krylov.registry import default_solver_registry
+from repro.precond import default_precond_registry
 from repro.reliability.registry import default_fault_registry
 from repro.campaign.report import render_report
 from repro.campaign.runner import CampaignRunner, ScenarioOutcome
@@ -49,7 +67,7 @@ DEFAULT_STORE = "campaign_results.jsonl"
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.campaign",
-        description="Declarative scenario sweeps over the E1-E8 experiment drivers.",
+        description="Declarative scenario sweeps over the E1-E9 experiment drivers.",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -65,7 +83,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run_cmd = commands.add_parser("run", help="execute a campaign")
     run_cmd.add_argument(
-        "--campaign", default="default",
+        "campaign_name", nargs="?", default=None,
+        help="built-in campaign to run (same as --campaign)",
+    )
+    run_cmd.add_argument(
+        "--campaign", default=None,
         help=f"built-in campaign to run (default: 'default'; "
              f"known: {', '.join(builtin_campaign_names())})",
     )
@@ -155,6 +177,16 @@ def _cmd_list(args) -> int:
         )
     print(faults.render())
     print()
+    precond_registry = default_precond_registry()
+    preconds = Table(["precond", "spec", "experiments", "title"],
+                     title=f"registered preconditioners ({len(precond_registry)})")
+    for entry in precond_registry:
+        preconds.add_row(
+            entry.name, entry.spec.to_string(),
+            ",".join(entry.experiments), entry.title,
+        )
+    print(preconds.render())
+    print()
     campaigns = Table(["campaign", "scenarios", "experiments"],
                       title="built-in campaigns")
     for name in builtin_campaign_names():
@@ -168,7 +200,21 @@ def _cmd_list(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    campaign = "smoke" if args.smoke else args.campaign
+    # The positional form and the --campaign flag are synonyms; naming
+    # two different campaigns is ambiguous, not a precedence question.
+    requested = [
+        name for name in (args.campaign_name, args.campaign,
+                          "smoke" if args.smoke else None)
+        if name is not None
+    ]
+    if len(set(requested)) > 1:
+        print(
+            f"conflicting campaign selections: {', '.join(sorted(set(requested)))} "
+            f"-- give one of the positional name, --campaign or --smoke",
+            file=sys.stderr,
+        )
+        return 2
+    campaign = requested[0] if requested else "default"
     scenarios = _filter_scenarios(
         builtin_campaign(campaign), args.experiment, args.tag
     )

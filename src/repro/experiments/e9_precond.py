@@ -1,0 +1,260 @@
+"""E9 -- Sweepable preconditioners under selective reliability.
+
+The paper's central claim -- *selective reliability* -- is that the
+preconditioner is exactly the part of a flexible Krylov solve that can
+run unreliably: a corrupted ``M^{-1} v`` only slows convergence, it
+never corrupts a converged answer, because the reliable outer
+iteration analyzes and, at worst, discards what the preconditioner
+returns (conf_hpdc_Heroux13, the FT-GMRES inner/outer argument).  This
+driver makes that claim a swept matrix: every requested solver from
+:mod:`repro.krylov.registry` x every preconditioner from
+:mod:`repro.precond` x one declarative fault spec, with the fault
+routed into one of two reliability placements:
+
+* ``target="precond"`` (the selective-reliability placement): the
+  preconditioner built from the clean matrix is wrapped in
+  :meth:`~repro.reliability.ReliabilityDomain.preconditioner`, so only
+  ``M^{-1} v`` passes through the unreliable domain while the operator,
+  the Arnoldi/CG recurrences and the updates stay reliable.
+* ``target="operator"`` (the control placement): the *same* fault model
+  corrupts the operator application instead -- data the solvers must
+  trust -- via the fault model's selective-reliability environment,
+  with the preconditioner left clean.
+
+Everything is resolved by name: solvers through the solver registry,
+preconditioners through :func:`repro.precond.resolve_preconds` (so the
+``preconds`` axis takes registry names like ``"bjacobi8"`` and inline
+specs like ``"ssor:omega=1.2"`` interchangeably) and faults through
+:func:`repro.reliability.resolve_faults`.  Each (solver,
+preconditioner) cell draws its own canonical fault stream, and each
+outcome is classified against a trusted direct solution.
+
+``fgmres`` receives the wrapped preconditioner as its variable inner
+solve (``precond_param="inner_solve"``); every other solver --
+including ``ft_gmres``, whose inner solve is an inner GMRES that
+*applies* the preconditioner -- routes it to its ``preconditioner=``
+keyword and applies it as ``M`` every iteration.  The table therefore
+shows the paper's argument as data: under ``target="precond"`` the
+flexible solvers stay correct (at worst slower), while under
+``target="operator"`` the same fault rate degrades or destroys
+convergence across the board.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, ExperimentSpec
+from repro.krylov.registry import default_solver_registry
+from repro.linalg.matgen import poisson_2d
+from repro.precond import parse_precond, resolve_preconds
+from repro.reliability import unreliable
+from repro.reliability.registry import resolve_faults
+from repro.reliability.sdc import classify_outcome
+from repro.reliability.seeding import derive_fault_seed
+from repro.utils.rng import RngFactory
+from repro.utils.tables import Table
+from repro.utils.validation import check_in
+
+__all__ = ["run", "SPEC"]
+
+SPEC = ExperimentSpec(
+    experiment="E9",
+    name="precond",
+    title="Sweepable preconditioners: solver x preconditioner x fault matrix "
+          "under selective reliability",
+    tags=("precond", "registry", "srp", "faults"),
+    smoke={"grid": 6, "solvers": ("gmres", "cg"),
+           "preconds": ("none", "jacobi"), "faults": "none"},
+    golden={"grid": 8,
+            "preconds": ("none", "jacobi", "ssor", "poly2", "bjacobi8"),
+            "faults": "bitflip:p=0.05,bits=52..62", "seed": 2013},
+)
+
+# Solvers swept by default: every registry entry that takes a fixed or
+# flexible preconditioner on the sequential backend and is comparable
+# under one (tol, maxiter) budget.  ft_gmres/sdc_gmres still work when
+# requested explicitly; they are excluded from the default sweep
+# because their resilience machinery (inner budgets, skeptical
+# restarts) makes their rows answer a different question.
+_DEFAULT_SOLVERS = ("gmres", "fgmres", "pipelined_gmres", "cg", "pipelined_cg")
+
+
+def run(
+    *,
+    grid: int = 8,
+    solvers: Optional[Union[str, Sequence[str]]] = None,
+    preconds: Optional[Union[str, Sequence[str]]] = None,
+    faults=None,
+    target: str = "precond",
+    tol: float = 1e-8,
+    maxiter: int = 400,
+    error_tolerance: float = 1e-5,
+    seed: int = 2013,
+) -> ExperimentResult:
+    """Run experiment E9 and return its table.
+
+    Parameters
+    ----------
+    grid:
+        2-D Poisson grid size (SPD, so every swept solver applies).
+    solvers:
+        Solver-registry names to run (string or sequence; ``None`` =
+        the default preconditionable set).
+    preconds:
+        The preconditioner axis: registry names (``"jacobi"``,
+        ``"bjacobi8"``) or inline specs (``"ssor:omega=1.2"``,
+        ``"poly:k=4"``), string or sequence; ``None`` = every
+        registered preconditioner.
+    faults:
+        The fault axis: a registered fault-model name, compact spec
+        string, dict or :class:`~repro.reliability.spec.FaultSpec`.
+        ``None`` runs fault-free.  Only the spec's soft component
+        corrupts data here; hard-fault-only specs run clean.
+    target:
+        Where the fault lands: ``"precond"`` routes it into the
+        unreliable domain wrapping ``M^{-1} v`` (selective
+        reliability; the ``none`` preconditioner then runs clean, as
+        its control row), ``"operator"`` corrupts the operator
+        application instead with the preconditioner left clean.
+    tol, maxiter:
+        Solver settings (mapped onto outer/inner limits for FT-GMRES).
+    error_tolerance:
+        Trusted-error threshold of the outcome classification.
+    seed:
+        Root seed: right-hand side and per-cell fault streams.
+    """
+    check_in(target, ("precond", "operator"), "target")
+    registry = default_solver_registry()
+    if solvers is None:
+        solver_list = list(_DEFAULT_SOLVERS)
+    elif isinstance(solvers, str):
+        solver_list = [solvers]
+    else:
+        solver_list = list(solvers)
+    if preconds is None:
+        from repro.precond import precond_names
+
+        precond_list = precond_names()
+    elif isinstance(preconds, str):
+        precond_list = [preconds]
+    else:
+        precond_list = list(preconds)
+
+    fault_model = resolve_faults(faults)
+    soft_model = fault_model.soft_component()
+
+    matrix = poisson_2d(grid)
+    factory = RngFactory(seed)
+    b = factory.spawn("rhs").standard_normal(matrix.n_rows)
+    x_ref = np.linalg.solve(matrix.to_dense(), b)
+    x_ref_norm = float(np.linalg.norm(x_ref))
+
+    table = Table(
+        ["solver", "precond", "iterations", "converged", "faults", "error",
+         "outcome"],
+        title=f"E9: solver x preconditioner x fault matrix "
+              f"(faults target the {target})",
+    )
+
+    n_runs = 0
+    n_correct = 0
+    n_silent = 0
+    total_faults = 0
+    for solver_name in solver_list:
+        solver = registry.get(solver_name)
+        for precond_name in precond_list:
+            # Setup runs in reliable mode (the SRP assumption): the
+            # preconditioner is always built from the clean matrix.
+            built = resolve_preconds(precond_name, matrix=matrix)
+            precond_label = parse_precond(precond_name).to_string()
+            fault_seed = derive_fault_seed(seed, f"{solver.name}/{precond_label}")
+
+            params = {"tol": tol}
+            if solver.name == "ft_gmres":
+                params.update(outer_maxiter=min(maxiter, 50), inner_maxiter=20,
+                              seed=fault_seed)
+            else:
+                params["maxiter"] = maxiter
+
+            faults_hit = 0
+            with np.errstate(over="ignore", invalid="ignore"):
+                if soft_model is not None and target == "precond" and built is not None:
+                    with unreliable(soft_model, seed=fault_seed,
+                                    name=f"precond/{solver.name}") as domain:
+                        wrapped = domain.preconditioner(
+                            built, flops_per_call=float(matrix.nnz)
+                        )
+                        result = solver.solve(matrix, b, precond=wrapped, **params)
+                    faults_hit = domain.faults_injected()
+                elif soft_model is not None and target == "operator":
+                    environment = soft_model.environment(seed=fault_seed)
+                    operator = environment.unreliable_operator(
+                        matrix.matvec, flops_per_call=2.0 * matrix.nnz
+                    )
+                    result = solver.solve(operator, b, precond=built, **params)
+                    faults_hit = environment.faults_injected()
+                else:
+                    result = solver.solve(matrix, b, precond=built, **params)
+
+            x = np.asarray(result.x, dtype=np.float64)
+            finite = bool(np.all(np.isfinite(x)))
+            error = (
+                float(np.linalg.norm(x - x_ref)) / x_ref_norm
+                if finite else float("inf")
+            )
+            outcome = classify_outcome(
+                converged=result.converged,
+                error_norm=error,
+                tolerance=error_tolerance,
+                detected=result.detected_faults > 0,
+            )
+            table.add_row(
+                solver.name,
+                precond_label,
+                result.iterations,
+                result.converged,
+                faults_hit,
+                f"{error:.3e}" if finite else "inf",
+                outcome,
+            )
+            n_runs += 1
+            total_faults += faults_hit
+            n_silent += int(outcome == "sdc")
+            n_correct += int(result.converged and error <= error_tolerance)
+
+    summary = {
+        "n_runs": n_runs,
+        "n_solvers": len(solver_list),
+        "n_preconds": len(precond_list),
+        "n_correct": n_correct,
+        "n_silent_corruptions": n_silent,
+        "total_faults_injected": total_faults,
+        "target": target,
+        "faults": fault_model.describe(),
+    }
+    parameters = {
+        "grid": grid,
+        "solvers": tuple(solver_list),
+        "preconds": tuple(precond_list),
+        "faults": fault_model.describe(),
+        "target": target,
+        "tol": tol,
+        "maxiter": maxiter,
+        "error_tolerance": error_tolerance,
+        "seed": seed,
+    }
+    return ExperimentResult(
+        experiment="E9",
+        claim=(
+            "Selective reliability: the preconditioner is the part of a flexible "
+            "Krylov solve that can run unreliably -- a corrupted M^-1 v only slows "
+            "convergence, while the same fault on the trusted operator degrades "
+            "or destroys the answer."
+        ),
+        table=table,
+        summary=summary,
+        parameters=parameters,
+    )

@@ -15,6 +15,26 @@ sweep values (``"none"``, ``"guard"``, ``"skeptical"``) onto the
 strongest supported concrete policy -- full Arnoldi-state skeptical
 checks for GMRES, the solver-agnostic residual guard for the rest, and
 selective reliability (which is always on) for FT-GMRES.
+
+Preconditioning is declarative too: ``solve(..., precond=...)`` accepts
+anything :func:`repro.precond.resolve_preconds` does -- a registry name
+(``"jacobi"``), a compact spec string (``"ssor:omega=1.2"``,
+``"poly:k=4"``, ``"bjacobi:bs=8"``), a dict, a
+:class:`~repro.precond.PrecondSpec`, or an already-built
+preconditioner object such as the fault-injecting proxy returned by
+:meth:`repro.reliability.ReliabilityDomain.preconditioner`.  Specs are
+built against the operator when it is matrix-like; pass the clean
+matrix via ``precond_matrix=`` when the operator is wrapped (e.g. an
+:class:`~repro.reliability.environment.UnreliableOperator`).  Each
+entry's :attr:`RegisteredSolver.precond_param` records which underlying
+keyword receives the built object (``preconditioner=`` everywhere
+except FGMRES, whose variable preconditioner is its ``inner_solve=``),
+and the canonical spec string is recorded in
+``result.info["precond"]``.
+
+``python -m repro.campaign list`` prints this registry as the solver
+table (one row per solver: name, family, supported policies, title)
+next to the experiment, fault-model and preconditioner tables.
 """
 
 from __future__ import annotations
@@ -73,6 +93,11 @@ class RegisteredSolver:
     experiments:
         Experiment ids whose benchmarks exercise this solver (drives
         ``run_benchmarks.py --solver``).
+    precond_param:
+        The underlying solver keyword that receives a preconditioner
+        built from ``solve(..., precond=...)`` (``"preconditioner"``
+        for the fixed-preconditioner solvers, ``"inner_solve"`` for
+        FGMRES, whose preconditioner is the variable inner solve).
     """
 
     name: str
@@ -83,6 +108,7 @@ class RegisteredSolver:
     spd_only: bool = False
     distributed: bool = True
     experiments: Tuple[str, ...] = ()
+    precond_param: str = "preconditioner"
 
     @property
     def default_policy(self) -> str:
@@ -127,19 +153,45 @@ class RegisteredSolver:
         *,
         policy: Optional[str] = None,
         policy_options: Optional[Mapping] = None,
+        precond=None,
+        precond_matrix=None,
         **params,
     ) -> SolveResult:
         """Run this solver with a named resilience policy.
 
         ``params`` are forwarded to the underlying solver function;
         ``policy_options`` configure the policy object (e.g. the
-        residual guard's ``growth_factor``).  The effective policy name
-        is recorded in ``result.info["policy_name"]``.
+        residual guard's ``growth_factor``).  ``precond`` is anything
+        :func:`repro.precond.resolve_preconds` accepts (registry name,
+        compact spec string, dict, :class:`~repro.precond.PrecondSpec`
+        or a built preconditioner object); spec-shaped values are built
+        against ``precond_matrix`` when given, else against the
+        operator itself.  The effective policy name is recorded in
+        ``result.info["policy_name"]`` and the preconditioner in
+        ``result.info["precond"]``.
         """
+        precond_label = None
+        if precond is not None:
+            from repro.precond import parse_precond, resolve_preconds
+
+            built = resolve_preconds(
+                precond,
+                matrix=precond_matrix if precond_matrix is not None else operator,
+            )
+            if built is precond:
+                # An already-built object passed through; its type is
+                # the most descriptive stable label available.
+                precond_label = type(precond).__name__
+            else:
+                precond_label = parse_precond(precond).to_string()
+            if built is not None:
+                params[self.precond_param] = built
         effective = self.resolve_policy(policy)
         result = self._solve(operator, b, x0, effective, dict(policy_options or {}), dict(params))
         result.info.setdefault("solver_name", self.name)
         result.info["policy_name"] = effective
+        if precond_label is not None:
+            result.info.setdefault("precond", precond_label)
         return result
 
 
@@ -203,7 +255,7 @@ def _builtin_solvers() -> List[RegisteredSolver]:
             title="Restarted GMRES, right preconditioning, blocking CGS2",
             policies=("none", "residual_guard", "skeptical_restart", "skeptical_abort"),
             _solve=_dispatch_gmres(gmres, sdc_detecting_gmres),
-            experiments=("E1", "E3", "E6", "E8"),
+            experiments=("E1", "E3", "E6", "E8", "E9"),
         ),
         RegisteredSolver(
             name="fgmres",
@@ -211,7 +263,8 @@ def _builtin_solvers() -> List[RegisteredSolver]:
             title="Flexible GMRES (variable preconditioner, reliable outer)",
             policies=guard_only,
             _solve=_guarded(fgmres),
-            experiments=("E6", "E8"),
+            experiments=("E6", "E8", "E9"),
+            precond_param="inner_solve",
         ),
         RegisteredSolver(
             name="pipelined_gmres",
@@ -219,7 +272,7 @@ def _builtin_solvers() -> List[RegisteredSolver]:
             title="Single-reduction (latency-tolerant) GMRES",
             policies=guard_only,
             _solve=_guarded(pipelined_gmres),
-            experiments=("E3", "E8"),
+            experiments=("E3", "E8", "E9"),
         ),
         RegisteredSolver(
             name="cg",
@@ -228,7 +281,7 @@ def _builtin_solvers() -> List[RegisteredSolver]:
             policies=guard_only,
             _solve=_guarded(cg),
             spd_only=True,
-            experiments=("E3", "E5", "E8"),
+            experiments=("E3", "E5", "E8", "E9"),
         ),
         RegisteredSolver(
             name="pipelined_cg",
@@ -237,7 +290,7 @@ def _builtin_solvers() -> List[RegisteredSolver]:
             policies=guard_only,
             _solve=_guarded(pipelined_cg),
             spd_only=True,
-            experiments=("E3", "E8"),
+            experiments=("E3", "E8", "E9"),
         ),
         RegisteredSolver(
             name="sdc_gmres",

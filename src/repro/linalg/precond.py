@@ -1,4 +1,4 @@
-"""Preconditioners.
+"""Preconditioners (the mechanisms).
 
 The solvers accept any object implementing the :class:`Preconditioner`
 protocol (an ``apply`` method mapping a residual to a correction).  The
@@ -8,6 +8,15 @@ studies -- Jacobi, SSOR, a Neumann-series polynomial and block Jacobi
 mode under SRP, since a corrupted preconditioner application changes
 only the rate of convergence, never the correctness of a converged
 answer (for right preconditioning in flexible methods).
+
+This module is the mechanism layer only.  The declarative surface --
+serializable spec strings (``"jacobi"``, ``"ssor:omega=1.2"``,
+``"poly:k=4"``, ``"bjacobi:bs=8"``), the named registry, and the
+``precond=`` parameter every registered solver accepts -- lives in
+:mod:`repro.precond`, which builds these classes and re-raises their
+validation errors with the offending spec string attached.  The
+unreliable-domain proxy is
+:meth:`repro.reliability.ReliabilityDomain.preconditioner`.
 """
 
 from __future__ import annotations

@@ -22,6 +22,28 @@ Quick tour::
         reliability.compose("bitflip:p=0.02", "proc_fail:mtbf=3600"))
     hard = combo.component("proc_fail")   # -> the process-failure model
 
+FaultSpec string forms (the sweepable wire format; full grammar in
+:mod:`repro.reliability.spec` and CAMPAIGNS.md)::
+
+    none                                  # the fault-free control
+    bitflip:p=0.02,bits=52..62            # Bernoulli exponent-bit flips
+    bitflip:rate=0.5,max_faults=3         # Poisson schedule, capped
+    perturb:p=0.01,scale=1000.0           # SDC value perturbation
+    msg_corrupt:p=0.001                   # per-send payload corruption
+    proc_fail:mtbf=3600,horizon=7200      # sampled process failures
+    proc_fail:times=1.5;3.0,ranks=1;2     # explicit failure plan
+    basis_bitflip:bits=0..63,at=6         # targeted Krylov-basis flip
+    bitflip:p=0.05+proc_fail:mtbf=3600    # "+" composes soft + hard
+
+Every form round-trips exactly through ``FaultSpec.parse`` /
+``to_string`` / ``to_dict``, and resolves through
+:func:`resolve_faults` (registry name, spec string, dict, ``FaultSpec``
+or built model in; ready :class:`FaultModel` out).  The sibling axes
+follow the same pattern: :mod:`repro.krylov.registry` for solvers and
+:mod:`repro.precond` for preconditioners (whose
+:meth:`ReliabilityDomain.preconditioner` proxy runs only ``M^{-1} v``
+unreliably -- selective reliability).
+
 Module map (mechanism -> declarative layer):
 
 * :mod:`~repro.reliability.bitflip` -- IEEE-754 bit manipulation.
@@ -84,6 +106,7 @@ from repro.reliability.process import (
 from repro.reliability.sdc import OUTCOME_KINDS, SdcCampaign, classify_outcome
 from repro.reliability.domain import (
     DomainOperator,
+    DomainPreconditioner,
     ReliabilityDomain,
     TrackedAllocation,
     reliable,
@@ -156,6 +179,7 @@ __all__ = [
     "ReliabilityDomain",
     "TrackedAllocation",
     "DomainOperator",
+    "DomainPreconditioner",
     "unreliable",
     "reliable",
     "SelectiveReliabilityEnvironment",

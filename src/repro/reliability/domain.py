@@ -42,6 +42,7 @@ __all__ = [
     "ReliabilityDomain",
     "TrackedAllocation",
     "DomainOperator",
+    "DomainPreconditioner",
     "unreliable",
     "reliable",
 ]
@@ -78,6 +79,64 @@ class DomainOperator:
         self.flops += self.flops_per_call
         self.domain.flops += self.flops_per_call
         return self.domain.touch(result, now=self.now)
+
+
+class DomainPreconditioner:
+    """A preconditioner whose every application passes through one domain.
+
+    Wraps any preconditioner -- an object with an ``apply`` method, a
+    bare callable, or ``None`` (the identity) -- so each ``M^{-1} v``
+    result is ``touch``-ed by the owning domain and may therefore be
+    corrupted by its injector.  This is the faithful selective-
+    reliability wiring of the paper: handed to a flexible solver
+    (``fgmres``/``ft_gmres``) whose outer iteration stays in the
+    reliable domain, *only* the preconditioner application runs
+    unreliably, so a corrupted ``M^{-1} v`` can slow convergence but
+    never corrupt a converged answer.
+
+    Implements the :class:`repro.linalg.precond.Preconditioner`
+    protocol (``apply`` + ``__call__``), so it slots into every
+    registered solver's ``precond=`` parameter unchanged.
+
+    Attributes
+    ----------
+    applications:
+        Number of preconditioner applications so far.
+    flops:
+        Total flops performed through this preconditioner so far.
+    now:
+        Logical timestamp handed to the fault schedule on each
+        application; callers running phased computations update it
+        between phases.
+    """
+
+    def __init__(self, domain: "ReliabilityDomain", preconditioner=None, *,
+                 flops_per_call: float = 0.0):
+        self.domain = domain
+        self.preconditioner = preconditioner
+        self.flops_per_call = float(flops_per_call)
+        self.applications = 0
+        self.flops = 0.0
+        self.now = 0.0
+
+    def _base_apply(self, vector: np.ndarray) -> np.ndarray:
+        base = self.preconditioner
+        if base is None:
+            return np.array(vector, dtype=np.float64, copy=True)
+        if hasattr(base, "apply"):
+            return base.apply(vector)
+        return base(vector)
+
+    def apply(self, vector: np.ndarray) -> np.ndarray:
+        """Apply ``M^{-1}`` through the domain (result may be corrupted)."""
+        result = self._base_apply(vector)
+        self.applications += 1
+        self.flops += self.flops_per_call
+        self.domain.flops += self.flops_per_call
+        return self.domain.touch(result, now=self.now)
+
+    def __call__(self, vector: np.ndarray) -> np.ndarray:
+        return self.apply(vector)
 
 
 @dataclass
@@ -175,6 +234,22 @@ class ReliabilityDomain:
     def operator(self, apply, *, flops_per_call: float = 0.0) -> DomainOperator:
         """Wrap ``apply`` so every application runs in this domain."""
         return DomainOperator(self, apply, flops_per_call=flops_per_call)
+
+    def preconditioner(self, preconditioner=None, *,
+                       flops_per_call: float = 0.0) -> DomainPreconditioner:
+        """Wrap a preconditioner so every ``M^{-1} v`` runs in this domain.
+
+        ``preconditioner`` may be an object with an ``apply`` method, a
+        bare callable, or ``None`` (the identity).  The returned proxy
+        satisfies the :class:`~repro.linalg.precond.Preconditioner`
+        protocol and can be handed to any registered solver's
+        ``precond=`` parameter -- the declarative route to the paper's
+        selective-reliability FGMRES, where only the preconditioner is
+        unreliable.
+        """
+        return DomainPreconditioner(
+            self, preconditioner, flops_per_call=flops_per_call
+        )
 
     def faults_injected(self) -> int:
         """Number of faults the domain's injector has injected."""

@@ -102,25 +102,25 @@ def _builtin_models() -> List[RegisteredFaultModel]:
             name="none",
             spec=spec("none"),
             title="Fault-free control",
-            experiments=("E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"),
+            experiments=("E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"),
         ),
         RegisteredFaultModel(
             name="bitflip",
             spec=spec("bitflip:p=0.02"),
             title="Per-operation Bernoulli bit flip, any bit",
-            experiments=("E2", "E3", "E6", "E8"),
+            experiments=("E2", "E3", "E6", "E8", "E9"),
         ),
         RegisteredFaultModel(
             name="bitflip_mantissa",
             spec=spec("bitflip:p=0.02,bits=0..51"),
             title="Bernoulli bit flip restricted to mantissa bits",
-            experiments=("E2", "E3", "E6", "E8"),
+            experiments=("E2", "E3", "E6", "E8", "E9"),
         ),
         RegisteredFaultModel(
             name="bitflip_exponent",
             spec=spec("bitflip:p=0.02,bits=52..62"),
             title="Bernoulli bit flip restricted to exponent bits",
-            experiments=("E2", "E3", "E6", "E8"),
+            experiments=("E2", "E3", "E6", "E8", "E9"),
         ),
         RegisteredFaultModel(
             name="basis_bitflip",
@@ -132,7 +132,7 @@ def _builtin_models() -> List[RegisteredFaultModel]:
             name="sdc_value",
             spec=spec("perturb:p=0.01,scale=1000.0"),
             title="SDC value perturbation (scale one element x1e3)",
-            experiments=("E2", "E3", "E6", "E8"),
+            experiments=("E2", "E3", "E6", "E8", "E9"),
         ),
         RegisteredFaultModel(
             name="msg_corrupt",

@@ -38,7 +38,13 @@ import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Sequence, Tuple, Union
 
-__all__ = ["FaultSpec", "compose", "parse_spec_value", "format_spec_value"]
+__all__ = [
+    "FaultSpec",
+    "compose",
+    "parse_spec_value",
+    "format_spec_value",
+    "parse_kind_params",
+]
 
 COMPOSE_KIND = "compose"
 
@@ -137,6 +143,29 @@ def _normalize_value(value: Any) -> Any:
     return value
 
 
+def parse_kind_params(text: str, label: str = "spec") -> Tuple[str, Dict[str, Any]]:
+    """Parse one ``KIND[:NAME=VALUE,...]`` token into ``(kind, params)``.
+
+    The single-spec grammar shared by :class:`FaultSpec` and
+    :class:`repro.precond.PrecondSpec`; ``label`` names the spec
+    flavour in error messages.
+    """
+    kind, _, tail = text.partition(":")
+    kind = kind.strip()
+    if not kind:
+        raise ValueError(f"malformed {label} string {text!r}")
+    params: Dict[str, Any] = {}
+    if tail.strip():
+        for item in tail.split(","):
+            name, sep, value = item.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"malformed parameter {item!r} in {label} {text!r}"
+                )
+            params[name.strip()] = parse_spec_value(value)
+    return kind, params
+
+
 @dataclass(frozen=True)
 class FaultSpec:
     """One declarative fault-model configuration.
@@ -204,18 +233,7 @@ class FaultSpec:
 
     @classmethod
     def _parse_single(cls, text: str) -> "FaultSpec":
-        kind, _, tail = text.partition(":")
-        kind = kind.strip()
-        params: Dict[str, Any] = {}
-        if tail.strip():
-            for item in tail.split(","):
-                name, sep, value = item.partition("=")
-                if not sep:
-                    raise ValueError(
-                        f"malformed parameter {item!r} in fault spec {text!r}"
-                    )
-                params[name.strip()] = parse_spec_value(value)
-        return cls(kind, params)
+        return cls(*parse_kind_params(text, "fault spec"))
 
     # -- serialization -------------------------------------------------
     def to_string(self) -> str:

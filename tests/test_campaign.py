@@ -281,22 +281,30 @@ class TestCampaignRunner:
 
 class TestBuiltinCampaigns:
     def test_names(self):
-        assert builtin_campaign_names() == ["default", "smoke", "solvers"]
+        assert builtin_campaign_names() == ["default", "precond", "smoke", "solvers"]
         with pytest.raises(KeyError):
             builtin_campaign("nope")
 
-    @pytest.mark.parametrize("name", ["smoke", "default", "solvers"])
+    @pytest.mark.parametrize("name", ["smoke", "default", "solvers", "precond"])
     def test_shape(self, name):
         scenarios = builtin_campaign(name)
         # Acceptance: a meaningful sweep with unique keys (no silently
         # duplicated work).  The broad campaigns span >= 3 experiments;
         # the "solvers" campaign is the solver x policy x fault grid of
-        # E8 (every scenario itself runs the whole solver registry).
+        # E8 (every scenario itself runs the whole solver registry) and
+        # the "precond" campaign the solver x preconditioner x fault x
+        # placement grid of E9 (solver and preconditioner axes swept
+        # inside the driver).
         if name == "solvers":
             assert len(scenarios) >= 6
             assert {s.experiment for s in scenarios} == {"E8"}
             policies = {s.params["policy"] for s in scenarios}
             assert {"none", "guard", "skeptical"} <= policies
+        elif name == "precond":
+            assert len(scenarios) >= 5
+            assert {s.experiment for s in scenarios} == {"E9"}
+            targets = {s.params.get("target") for s in scenarios}
+            assert {"precond", "operator"} <= targets
         else:
             assert len(scenarios) >= 12
             assert len({s.experiment for s in scenarios}) >= 3
