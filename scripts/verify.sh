@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 tests + registry self-checks (solver / fault /
 # preconditioner axes) + doc-link check + golden determinism + smoke
-# and precond campaigns with memoization re-runs.
+# and precond campaigns with memoization re-runs + the chaos gate
+# (smoke campaign under worker_crash chaos must reproduce the clean
+# store byte for byte).
 #
 #   scripts/verify.sh            # everything (~2 min)
 #   scripts/verify.sh --fast     # skip the second golden pass
@@ -158,7 +160,7 @@ fi
 echo
 echo "== smoke campaign (fresh store) =="
 STORE="$(mktemp -t repro_smoke_XXXXXX.jsonl)"
-trap 'rm -f "$STORE"' EXIT
+trap 'rm -f "$STORE" "${STORE%.jsonl}.ledger.jsonl"' EXIT
 rm -f "$STORE"
 python -m repro.campaign run --smoke --workers 2 --store "$STORE"
 
@@ -172,9 +174,59 @@ if ! grep -q " 0 ran, " <<<"$rerun_output"; then
 fi
 
 echo
+echo "== chaos smoke gate (crashing workers must not change results) =="
+# The same smoke campaign, re-executed from scratch while ~30% of the
+# attempts hard-kill their own worker and ~10% hang past the deadline.
+# The supervised runner must retry every scenario to completion, and
+# the resulting store must match the clean run's keys and result
+# payloads byte for byte -- resilience may cost retries, never answers.
+# (Chaos draws are pure functions of the base seed and scenario keys,
+# so this gate's fault pattern -- and its wall time -- is the same on
+# every run.)
+CHAOS_STORE="$(mktemp -t repro_chaos_XXXXXX.jsonl)"
+trap 'rm -f "$STORE" "${STORE%.jsonl}.ledger.jsonl" \
+           "$CHAOS_STORE" "${CHAOS_STORE%.jsonl}.ledger.jsonl"' EXIT
+rm -f "$CHAOS_STORE"
+python -m repro.campaign run --smoke --workers 2 --store "$CHAOS_STORE" \
+    --timeout 10 --retries 10 \
+    --chaos "worker_crash:p=0.3+worker_hang:p=0.1,seconds=60"
+python - "$STORE" "$CHAOS_STORE" <<'PY'
+import sys
+from repro.campaign.spec import canonical_json
+from repro.campaign.store import ResultStore
+
+def strip_wall_clock(value):
+    # kernel_seconds entries are wall-clock measurements -- the one
+    # part of a result that legitimately differs between two runs of
+    # the same scenario (the goldens exclude them for the same reason).
+    if isinstance(value, dict):
+        return {k: strip_wall_clock(v) for k, v in value.items()
+                if k != "kernel_seconds"}
+    if isinstance(value, list):
+        return [strip_wall_clock(v) for v in value]
+    return value
+
+clean, chaotic = (
+    {r.key: canonical_json(strip_wall_clock(r.result))
+     for r in ResultStore(path).records()}
+    for path in sys.argv[1:3]
+)
+assert set(clean) == set(chaotic), (
+    f"chaos run stored different scenarios: "
+    f"only-clean={sorted(set(clean) - set(chaotic))} "
+    f"only-chaos={sorted(set(chaotic) - set(clean))}"
+)
+mismatched = [k for k in clean if clean[k] != chaotic[k]]
+assert not mismatched, f"chaos run changed result payloads: {mismatched}"
+print(f"chaos gate OK ({len(clean)} scenarios byte-identical under worker_crash:p=0.3)")
+PY
+
+echo
 echo "== precond campaign (fresh store) =="
 PRECOND_STORE="$(mktemp -t repro_precond_XXXXXX.jsonl)"
-trap 'rm -f "$STORE" "$PRECOND_STORE"' EXIT
+trap 'rm -f "$STORE" "${STORE%.jsonl}.ledger.jsonl" \
+           "$CHAOS_STORE" "${CHAOS_STORE%.jsonl}.ledger.jsonl" \
+           "$PRECOND_STORE" "${PRECOND_STORE%.jsonl}.ledger.jsonl"' EXIT
 rm -f "$PRECOND_STORE"
 python -m repro.campaign run precond --workers 2 --store "$PRECOND_STORE"
 

@@ -10,12 +10,20 @@ sweepable scenario space:
   implements the ``SPEC`` + ``run(**params) -> ExperimentResult``
   protocol of :mod:`repro.experiments`.
 * :mod:`repro.campaign.runner` -- :class:`CampaignRunner`: sequential
-  or multiprocessing execution with deterministic per-scenario
-  seeding and memoization against the result store.
+  or supervised-multiprocessing execution with deterministic
+  per-scenario seeding and memoization against the result store.
+* :mod:`repro.campaign.executor` -- the resilient execution layer:
+  :class:`SupervisedExecutor` (long-lived workers, per-scenario
+  timeouts, crash detection + respawn), :class:`RetryPolicy`
+  (deterministic backoff, transient-vs-poison classification,
+  quarantine), :class:`FailureLedger` (crash-consistent JSONL attempt
+  journal) and :class:`ChaosSpec` (fault injection into the runner's
+  own workers).
 * :mod:`repro.campaign.store` -- :class:`ResultStore`: a JSONL file of
   completed scenarios, round-tripping
   :class:`~repro.experiments.common.ExperimentResult`.
-* :mod:`repro.campaign.report` -- aggregate report rendering.
+* :mod:`repro.campaign.report` -- aggregate report rendering,
+  including the ledger's failure history.
 * :mod:`repro.campaign.builtin` -- named campaigns (``smoke``,
   ``default``).
 * ``python -m repro.campaign`` -- the ``list`` / ``run`` / ``report``
@@ -24,7 +32,14 @@ sweepable scenario space:
 
 from repro.campaign.spec import Scenario, Sweep, grid_sweep, scenario_key, zip_sweep
 from repro.campaign.registry import ExperimentRegistry, default_registry
-from repro.campaign.store import ResultStore
+from repro.campaign.store import ResultStore, StoreVerification
+from repro.campaign.executor import (
+    AttemptRecord,
+    ChaosSpec,
+    FailureLedger,
+    RetryPolicy,
+    SupervisedExecutor,
+)
 from repro.campaign.runner import CampaignRunner, ScenarioOutcome
 from repro.campaign.report import render_report
 from repro.campaign.builtin import builtin_campaign, builtin_campaign_names
@@ -38,6 +53,12 @@ __all__ = [
     "ExperimentRegistry",
     "default_registry",
     "ResultStore",
+    "StoreVerification",
+    "AttemptRecord",
+    "ChaosSpec",
+    "FailureLedger",
+    "RetryPolicy",
+    "SupervisedExecutor",
     "CampaignRunner",
     "ScenarioOutcome",
     "render_report",

@@ -35,7 +35,16 @@ Run only the E1/E6 slice of the smoke campaign::
 
     python -m repro.campaign run --smoke --experiment E1 --experiment E6
 
-Render the aggregate report of everything completed so far::
+Run under supervision -- per-scenario timeout, retry budget, chaos
+injection into the runner's own workers -- then re-execute exactly the
+failed/quarantined set::
+
+    python -m repro.campaign run --smoke --timeout 30 --retries 5 \
+        --chaos "worker_crash:p=0.3+worker_hang:p=0.1"
+    python -m repro.campaign run --smoke --retry-failed
+
+Render the aggregate report (including the failure history from the
+ledger sidecar) of everything completed so far::
 
     python -m repro.campaign report --store campaign_results.jsonl
 
@@ -45,6 +54,7 @@ See CAMPAIGNS.md for the full manual.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -53,8 +63,9 @@ from repro.campaign.registry import default_registry
 from repro.krylov.registry import default_solver_registry
 from repro.precond import default_precond_registry
 from repro.reliability.registry import default_fault_registry
+from repro.campaign.executor import FailureLedger, RetryPolicy
 from repro.campaign.report import render_report
-from repro.campaign.runner import CampaignRunner, ScenarioOutcome
+from repro.campaign.runner import CampaignRunner, FAILED_STATUSES, ScenarioOutcome
 from repro.campaign.spec import Scenario
 from repro.campaign.store import ResultStore
 from repro.utils.tables import Table
@@ -106,9 +117,29 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="do not persist or memoize results")
     run_cmd.add_argument("--base-seed", type=int, default=2013,
                          help="root of per-scenario seed derivation")
+    run_cmd.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                         help="per-scenario wall-clock budget; an expired "
+                              "worker is killed and respawned")
+    run_cmd.add_argument("--retries", type=int, default=3, metavar="N",
+                         help="attempt budget per scenario, first try "
+                              "included (default 3)")
+    run_cmd.add_argument("--backoff", type=float, default=0.05, metavar="SECONDS",
+                         help="delay before the second attempt, doubling "
+                              "per retry (default 0.05)")
+    run_cmd.add_argument("--chaos", default=None, metavar="SPEC",
+                         help="inject faults into the runner's own workers, "
+                              "e.g. 'worker_crash:p=0.1+worker_hang:p=0.05'")
+    run_cmd.add_argument("--retry-failed", action="store_true",
+                         help="run only the scenarios the ledger marks "
+                              "failed/timeout/quarantined")
+    run_cmd.add_argument("--no-ledger", action="store_true",
+                         help="do not journal attempts to the failure ledger")
 
     report_cmd = commands.add_parser("report", help="render the aggregate report")
     report_cmd.add_argument("--store", default=DEFAULT_STORE)
+    report_cmd.add_argument("--ledger", default=None,
+                            help="failure-ledger path (default: the store's "
+                                 "'.ledger.jsonl' sidecar)")
     report_cmd.add_argument("--experiment", help="restrict to one experiment")
     report_cmd.add_argument("--tag", help="restrict to one tag")
     return parser
@@ -224,24 +255,56 @@ def _cmd_run(args) -> int:
     store = None if args.no_store else ResultStore(args.store)
 
     def progress(outcome: ScenarioOutcome) -> None:
-        marker = {"completed": "ran", "cached": "skip", "failed": "FAIL"}[outcome.status]
+        marker = {
+            "completed": "ran", "cached": "skip", "failed": "FAIL",
+            "timeout": "TIME", "quarantined": "QUAR",
+        }[outcome.status]
+        retries = f" x{outcome.attempts}" if outcome.attempts > 1 else ""
         print(f"[{marker:>4}] {outcome.key}  {outcome.scenario.experiment:<3} "
-              f"{outcome.scenario.describe()}  ({outcome.elapsed:.2f}s)")
+              f"{outcome.scenario.describe()}  ({outcome.elapsed:.2f}s{retries})")
         if outcome.error:
             print(outcome.error, file=sys.stderr)
 
     runner = CampaignRunner(
-        store, workers=args.workers, base_seed=args.base_seed, progress=progress
+        store,
+        workers=args.workers,
+        base_seed=args.base_seed,
+        progress=progress,
+        timeout=args.timeout,
+        retry=RetryPolicy(max_attempts=args.retries, backoff=args.backoff),
+        chaos=args.chaos,
+        ledger=False if args.no_ledger else None,
     )
+
+    if args.retry_failed:
+        # Re-target exactly the failed/quarantined set the ledger
+        # recorded: resolved keys whose latest terminal outcome is a
+        # failure and that never made it into the store.  Nothing
+        # cached is re-run -- the store stays authoritative.
+        if runner.ledger is None:
+            print("--retry-failed needs a ledger (drop --no-ledger/--no-store)",
+                  file=sys.stderr)
+            return 2
+        failed_keys = set(runner.ledger.failed_keys())
+        if store is not None:
+            failed_keys -= set(store.keys())
+        scenarios = [s for s in scenarios if runner.resolve(s).key in failed_keys]
+        if not scenarios:
+            print("nothing to retry: the ledger records no failed/quarantined "
+                  "scenarios for this campaign")
+            return 0
+
     outcomes = runner.run(scenarios)
     ran = sum(o.status == "completed" for o in outcomes)
     cached = sum(o.status == "cached" for o in outcomes)
-    failed = sum(o.status == "failed" for o in outcomes)
+    failed = sum(o.status in FAILED_STATUSES for o in outcomes)
+    retried = sum(o.attempts > 1 for o in outcomes)
     experiments = sorted({o.scenario.experiment for o in outcomes})
     print(
         f"\ncampaign '{campaign}': {len(outcomes)} scenarios over "
         f"{len(experiments)} experiments ({', '.join(experiments)}) -- "
         f"{ran} ran, {cached} cached, {failed} failed"
+        + (f", {retried} retried" if retried else "")
         + (f"; store: {store.path}" if store is not None else "")
     )
     return 1 if failed else 0
@@ -249,7 +312,10 @@ def _cmd_run(args) -> int:
 
 def _cmd_report(args) -> int:
     store = ResultStore(args.store)
-    print(render_report(store, experiment=args.experiment, tag=args.tag))
+    ledger_path = args.ledger or FailureLedger.path_for(args.store)
+    ledger = FailureLedger(ledger_path) if os.path.exists(ledger_path) else None
+    print(render_report(store, experiment=args.experiment, tag=args.tag,
+                        ledger=ledger))
     return 0
 
 

@@ -1,0 +1,966 @@
+"""Supervised campaign execution: retries, timeouts, chaos, a ledger.
+
+The paper's thesis is reliable-outer / unreliable-inner computation:
+FT-GMRES wraps an inner solver it does not trust and bounds the damage
+its faults can do.  This module restates that contract one level up,
+for the campaign runner itself.  Worker processes are the unreliable
+inner resource -- they can crash, hang, or hand back corrupted bytes --
+and the :class:`SupervisedExecutor` is the reliable outer loop that
+detects those faults, bounds them (timeouts, attempt budgets) and
+recovers (respawn, retry, quarantine) without ever letting one bad
+scenario take the campaign down.
+
+Pieces
+------
+:class:`RetryPolicy`
+    Deterministic attempt budget + exponential backoff, with a
+    transient-vs-poison classification: crashes, timeouts and corrupt
+    results are *transient* (worth retrying -- the environment failed,
+    not the scenario), driver exceptions are *poison* by default (the
+    same inputs will raise again).  Transient scenarios that exhaust
+    their budget are *quarantined*.
+:class:`FailureLedger`
+    Crash-consistent JSONL sidecar next to the
+    :class:`~repro.campaign.store.ResultStore` recording one
+    :class:`AttemptRecord` per executed attempt -- successes included
+    -- so failure history survives the process and ``campaign run
+    --retry-failed`` can re-target exactly the failed/quarantined set.
+:class:`ChaosSpec`
+    Fault injection for the runner's own workers, reusing the
+    reliability layer's spec-string grammar
+    (:func:`repro.reliability.spec.parse_kind_params`):
+    ``"worker_crash:p=0.1"`` hard-kills the worker (``os._exit``)
+    before the scenario runs, ``"worker_hang:p=0.05"`` sleeps past any
+    timeout, ``"result_corrupt:p=0.01"`` flips the result payload
+    after it was checksummed.  Compose with ``+`` exactly like fault
+    specs.  Injection draws are pure functions of ``(chaos_seed,
+    scenario key, attempt, kind)``, so chaos runs are reproducible and
+    retried attempts see fresh, independent draws.
+:class:`SupervisedExecutor`
+    Long-lived worker ``Process``\\ es, each driven over its own duplex
+    :func:`multiprocessing.Pipe`.  The supervisor dispatches one
+    scenario at a time per worker, multiplexes the pipes with
+    :func:`multiprocessing.connection.wait`, enforces per-scenario
+    deadlines (kill + respawn on expiry), detects hard worker death via
+    liveness, verifies result checksums, and applies the retry policy
+    until every scenario reaches a terminal state.
+
+    Per-worker pipes are a correctness requirement, not a style choice:
+    a shared ``multiprocessing.Queue`` serializes writers through a
+    shared lock held briefly by each worker's feeder thread, and a
+    worker dying at an arbitrary instant (SIGKILL on timeout, or a
+    chaos ``os._exit``) can orphan that lock forever, silently wedging
+    every *other* worker's result delivery.  With one pipe per worker
+    there is a single writer per channel and no cross-worker shared
+    state, so the blast radius of a dying worker is exactly its own
+    pipe -- severed, observed as EOF, classified as a crash.
+
+Determinism: scenario parameters (seed included) are resolved *before*
+dispatch, so attempt 3 on a respawned worker receives byte-identical
+inputs to attempt 1 -- which is what makes a campaign run under
+``worker_crash`` converge to a result store byte-identical to a clean
+run (the chaos soak test pins this).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+import traceback
+import warnings
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _wait_for_connections
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.campaign.spec import canonical_json
+from repro.reliability.spec import (
+    format_kind_params,
+    parse_kind_params,
+    split_composed,
+)
+
+__all__ = [
+    "RetryPolicy",
+    "AttemptRecord",
+    "FailureLedger",
+    "ChaosSpec",
+    "ChaosFault",
+    "ExecutionResult",
+    "SupervisedExecutor",
+    "default_execute",
+    "payload_checksum",
+    "TRANSIENT_STATUSES",
+    "FAILURE_OUTCOMES",
+]
+
+# Attempt statuses the retry policy considers environmental: the
+# scenario itself is not implicated, so re-running it can succeed.
+TRANSIENT_STATUSES = frozenset({"crashed", "timeout", "corrupt"})
+
+# Terminal scenario outcomes that count as failures (what
+# ``campaign run --retry-failed`` re-executes).
+FAILURE_OUTCOMES = frozenset({"failed", "timeout", "quarantined"})
+
+
+# ----------------------------------------------------------------------
+# Scenario execution (shared by the in-process and worker paths)
+# ----------------------------------------------------------------------
+def default_execute(
+    experiment: str, params: Mapping[str, Any], attempt: int = 1
+) -> Tuple[Optional[dict], Optional[str], float]:
+    """Run one scenario against the experiment registry.
+
+    Returns ``(result_dict, error_traceback, elapsed)``.  ``attempt``
+    is accepted (the executor passes it for test fixtures) but ignored:
+    drivers must never see the attempt number, or retried results
+    would diverge from first-try ones.  Fault-injection drivers
+    intentionally overflow floats, so RuntimeWarnings are silenced here
+    exactly as the benchmark harness does.
+    """
+    from repro.campaign.registry import default_registry
+
+    start = time.perf_counter()
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = default_registry().get(experiment).run(**params)
+        return result.to_dict(), None, time.perf_counter() - start
+    except Exception:
+        return None, traceback.format_exc(), time.perf_counter() - start
+
+
+def payload_checksum(payload: Any) -> str:
+    """SHA-256 digest (16 hex chars) of a result payload's canonical JSON.
+
+    Workers stamp their result with this before it crosses the process
+    boundary; the supervisor recomputes it on receipt, and a mismatch
+    is classified as a transient ``corrupt`` attempt -- the same
+    detect-then-recover move the paper's skeptical outer solvers apply
+    to their inner results.
+    """
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")
+    ).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic attempt budget with exponential backoff.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts a scenario may consume (first try included).
+    backoff:
+        Delay in seconds before the second attempt; attempt ``n`` waits
+        ``backoff * backoff_factor**(n - 2)``.  Deterministic -- no
+        jitter -- so campaign wall-time under chaos is reproducible.
+    backoff_factor:
+        Exponential growth factor of the backoff.
+    retry_errors:
+        Whether *poison* attempts (driver exceptions) are retried too.
+        Off by default: a deterministic driver raises identically every
+        time, so retrying wastes the budget.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+    retry_errors: bool = False
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff < 0 or self.backoff_factor < 1:
+            raise ValueError("backoff must be >= 0 and backoff_factor >= 1")
+
+    def classify(self, status: str) -> str:
+        """``"transient"`` (environment failed) or ``"poison"`` (scenario did)."""
+        return "transient" if status in TRANSIENT_STATUSES else "poison"
+
+    def delay(self, attempt: int) -> float:
+        """Backoff in seconds before ``attempt`` (1-based; first is free)."""
+        if attempt <= 1:
+            return 0.0
+        return self.backoff * self.backoff_factor ** (attempt - 2)
+
+    def should_retry(self, status: str, attempts_used: int) -> bool:
+        """Whether a scenario gets another attempt after ``status``."""
+        if attempts_used >= self.max_attempts:
+            return False
+        if self.classify(status) == "transient":
+            return True
+        return self.retry_errors
+
+    def terminal_outcome(self, status: str) -> str:
+        """Terminal scenario outcome once retries are exhausted."""
+        if status == "timeout":
+            return "timeout"
+        if status in TRANSIENT_STATUSES:
+            return "quarantined"
+        return "failed"
+
+
+# ----------------------------------------------------------------------
+# Failure ledger
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One executed attempt, as persisted in the failure ledger.
+
+    ``status`` is what happened to *this attempt*: ``"ok"``,
+    ``"error"`` (driver raised; ``error`` holds the traceback),
+    ``"crashed"`` (worker died), ``"timeout"`` (deadline exceeded;
+    worker killed) or ``"corrupt"`` (result checksum mismatch).
+
+    ``outcome`` is set only on a scenario's final attempt:
+    ``"completed"``, ``"failed"``, ``"timeout"`` or ``"quarantined"``.
+    Records with ``outcome is None`` were retried.
+    """
+
+    key: str
+    experiment: str
+    attempt: int
+    status: str
+    outcome: Optional[str] = None
+    error: Optional[str] = None
+    elapsed: float = 0.0
+    worker: Optional[int] = None
+    wall_time: float = 0.0
+
+    def to_json(self) -> str:
+        data = {
+            "key": self.key,
+            "experiment": self.experiment,
+            "attempt": self.attempt,
+            "status": self.status,
+            "elapsed": self.elapsed,
+            "wall_time": self.wall_time,
+        }
+        if self.outcome is not None:
+            data["outcome"] = self.outcome
+        if self.error is not None:
+            data["error"] = self.error
+        if self.worker is not None:
+            data["worker"] = self.worker
+        return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "AttemptRecord":
+        data = json.loads(line)
+        return cls(
+            key=data["key"],
+            experiment=data["experiment"],
+            attempt=int(data["attempt"]),
+            status=data["status"],
+            outcome=data.get("outcome"),
+            error=data.get("error"),
+            elapsed=float(data.get("elapsed", 0.0)),
+            worker=data.get("worker"),
+            wall_time=float(data.get("wall_time", 0.0)),
+        )
+
+
+class FailureLedger:
+    """Crash-consistent JSONL journal of every executed attempt.
+
+    One :class:`AttemptRecord` per line, appended (and flushed) as each
+    attempt concludes, so a killed campaign leaves a valid ledger
+    behind.  The file is created lazily on the first record.  Loading
+    tolerates a partial trailing line exactly like the result store.
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._records: List[AttemptRecord] = []
+        self._load()
+
+    @staticmethod
+    def path_for(store_path: str) -> str:
+        """The ledger sidecar path for a result-store path.
+
+        ``campaign_results.jsonl`` -> ``campaign_results.ledger.jsonl``.
+        """
+        base = str(store_path)
+        if base.endswith(".jsonl"):
+            base = base[: -len(".jsonl")]
+        return base + ".ledger.jsonl"
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    self._records.append(AttemptRecord.from_json(line))
+                except (json.JSONDecodeError, KeyError, ValueError):
+                    # Partial trailing line from an interrupted run.
+                    continue
+
+    # ------------------------------------------------------------------
+    def record(self, record: AttemptRecord) -> AttemptRecord:
+        """Append one attempt to the journal (flushed before return)."""
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(record.to_json() + "\n")
+            handle.flush()
+        self._records.append(record)
+        return record
+
+    def records(self) -> List[AttemptRecord]:
+        """All attempts, in journal (chronological) order."""
+        return list(self._records)
+
+    def history(self) -> Dict[str, List[AttemptRecord]]:
+        """Attempts grouped per scenario key, in journal order."""
+        grouped: Dict[str, List[AttemptRecord]] = {}
+        for record in self._records:
+            grouped.setdefault(record.key, []).append(record)
+        return grouped
+
+    def outcomes(self) -> Dict[str, AttemptRecord]:
+        """The latest terminal record per key (``outcome`` set)."""
+        latest: Dict[str, AttemptRecord] = {}
+        for record in self._records:
+            if record.outcome is not None:
+                latest[record.key] = record
+        return latest
+
+    def failed_keys(self) -> List[str]:
+        """Keys whose latest terminal outcome is a failure.
+
+        A later run that completes a previously failed key appends a
+        ``"completed"`` record, which clears it from this set -- the
+        ledger is append-only history, never rewritten.
+        """
+        return [
+            key
+            for key, record in self.outcomes().items()
+            if record.outcome in FAILURE_OUTCOMES
+        ]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+# ----------------------------------------------------------------------
+# Chaos specification
+# ----------------------------------------------------------------------
+CHAOS_KINDS = ("none", "worker_crash", "worker_hang", "result_corrupt")
+
+# Per-kind parameter surface (every kind takes p and attempts).
+_CHAOS_PARAMS = {
+    "none": frozenset(),
+    "worker_crash": frozenset({"p", "attempts"}),
+    "worker_hang": frozenset({"p", "attempts", "seconds"}),
+    "result_corrupt": frozenset({"p", "attempts"}),
+}
+
+# Exit code of a chaos-crashed worker: distinguishable from SIGKILL
+# (-9, the supervisor's own timeout kill) in the worker's exitcode.
+CHAOS_EXIT_CODE = 83
+
+
+def _chaos_draw(chaos_seed: int, key: str, attempt: int, kind: str) -> float:
+    """Deterministic uniform draw in [0, 1) for one injection decision.
+
+    A pure function of its arguments (SHA-256, no shared RNG state),
+    so a chaos campaign replays identically under any worker count or
+    completion order, and each retry sees an independent draw.
+    """
+    digest = hashlib.sha256(
+        f"chaos:{chaos_seed}:{key}:{attempt}:{kind}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "little") / 2**64
+
+
+@dataclass(frozen=True)
+class ChaosFault:
+    """One chaos fault: kind plus parameters.
+
+    Parameters (all kinds): ``p`` -- injection probability per attempt
+    (default 1.0); ``attempts`` -- inject only on attempts ``<= N``
+    (handy for tests that want "fail exactly the first k tries").
+    ``worker_hang`` additionally takes ``seconds`` (default 3600.0),
+    which must exceed the supervisor timeout to be observed as a hang.
+    """
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        kind = self.kind.lower()
+        if kind not in CHAOS_KINDS:
+            raise ValueError(
+                f"unknown chaos kind {self.kind!r} (known: {list(CHAOS_KINDS)})"
+            )
+        allowed = _CHAOS_PARAMS[kind]
+        unknown = sorted(set(self.params) - allowed)
+        if unknown:
+            raise ValueError(
+                f"chaos kind {kind!r} does not take parameters {unknown}; "
+                f"allowed: {sorted(allowed)}"
+            )
+        params = dict(self.params)
+        p = params.get("p", 1.0)
+        if not 0.0 <= float(p) <= 1.0:
+            raise ValueError(f"chaos probability p={p!r} outside [0, 1]")
+        if "attempts" in params and int(params["attempts"]) < 1:
+            raise ValueError("chaos 'attempts' must be >= 1")
+        if "seconds" in params and float(params["seconds"]) <= 0:
+            raise ValueError("chaos 'seconds' must be > 0")
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "params", params)
+
+    @property
+    def p(self) -> float:
+        return float(self.params.get("p", 1.0))
+
+    def hits(self, chaos_seed: int, key: str, attempt: int) -> bool:
+        """Whether this fault fires on ``attempt`` of scenario ``key``."""
+        limit = self.params.get("attempts")
+        if limit is not None and attempt > int(limit):
+            return False
+        if self.p >= 1.0:
+            return True
+        return _chaos_draw(chaos_seed, key, attempt, self.kind) < self.p
+
+    def to_string(self) -> str:
+        return format_kind_params(self.kind, self.params)
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Declarative fault injection for the runner's own workers.
+
+    Reuses the reliability spec-string grammar: ``"worker_crash:p=0.1"``,
+    ``"worker_hang:p=0.05,seconds=120"``, ``"result_corrupt:p=0.01"``,
+    composed with ``+``.  ``"none"`` is the identity spec.
+    """
+
+    faults: Tuple[ChaosFault, ...] = ()
+
+    def __post_init__(self):
+        faults = tuple(
+            f for f in self.faults if f.kind != "none"
+        )
+        object.__setattr__(self, "faults", faults)
+
+    # -- parsing / serialization ---------------------------------------
+    @classmethod
+    def parse(cls, value: Union[str, Mapping, "ChaosSpec", None]) -> "ChaosSpec":
+        """Coerce a string, dict, ChaosSpec or None into a ChaosSpec."""
+        if value is None:
+            return cls(())
+        if isinstance(value, ChaosSpec):
+            return value
+        if isinstance(value, Mapping):
+            return cls.from_dict(value)
+        if isinstance(value, str):
+            parts = split_composed(value, "chaos spec")
+            return cls(
+                tuple(
+                    ChaosFault(*parse_kind_params(part, "chaos spec"))
+                    for part in parts
+                )
+            )
+        raise TypeError(
+            f"cannot parse a chaos spec from {type(value).__name__}"
+        )
+
+    def to_string(self) -> str:
+        if not self.faults:
+            return "none"
+        return "+".join(fault.to_string() for fault in self.faults)
+
+    def to_dict(self) -> dict:
+        return {
+            "faults": [
+                {"kind": f.kind, "params": dict(f.params)} for f in self.faults
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ChaosSpec":
+        return cls(
+            tuple(
+                ChaosFault(entry["kind"], entry.get("params", {}))
+                for entry in data.get("faults", ())
+            )
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+    # -- injection (runs inside the worker) ----------------------------
+    def pre_run(self, chaos_seed: int, key: str, attempt: int) -> None:
+        """Crash or hang the calling worker, per the injection draws."""
+        for fault in self.faults:
+            if fault.kind == "worker_crash" and fault.hits(chaos_seed, key, attempt):
+                os._exit(CHAOS_EXIT_CODE)
+            if fault.kind == "worker_hang" and fault.hits(chaos_seed, key, attempt):
+                time.sleep(float(fault.params.get("seconds", 3600.0)))
+
+    def corrupt_result(
+        self, result: dict, chaos_seed: int, key: str, attempt: int
+    ) -> dict:
+        """Corrupt a result payload *after* it was checksummed."""
+        for fault in self.faults:
+            if fault.kind == "result_corrupt" and fault.hits(chaos_seed, key, attempt):
+                corrupted = dict(result)
+                corrupted["__chaos_corrupted__"] = attempt
+                return corrupted
+        return result
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _worker_main(
+    conn,
+    supervisor_conn,
+    execute: Callable,
+    chaos_dict: Optional[dict],
+    chaos_seed: int,
+) -> None:
+    """Long-lived worker loop: recv a task on the pipe, send the result back.
+
+    Chaos (when configured) fires *inside* the worker: crashes and
+    hangs happen before the driver runs, corruption after the honest
+    checksum was computed -- so the supervisor's detection paths are
+    exercised end to end, not simulated.
+
+    ``Connection.send`` writes synchronously from this thread -- there
+    is no feeder thread and no lock shared with sibling workers, so
+    however this process dies (``os._exit``, SIGKILL), the only IPC
+    state it can take down is its own pipe.
+    """
+    if supervisor_conn is not None:
+        # Fork start copies the supervisor's end of the pipe into this
+        # process; close it so EOF propagates when the supervisor drops
+        # its end (and vice versa).
+        supervisor_conn.close()
+    chaos = ChaosSpec.from_dict(chaos_dict) if chaos_dict else None
+    pid = os.getpid()
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        slot, key, attempt, experiment, params = task
+        if chaos is not None:
+            chaos.pre_run(chaos_seed, key, attempt)
+        result, error, elapsed = execute(experiment, params, attempt)
+        checksum = payload_checksum(result) if result is not None else None
+        if chaos is not None and result is not None:
+            result = chaos.corrupt_result(result, chaos_seed, key, attempt)
+        try:
+            conn.send((slot, attempt, result, error, elapsed, checksum, pid))
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _WorkerHandle:
+    """One supervised worker: its process plus its private duplex pipe."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        context,
+        execute: Callable,
+        chaos: Optional[ChaosSpec],
+        chaos_seed: int,
+    ):
+        self.worker_id = worker_id
+        self.conn, worker_conn = context.Pipe(duplex=True)
+        self.process = context.Process(
+            target=_worker_main,
+            args=(
+                worker_conn,
+                self.conn,
+                execute,
+                chaos.to_dict() if chaos else None,
+                chaos_seed,
+            ),
+            daemon=True,
+            name=f"campaign-worker-{worker_id}",
+        )
+        self.process.start()
+        # The supervisor's copy of the worker's end: close it so the
+        # pipe reads EOF once the worker (its sole writer) is gone.
+        worker_conn.close()
+
+    def submit(self, task: tuple) -> None:
+        """Send a task; raises OSError if the worker is already gone."""
+        self.conn.send(task)
+
+    def is_alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        """Hard-stop (SIGKILL) and reap; used on timeouts."""
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join()
+        self.conn.close()
+
+    def stop(self, grace: float = 2.0) -> None:
+        """Cooperative shutdown; escalates to kill after ``grace``."""
+        try:
+            self.conn.send(None)
+        except (ValueError, OSError):
+            pass
+        self.process.join(grace)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join()
+        self.conn.close()
+
+    def reap(self) -> None:
+        """Join a worker already observed dead (crash path)."""
+        self.process.join()
+        self.conn.close()
+
+
+# ----------------------------------------------------------------------
+# Supervisor
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Terminal state of one supervised task.
+
+    ``status`` is ``"completed"``, ``"failed"`` (poison error),
+    ``"timeout"`` (deadline exceeded on the final attempt) or
+    ``"quarantined"`` (transient-failure budget exhausted).
+    ``attempts`` counts every try, ``history`` their per-attempt
+    statuses in order (e.g. ``("crashed", "ok")``).
+    """
+
+    key: str
+    experiment: str
+    status: str
+    result: Optional[dict] = None
+    error: Optional[str] = None
+    elapsed: float = 0.0
+    attempts: int = 1
+    history: Tuple[str, ...] = ()
+
+
+@dataclass
+class _TaskState:
+    slot: int
+    key: str
+    experiment: str
+    params: dict
+    attempts: int = 0
+    ready_at: float = 0.0
+    history: List[str] = field(default_factory=list)
+
+
+class SupervisedExecutor:
+    """Reliable outer loop over unreliable worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (capped at the task count per run).
+    timeout:
+        Per-scenario wall-clock budget in seconds; ``None`` disables
+        deadlines.  An expired worker is SIGKILLed and respawned; the
+        attempt is classified ``timeout``.
+    retry:
+        :class:`RetryPolicy`; defaults to 3 attempts with a 50 ms
+        doubling backoff.
+    chaos:
+        Optional :class:`ChaosSpec` (or spec string/dict) injected into
+        the workers themselves.
+    chaos_seed:
+        Root of the chaos injection draws (pure-function, see
+        :func:`_chaos_draw`).
+    ledger:
+        Optional :class:`FailureLedger`; every attempt is journaled.
+    execute:
+        Module-level callable ``(experiment, params, attempt) ->
+        (result_dict, error, elapsed)`` run inside the workers.
+        Defaults to :func:`default_execute` (the experiment registry);
+        tests substitute crashing/hanging fixtures.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        chaos: Union[ChaosSpec, str, Mapping, None] = None,
+        chaos_seed: int = 0,
+        ledger: Optional[FailureLedger] = None,
+        execute: Optional[Callable] = None,
+        poll_interval: float = 0.05,
+        mp_context=None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        self.workers = int(workers)
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.chaos = ChaosSpec.parse(chaos) if chaos is not None else ChaosSpec(())
+        self.chaos_seed = int(chaos_seed)
+        self.ledger = ledger
+        self.execute = execute if execute is not None else default_execute
+        self.poll_interval = float(poll_interval)
+        import multiprocessing
+
+        self._context = mp_context or multiprocessing.get_context()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        tasks: Sequence[Tuple[str, str, Mapping[str, Any]]],
+        completed: Optional[Callable[[int, ExecutionResult], None]] = None,
+    ) -> List[ExecutionResult]:
+        """Drive every ``(key, experiment, params)`` task to a terminal state.
+
+        Results are returned in input order; ``completed(slot, result)``
+        fires as each task concludes (in completion order).
+        """
+        states = [
+            _TaskState(slot, key, experiment, dict(params))
+            for slot, (key, experiment, params) in enumerate(tasks)
+        ]
+        results: List[Optional[ExecutionResult]] = [None] * len(states)
+        if not states:
+            return []
+
+        worker_count = min(self.workers, len(states))
+        self._next_worker_id = 0
+        workers: Dict[int, _WorkerHandle] = {}
+        for _ in range(worker_count):
+            handle = self._spawn()
+            workers[handle.worker_id] = handle
+        idle: List[int] = sorted(workers)
+        pending: List[_TaskState] = list(states)
+        inflight: Dict[int, Tuple[_TaskState, Optional[float]]] = {}
+
+        def conclude(state: _TaskState, status: str, *, error=None,
+                     elapsed=0.0, result=None, worker_pid=None) -> None:
+            state.history.append(status)
+            retrying = status != "ok" and self.retry.should_retry(
+                status, state.attempts
+            )
+            outcome: Optional[str] = None
+            if status == "ok":
+                outcome = "completed"
+            elif not retrying:
+                outcome = self.retry.terminal_outcome(status)
+            self._journal(state, status, outcome, error, elapsed, worker_pid)
+            if retrying:
+                state.ready_at = (
+                    time.monotonic() + self.retry.delay(state.attempts + 1)
+                )
+                pending.append(state)
+                return
+            final = ExecutionResult(
+                key=state.key,
+                experiment=state.experiment,
+                status=outcome,
+                result=result if status == "ok" else None,
+                error=error,
+                elapsed=elapsed,
+                attempts=state.attempts,
+                history=tuple(state.history),
+            )
+            results[state.slot] = final
+            if completed is not None:
+                completed(state.slot, final)
+
+        def reclaim_crashed(worker_id: int) -> None:
+            """A worker died mid-scenario: reap, respawn, retry its task."""
+            entry = inflight.pop(worker_id, None)
+            if entry is None:
+                return
+            state, _ = entry
+            handle = workers.pop(worker_id)
+            pid = handle.process.pid
+            handle.reap()
+            exitcode = handle.process.exitcode
+            replacement = self._spawn()
+            workers[replacement.worker_id] = replacement
+            idle.append(replacement.worker_id)
+            conclude(state, "crashed", worker_pid=pid,
+                     error=f"worker died with exit code {exitcode} "
+                           "while running this scenario")
+
+        try:
+            while pending or inflight:
+                now = time.monotonic()
+
+                # Dispatch every ready task to an idle worker.
+                while idle and pending:
+                    ready = [s for s in pending if s.ready_at <= now]
+                    if not ready:
+                        break
+                    state = min(ready, key=lambda s: (s.ready_at, s.slot))
+                    pending.remove(state)
+                    worker_id = idle.pop(0)
+                    state.attempts += 1
+                    try:
+                        workers[worker_id].submit(
+                            (state.slot, state.key, state.attempts,
+                             state.experiment, state.params)
+                        )
+                    except OSError:
+                        # Worker died between results; the liveness
+                        # pass below reclaims the task as a crash.
+                        pass
+                    deadline = (
+                        now + self.timeout if self.timeout is not None else None
+                    )
+                    inflight[worker_id] = (state, deadline)
+
+                # How long we may block: next deadline, next backoff
+                # expiry, or the liveness poll interval.
+                wait = self.poll_interval
+                for _, deadline in inflight.values():
+                    if deadline is not None:
+                        wait = min(wait, deadline - now)
+                if idle:
+                    for state in pending:
+                        wait = min(wait, state.ready_at - now)
+                wait = max(wait, 0.005)
+
+                # Drain results: multiplex every in-flight worker's
+                # pipe.  A severed pipe (EOF) means its sole writer is
+                # gone -- the worker died mid-scenario.
+                inflight_conns = {
+                    workers[worker_id].conn: worker_id
+                    for worker_id in inflight
+                }
+                if inflight_conns:
+                    ready_conns = _wait_for_connections(
+                        list(inflight_conns), timeout=wait
+                    )
+                else:
+                    time.sleep(wait)
+                    ready_conns = []
+                for conn in ready_conns:
+                    worker_id = inflight_conns[conn]
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        reclaim_crashed(worker_id)
+                        continue
+                    entry = inflight.pop(worker_id, None)
+                    if entry is None:
+                        continue
+                    slot, attempt, result, error, elapsed, checksum, pid = message
+                    state, _ = entry
+                    idle.append(worker_id)
+                    if error is not None:
+                        conclude(state, "error", error=error,
+                                 elapsed=elapsed, worker_pid=pid)
+                    elif checksum != payload_checksum(result):
+                        conclude(state, "corrupt", elapsed=elapsed,
+                                 worker_pid=pid,
+                                 error="result checksum mismatch "
+                                       f"(expected {checksum})")
+                    else:
+                        conclude(state, "ok", result=result,
+                                 elapsed=elapsed, worker_pid=pid)
+
+                # Deadlines: kill + respawn expired workers.
+                now = time.monotonic()
+                for worker_id in list(inflight):
+                    state, deadline = inflight[worker_id]
+                    if deadline is None or now < deadline:
+                        continue
+                    del inflight[worker_id]
+                    handle = workers.pop(worker_id)
+                    pid = handle.process.pid
+                    handle.kill()
+                    replacement = self._spawn()
+                    workers[replacement.worker_id] = replacement
+                    idle.append(replacement.worker_id)
+                    conclude(state, "timeout", elapsed=self.timeout,
+                             worker_pid=pid,
+                             error=f"scenario exceeded timeout of "
+                                   f"{self.timeout}s; worker killed")
+
+                # Liveness: a dead worker with an in-flight task and
+                # nothing readable on its pipe crashed mid-scenario.
+                # (Usually the pipe's EOF gets there first and the
+                # drain above reclaims it; this is the backstop.)
+                for worker_id in list(inflight):
+                    handle = workers[worker_id]
+                    if handle.is_alive() or handle.conn.poll(0):
+                        continue
+                    reclaim_crashed(worker_id)
+        finally:
+            for handle in workers.values():
+                handle.stop()
+
+        return list(results)  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _spawn(self) -> _WorkerHandle:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        return _WorkerHandle(
+            worker_id,
+            self._context,
+            self.execute,
+            self.chaos if self.chaos else None,
+            self.chaos_seed,
+        )
+
+    def _journal(
+        self,
+        state: _TaskState,
+        status: str,
+        outcome: Optional[str],
+        error: Optional[str],
+        elapsed: float,
+        worker_pid: Optional[int],
+    ) -> None:
+        if self.ledger is None:
+            return
+        self.ledger.record(
+            AttemptRecord(
+                key=state.key,
+                experiment=state.experiment,
+                attempt=state.attempts,
+                status=status,
+                outcome=outcome,
+                error=error,
+                elapsed=float(elapsed),
+                worker=worker_pid,
+                wall_time=time.time(),
+            )
+        )

@@ -1,4 +1,4 @@
-"""Campaign execution: sequential or multiprocessing, memoized, seeded.
+"""Campaign execution: supervised, memoized, seeded, journaled.
 
 The :class:`CampaignRunner` takes a list of
 :class:`~repro.campaign.spec.Scenario` and
@@ -7,27 +7,40 @@ The :class:`CampaignRunner` takes a list of
   driver signature and, when the driver accepts a ``seed`` the scenario
   did not pin, injects a deterministic per-scenario seed derived from
   the campaign base seed and the scenario key (so the randomness a
-  scenario sees never depends on execution order or worker count);
+  scenario sees never depends on execution order, worker count, or
+  which attempt finally succeeds);
 * *memoizes* against the result store -- scenarios whose resolved key
   is already stored are skipped, which makes re-running a completed
   campaign a no-op;
-* *executes* the rest, either in-process or on a ``multiprocessing``
-  pool, and appends each result to the store as it arrives.
+* *executes* the rest, either in-process or on the supervised
+  multiprocessing executor (:mod:`repro.campaign.executor`), appending
+  each success to the store as it arrives;
+* *journals* every attempt -- success or failure -- to the
+  :class:`~repro.campaign.executor.FailureLedger` sidecar next to the
+  store, so failures survive the process and ``campaign run
+  --retry-failed`` can re-target exactly the failed/quarantined set.
 
-Workers receive only picklable payloads (experiment id + params) and
-return plain dicts, so the pool works under both fork and spawn start
-methods.
+The supervised executor treats workers the way FT-GMRES treats its
+inner solver: an unreliable resource whose faults (crashes, hangs,
+corrupted results) are detected, bounded by timeouts and attempt
+budgets, and recovered from by respawn + retry.  Workers receive only
+picklable payloads (experiment id + params) and return plain dicts, so
+execution works under both fork and spawn start methods.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import time
-import traceback
-import warnings
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.campaign.executor import (
+    ChaosSpec,
+    ExecutionResult,
+    FailureLedger,
+    RetryPolicy,
+    SupervisedExecutor,
+    default_execute,
+)
 from repro.campaign.registry import ExperimentRegistry, default_registry
 from repro.campaign.spec import Scenario
 from repro.campaign.store import ResultStore
@@ -38,7 +51,10 @@ from repro.experiments.common import ExperimentResult
 # scenario seed draw the same streams at every entry point.
 from repro.reliability.seeding import derive_seed
 
-__all__ = ["CampaignRunner", "ScenarioOutcome", "derive_seed"]
+__all__ = ["CampaignRunner", "ScenarioOutcome", "derive_seed", "FAILED_STATUSES"]
+
+# Outcome statuses that mean a scenario did not produce a result.
+FAILED_STATUSES = ("failed", "timeout", "quarantined")
 
 
 @dataclass(frozen=True)
@@ -46,9 +62,13 @@ class ScenarioOutcome:
     """What happened to one scenario during a campaign run.
 
     ``status`` is ``"completed"`` (executed this run), ``"cached"``
-    (already in the store; skipped), or ``"failed"`` (driver raised;
-    ``error`` holds the traceback).  ``result`` is the serialized
-    :class:`ExperimentResult` dict for completed/cached scenarios.
+    (already in the store; skipped), ``"failed"`` (driver raised;
+    ``error`` holds the traceback), ``"timeout"`` (exceeded the
+    per-scenario deadline on its final attempt) or ``"quarantined"``
+    (transient failures -- worker crashes, timeouts, corrupt results --
+    exhausted the retry budget).  ``result`` is the serialized
+    :class:`ExperimentResult` dict for completed/cached scenarios, and
+    ``attempts`` how many tries the scenario consumed.
     """
 
     scenario: Scenario
@@ -57,39 +77,24 @@ class ScenarioOutcome:
     result: Optional[dict] = None
     error: Optional[str] = None
     elapsed: float = 0.0
+    attempts: int = 1
 
     def experiment_result(self) -> Optional[ExperimentResult]:
         return ExperimentResult.from_dict(self.result) if self.result else None
 
 
 def _execute_payload(payload: Tuple[str, dict]) -> Tuple[Optional[dict], Optional[str], float]:
-    """Run one scenario in a worker; returns (result_dict, error, elapsed).
+    """Run one scenario in-process; returns (result_dict, error, elapsed).
 
-    Module-level so it pickles under every multiprocessing start
-    method.  Fault-injection drivers intentionally overflow floats, so
-    RuntimeWarnings are silenced here exactly as the benchmark harness
-    does.
+    Thin wrapper over :func:`repro.campaign.executor.default_execute`,
+    kept for the sequential path and backwards compatibility.
     """
     experiment, params = payload
-    registry = default_registry()
-    start = time.perf_counter()
-    try:
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", RuntimeWarning)
-            result = registry.get(experiment).run(**params)
-        return result.to_dict(), None, time.perf_counter() - start
-    except Exception:
-        return None, traceback.format_exc(), time.perf_counter() - start
-
-
-def _execute_indexed(indexed: Tuple[int, Tuple[str, dict]]):
-    """Pool adapter: carry the submission index through imap_unordered."""
-    index, payload = indexed
-    return (index, *_execute_payload(payload))
+    return default_execute(experiment, params)
 
 
 class CampaignRunner:
-    """Execute scenarios against a registry, store and worker pool.
+    """Execute scenarios against a registry, store and supervised workers.
 
     Parameters
     ----------
@@ -97,16 +102,35 @@ class CampaignRunner:
         Result store for memoization and persistence; ``None`` disables
         both (every scenario always runs).
     workers:
-        ``1`` executes in-process; ``> 1`` uses a
-        ``multiprocessing.Pool`` of that size.
+        ``1`` executes in-process (unless ``timeout`` or ``chaos``
+        require a supervised subprocess); ``> 1`` uses a supervised
+        pool of long-lived worker processes.
     base_seed:
-        Root of the per-scenario seed derivation.
+        Root of the per-scenario seed derivation (and of the chaos
+        injection draws).
     registry:
         Defaults to the auto-discovered experiment registry.
     progress:
         Optional callback invoked with each :class:`ScenarioOutcome`
         as it is produced (the CLI uses this for line-per-scenario
         output).
+    timeout:
+        Per-scenario wall-clock budget in seconds; expired workers are
+        killed and respawned, the attempt classified ``timeout``.
+        ``None`` (default) disables deadlines.
+    retry:
+        :class:`~repro.campaign.executor.RetryPolicy`; defaults to
+        3 attempts with a 50 ms doubling backoff.
+    chaos:
+        Optional :class:`~repro.campaign.executor.ChaosSpec` (or spec
+        string such as ``"worker_crash:p=0.1"``) injecting faults into
+        the runner's own workers -- the chaos harness.
+    ledger:
+        Failure-ledger wiring: ``None`` (default) journals to the
+        store's sidecar (``<store>.ledger.jsonl``) when a store is
+        configured; ``False`` disables journaling; a path or
+        :class:`~repro.campaign.executor.FailureLedger` overrides the
+        location.
     """
 
     def __init__(
@@ -117,6 +141,10 @@ class CampaignRunner:
         base_seed: int = 2013,
         registry: Optional[ExperimentRegistry] = None,
         progress: Optional[Callable[[ScenarioOutcome], None]] = None,
+        timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        chaos: Union[ChaosSpec, str, Mapping, None] = None,
+        ledger: Union[FailureLedger, str, bool, None] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -125,6 +153,23 @@ class CampaignRunner:
         self.base_seed = int(base_seed)
         self.registry = registry or default_registry()
         self.progress = progress
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.chaos = ChaosSpec.parse(chaos) if chaos is not None else ChaosSpec(())
+        self.ledger = self._resolve_ledger(ledger)
+
+    def _resolve_ledger(
+        self, ledger: Union[FailureLedger, str, bool, None]
+    ) -> Optional[FailureLedger]:
+        if ledger is False:
+            return None
+        if isinstance(ledger, FailureLedger):
+            return ledger
+        if isinstance(ledger, str):
+            return FailureLedger(ledger)
+        if self.store is not None:
+            return FailureLedger(FailureLedger.path_for(self.store.path))
+        return None
 
     # ------------------------------------------------------------------
     def resolve(self, scenario: Scenario) -> Scenario:
@@ -133,6 +178,10 @@ class CampaignRunner:
         The seed is derived from the key of the *unseeded* scenario, so
         the resolved scenario (and therefore its store key) is a pure
         function of the campaign base seed and the declared overrides.
+        Resolution happens once, before dispatch -- attempt 3 on a
+        respawned worker sees byte-identical parameters (seed included)
+        to attempt 1, which is what makes retried results bit-identical
+        to first-try ones.
         """
         driver = self.registry.get(scenario.experiment)
         driver.validate_params(scenario.params)
@@ -161,21 +210,15 @@ class CampaignRunner:
             else:
                 pending.append((index, scenario))
 
-        payloads = [(s.experiment, dict(s.params)) for _, s in pending]
-
-        def finish(slot: int, result, error, elapsed) -> None:
-            # Called as each scenario completes, so the store grows
-            # incrementally: killing a long campaign loses only the
-            # scenarios still in flight, and the re-run resumes from
-            # everything already appended.
+        def finish(slot: int, status: str, result, error, elapsed,
+                   attempts: int = 1) -> None:
+            # Called as each scenario reaches a terminal state, so the
+            # store grows incrementally: killing a long campaign loses
+            # only the scenarios still in flight, and the re-run
+            # resumes from everything already appended.
             index, scenario = pending[slot]
             key = scenario.key
-            if error is not None:
-                outcome = ScenarioOutcome(
-                    scenario=scenario, key=key, status="failed",
-                    error=error, elapsed=elapsed,
-                )
-            else:
+            if status == "completed":
                 if self.store is not None:
                     self.store.append(
                         key,
@@ -187,21 +230,72 @@ class CampaignRunner:
                     )
                 outcome = ScenarioOutcome(
                     scenario=scenario, key=key, status="completed",
-                    result=result, elapsed=elapsed,
+                    result=result, elapsed=elapsed, attempts=attempts,
+                )
+            else:
+                outcome = ScenarioOutcome(
+                    scenario=scenario, key=key, status=status,
+                    error=error, elapsed=elapsed, attempts=attempts,
                 )
             outcomes[index] = outcome
             self._report(outcome)
 
-        if self.workers > 1 and len(payloads) > 1:
-            with multiprocessing.Pool(processes=self.workers) as pool:
-                for slot, result, error, elapsed in pool.imap_unordered(
-                    _execute_indexed, list(enumerate(payloads))
-                ):
-                    finish(slot, result, error, elapsed)
+        supervised = (
+            self.workers > 1 or self.timeout is not None or bool(self.chaos)
+        )
+        if supervised and pending:
+            tasks = [
+                (s.key, s.experiment, dict(s.params)) for _, s in pending
+            ]
+            executor = SupervisedExecutor(
+                workers=self.workers,
+                timeout=self.timeout,
+                retry=self.retry,
+                chaos=self.chaos,
+                chaos_seed=self.base_seed,
+                ledger=self.ledger,
+            )
+
+            def completed(slot: int, final: ExecutionResult) -> None:
+                finish(slot, final.status, final.result, final.error,
+                       final.elapsed, final.attempts)
+
+            executor.run(tasks, completed=completed)
         else:
-            for slot, payload in enumerate(payloads):
-                finish(slot, *_execute_payload(payload))
+            for slot, (_, scenario) in enumerate(pending):
+                result, error, elapsed = _execute_payload(
+                    (scenario.experiment, dict(scenario.params))
+                )
+                status = "completed" if error is None else "failed"
+                self._journal_inprocess(scenario, status, error, elapsed)
+                finish(slot, status, result, error, elapsed)
         return outcomes
+
+    # ------------------------------------------------------------------
+    def _journal_inprocess(
+        self, scenario: Scenario, status: str, error: Optional[str],
+        elapsed: float,
+    ) -> None:
+        """Journal a single-attempt in-process execution to the ledger."""
+        if self.ledger is None:
+            return
+        import time as _time
+
+        from repro.campaign.executor import AttemptRecord
+
+        self.ledger.record(
+            AttemptRecord(
+                key=scenario.key,
+                experiment=scenario.experiment,
+                attempt=1,
+                status="ok" if status == "completed" else "error",
+                outcome=status,
+                error=error,
+                elapsed=float(elapsed),
+                worker=None,
+                wall_time=_time.time(),
+            )
+        )
 
     # ------------------------------------------------------------------
     def _report(self, outcome: ScenarioOutcome) -> None:

@@ -24,11 +24,23 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 from repro.utils.serialization import jsonify
 from repro.utils.tables import one_line
 
-__all__ = ["Scenario", "Sweep", "grid_sweep", "zip_sweep", "scenario_key"]
+__all__ = [
+    "Scenario",
+    "Sweep",
+    "grid_sweep",
+    "zip_sweep",
+    "scenario_key",
+    "canonical_json",
+]
 
 
 def canonical_json(value: Any) -> str:
-    """Canonical (sorted-key, compact) JSON text of ``value``."""
+    """Canonical (sorted-key, compact) JSON text of ``value``.
+
+    Scenario keys hash this form, and the supervised executor
+    (:mod:`repro.campaign.executor`) checksums result payloads with it
+    to detect corruption in transit from a worker.
+    """
     return json.dumps(jsonify(value), sort_keys=True, separators=(",", ":"))
 
 

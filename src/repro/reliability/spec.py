@@ -44,6 +44,8 @@ __all__ = [
     "parse_spec_value",
     "format_spec_value",
     "parse_kind_params",
+    "format_kind_params",
+    "split_composed",
 ]
 
 COMPOSE_KIND = "compose"
@@ -166,6 +168,34 @@ def parse_kind_params(text: str, label: str = "spec") -> Tuple[str, Dict[str, An
     return kind, params
 
 
+def format_kind_params(kind: str, params: Mapping[str, Any]) -> str:
+    """Format ``(kind, params)`` as one ``KIND[:NAME=VALUE,...]`` token.
+
+    Inverse of :func:`parse_kind_params`; the single-spec formatter
+    shared by :class:`FaultSpec`, :class:`repro.precond.PrecondSpec`
+    and :class:`repro.campaign.executor.ChaosSpec`.
+    """
+    if not params:
+        return kind
+    body = ",".join(
+        f"{name}={format_spec_value(value)}" for name, value in params.items()
+    )
+    return f"{kind}:{body}"
+
+
+def split_composed(text: str, label: str = "spec") -> list:
+    """Split a spec string on the ``+`` composition separator.
+
+    Returns the non-empty single-spec tokens; raises on malformed
+    strings (empty components).  Shared by every spec flavour that
+    supports ``"a:p=1+b:q=2"`` composition.
+    """
+    parts = [part.strip() for part in _COMPOSE_SPLIT.split(text)]
+    if not parts or any(not part for part in parts):
+        raise ValueError(f"malformed {label} string {text!r}")
+    return parts
+
+
 @dataclass(frozen=True)
 class FaultSpec:
     """One declarative fault-model configuration.
@@ -223,9 +253,7 @@ class FaultSpec:
 
     @classmethod
     def _parse_string(cls, text: str) -> "FaultSpec":
-        parts = [part.strip() for part in _COMPOSE_SPLIT.split(text)]
-        if any(not part for part in parts):
-            raise ValueError(f"malformed fault spec string {text!r}")
+        parts = split_composed(text, "fault spec")
         specs = [cls._parse_single(part) for part in parts]
         if len(specs) == 1:
             return specs[0]
@@ -240,13 +268,7 @@ class FaultSpec:
         """Compact spec-string form; inverse of :meth:`parse`."""
         if self.kind == COMPOSE_KIND:
             return "+".join(child.to_string() for child in self.children)
-        if not self.params:
-            return self.kind
-        body = ",".join(
-            f"{name}={format_spec_value(value)}"
-            for name, value in self.params.items()
-        )
-        return f"{self.kind}:{body}"
+        return format_kind_params(self.kind, self.params)
 
     def to_dict(self) -> dict:
         """JSON-compatible dict form; inverse of :meth:`from_dict`."""

@@ -220,8 +220,51 @@ class TestResultStore:
         store.append("k1", experiment="E7", tag="", params={}, result=result)
         with open(path, "a", encoding="utf-8") as handle:
             handle.write('{"key": "k2", "experiment": "E7", "trunc')
-        reloaded = ResultStore(str(path))
+        # A trailing partial line (interrupted write) is benign: no
+        # warning, and verify() distinguishes it from real data loss.
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            reloaded = ResultStore(str(path))
         assert reloaded.keys() == ["k1"]
+        verification = reloaded.verify()
+        assert verification.ok and verification.trailing_partial
+        assert verification.loaded == 1 and verification.total_lines == 2
+        assert "trailing partial" in verification.describe()
+
+    def test_corrupt_midfile_line_warns_and_verifies(self, tmp_path):
+        driver = default_registry().get("E7")
+        result = driver.run(**driver.spec.smoke)
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(str(path))
+        store.append("k1", experiment="E7", tag="", params={}, result=result)
+        # Corrupt the middle of the file, then append a valid record
+        # after it: that is silent data loss, not an interrupted write.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("{corrupt mid-file line}\n")
+        store.append("k2", experiment="E7", tag="", params={}, result=result)
+        with pytest.warns(RuntimeWarning, match=r"line 2"):
+            reloaded = ResultStore(str(path))
+        assert sorted(reloaded.keys()) == ["k1", "k2"]
+        verification = reloaded.verify()
+        assert not verification.ok
+        assert verification.dropped == (2,)
+        assert verification.loaded == 2 and verification.total_lines == 3
+        assert not verification.trailing_partial
+        assert "line 2" in verification.describe()
+
+    def test_verify_clean_and_missing_store(self, tmp_path):
+        driver = default_registry().get("E7")
+        result = driver.run(**driver.spec.smoke)
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(str(path))
+        store.append("k1", experiment="E7", tag="", params={}, result=result)
+        verification = store.verify()
+        assert verification.ok and not verification.trailing_partial
+        assert verification.loaded == verification.total_lines == 1
+        missing = ResultStore(str(tmp_path / "missing.jsonl")).verify()
+        assert missing.ok and missing.total_lines == 0
 
 
 class TestCampaignRunner:

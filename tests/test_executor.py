@@ -1,0 +1,510 @@
+"""Tests for the resilient campaign executor (repro.campaign.executor).
+
+Covers the supervisor's whole fault surface with *real* process
+faults, not mocks: driver fixtures that call ``os._exit()`` mid-run,
+sleep past the timeout, raise, or flip their own result payloads -- and
+the chaos harness that injects the same faults into the production
+worker loop.  The soak test pins the paper's selective-reliability
+claim restated one level up: a campaign run under ``worker_crash`` /
+``worker_hang`` / ``result_corrupt`` converges to a result store whose
+keys and payloads are identical to a fault-free run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.campaign.cli import main as cli_main
+from repro.campaign.executor import (
+    FAILURE_OUTCOMES,
+    AttemptRecord,
+    ChaosFault,
+    ChaosSpec,
+    FailureLedger,
+    RetryPolicy,
+    SupervisedExecutor,
+    payload_checksum,
+)
+from repro.campaign.report import failure_table, render_report
+from repro.campaign.runner import CampaignRunner, derive_seed
+from repro.campaign.spec import Scenario, grid_sweep
+from repro.campaign.store import ResultStore
+
+
+# ----------------------------------------------------------------------
+# Module-level driver fixtures (picklable under every start method).
+# Each returns the executor's (result_dict, error, elapsed) triple.
+# ----------------------------------------------------------------------
+def _ok_execute(experiment, params, attempt=1):
+    """A well-behaved driver: echoes its inputs (attempt excluded)."""
+    return {"experiment": experiment, "params": dict(params)}, None, 0.01
+
+
+def _hard_death_execute(experiment, params, attempt=1):
+    """Dies without ceremony (os._exit) on attempts <= crash_attempts."""
+    if attempt <= params.get("crash_attempts", 0):
+        os._exit(1)
+    return _ok_execute(experiment, params, attempt)
+
+
+def _hang_execute(experiment, params, attempt=1):
+    """Sleeps far past any test timeout on attempts <= hang_attempts."""
+    if attempt <= params.get("hang_attempts", 0):
+        time.sleep(60.0)
+    return _ok_execute(experiment, params, attempt)
+
+
+def _raising_execute(experiment, params, attempt=1):
+    """A poison driver: raises deterministically (traceback captured)."""
+    if params.get("boom", True):
+        return None, "Traceback (most recent call last):\nRuntimeError: boom",  0.0
+    return _ok_execute(experiment, params, attempt)
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_classification(self):
+        policy = RetryPolicy()
+        for status in ("crashed", "timeout", "corrupt"):
+            assert policy.classify(status) == "transient"
+        assert policy.classify("error") == "poison"
+
+    def test_backoff_is_deterministic_and_exponential(self):
+        policy = RetryPolicy(max_attempts=5, backoff=0.1, backoff_factor=2.0)
+        assert policy.delay(1) == 0.0
+        assert policy.delay(2) == pytest.approx(0.1)
+        assert policy.delay(3) == pytest.approx(0.2)
+        assert policy.delay(4) == pytest.approx(0.4)
+
+    def test_should_retry_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry("crashed", 1)
+        assert policy.should_retry("timeout", 2)
+        assert not policy.should_retry("crashed", 3)
+        # Poison is never retried by default ...
+        assert not policy.should_retry("error", 1)
+        # ... unless explicitly requested.
+        assert RetryPolicy(retry_errors=True).should_retry("error", 1)
+
+    def test_terminal_outcomes(self):
+        policy = RetryPolicy()
+        assert policy.terminal_outcome("timeout") == "timeout"
+        assert policy.terminal_outcome("crashed") == "quarantined"
+        assert policy.terminal_outcome("corrupt") == "quarantined"
+        assert policy.terminal_outcome("error") == "failed"
+        assert set(("failed", "timeout", "quarantined")) == set(FAILURE_OUTCOMES)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+
+# ----------------------------------------------------------------------
+# ChaosSpec
+# ----------------------------------------------------------------------
+class TestChaosSpec:
+    def test_string_round_trip(self):
+        text = "worker_crash:p=0.1+worker_hang:p=0.05,seconds=120.0+result_corrupt:p=0.01"
+        spec = ChaosSpec.parse(text)
+        assert spec.to_string() == text
+        assert ChaosSpec.parse(spec.to_string()) == spec
+        assert ChaosSpec.from_dict(spec.to_dict()) == spec
+
+    def test_none_is_identity(self):
+        assert not ChaosSpec.parse("none")
+        assert not ChaosSpec.parse(None)
+        assert ChaosSpec.parse("none").to_string() == "none"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos kind"):
+            ChaosSpec.parse("worker_explode:p=0.5")
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValueError, match="does not take parameters"):
+            ChaosSpec.parse("worker_crash:p=0.5,seconds=10")
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError, match="outside"):
+            ChaosFault("worker_crash", {"p": 1.5})
+
+    def test_draws_are_deterministic_and_attempt_dependent(self):
+        fault = ChaosFault("worker_crash", {"p": 0.5})
+        hits = [fault.hits(7, "abc", attempt) for attempt in range(1, 30)]
+        assert hits == [fault.hits(7, "abc", a) for a in range(1, 30)]
+        # Independent draws per attempt: with p=0.5 over 29 attempts,
+        # both outcomes must occur.
+        assert True in hits and False in hits
+
+    def test_attempts_limit(self):
+        fault = ChaosFault("worker_crash", {"p": 1.0, "attempts": 2})
+        assert fault.hits(0, "k", 1) and fault.hits(0, "k", 2)
+        assert not fault.hits(0, "k", 3)
+
+    def test_corrupt_result_breaks_checksum(self):
+        spec = ChaosSpec.parse("result_corrupt:p=1")
+        payload = {"summary": {"x": 1.0}}
+        checksum = payload_checksum(payload)
+        corrupted = spec.corrupt_result(payload, 0, "k", 1)
+        assert payload_checksum(corrupted) != checksum
+        # p=0 never corrupts.
+        clean = ChaosSpec.parse("result_corrupt:p=0").corrupt_result(payload, 0, "k", 1)
+        assert payload_checksum(clean) == checksum
+
+
+# ----------------------------------------------------------------------
+# FailureLedger
+# ----------------------------------------------------------------------
+class TestFailureLedger:
+    def test_record_and_reload(self, tmp_path):
+        path = str(tmp_path / "runs.ledger.jsonl")
+        ledger = FailureLedger(path)
+        ledger.record(AttemptRecord("k1", "E7", 1, "crashed", worker=123))
+        ledger.record(AttemptRecord("k1", "E7", 2, "ok", outcome="completed"))
+        reloaded = FailureLedger(path)
+        assert len(reloaded) == 2
+        assert [r.status for r in reloaded.history()["k1"]] == ["crashed", "ok"]
+        assert reloaded.outcomes()["k1"].outcome == "completed"
+        assert reloaded.failed_keys() == []
+
+    def test_failed_keys_cleared_by_later_completion(self, tmp_path):
+        ledger = FailureLedger(str(tmp_path / "l.jsonl"))
+        ledger.record(AttemptRecord("k1", "E7", 3, "crashed", outcome="quarantined"))
+        ledger.record(AttemptRecord("k2", "E7", 1, "error", outcome="failed"))
+        ledger.record(AttemptRecord("k3", "E7", 2, "timeout", outcome="timeout"))
+        assert sorted(ledger.failed_keys()) == ["k1", "k2", "k3"]
+        # A later run completes k1: the append-only journal clears it.
+        ledger.record(AttemptRecord("k1", "E7", 1, "ok", outcome="completed"))
+        assert sorted(ledger.failed_keys()) == ["k2", "k3"]
+
+    def test_partial_trailing_line_tolerated(self, tmp_path):
+        path = str(tmp_path / "l.jsonl")
+        ledger = FailureLedger(path)
+        ledger.record(AttemptRecord("k1", "E7", 1, "ok", outcome="completed"))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "k2", "trunc')
+        assert len(FailureLedger(path)) == 1
+
+    def test_sidecar_path_convention(self):
+        assert FailureLedger.path_for("results.jsonl") == "results.ledger.jsonl"
+        assert FailureLedger.path_for("x/store") == "x/store.ledger.jsonl"
+
+    def test_file_created_lazily(self, tmp_path):
+        path = str(tmp_path / "l.jsonl")
+        FailureLedger(path)
+        assert not os.path.exists(path)
+
+
+# ----------------------------------------------------------------------
+# SupervisedExecutor against misbehaving drivers
+# ----------------------------------------------------------------------
+def _tasks(n, **params):
+    return [(f"key{i}", "EX", {"i": i, **params}) for i in range(n)]
+
+
+def _executor(**kwargs):
+    kwargs.setdefault("retry", RetryPolicy(max_attempts=3, backoff=0.01))
+    kwargs.setdefault("workers", 2)
+    return SupervisedExecutor(**kwargs)
+
+
+class TestSupervisedExecutor:
+    def test_clean_run_in_input_order(self):
+        results = _executor(execute=_ok_execute).run(_tasks(5))
+        assert [r.key for r in results] == [f"key{i}" for i in range(5)]
+        assert all(r.status == "completed" and r.attempts == 1 for r in results)
+        assert results[3].result["params"]["i"] == 3
+
+    def test_hard_worker_death_is_retried(self, tmp_path):
+        # Scenario 1 SIGKILLs its worker on the first attempt; the
+        # campaign still completes, the crashed scenario is retried,
+        # and sibling scenarios are unaffected.
+        ledger = FailureLedger(str(tmp_path / "l.jsonl"))
+        tasks = [
+            ("crashy", "EX", {"crash_attempts": 1}),
+            ("sibling-a", "EX", {}),
+            ("sibling-b", "EX", {}),
+        ]
+        results = _executor(execute=_hard_death_execute, ledger=ledger).run(tasks)
+        assert [r.status for r in results] == ["completed"] * 3
+        crashy = results[0]
+        assert crashy.attempts == 2 and crashy.history == ("crashed", "ok")
+        assert [r.attempts for r in results[1:]] == [1, 1]
+        # The ledger journals both attempts, the crash with a worker pid.
+        history = ledger.history()["crashy"]
+        assert [r.status for r in history] == ["crashed", "ok"]
+        assert history[0].worker is not None and history[0].outcome is None
+        assert history[1].outcome == "completed"
+
+    def test_unrecoverable_crash_is_quarantined(self, tmp_path):
+        ledger = FailureLedger(str(tmp_path / "l.jsonl"))
+        tasks = [("doomed", "EX", {"crash_attempts": 99}), ("ok", "EX", {})]
+        results = _executor(execute=_hard_death_execute, ledger=ledger).run(tasks)
+        assert results[0].status == "quarantined"
+        assert results[0].attempts == 3
+        assert results[0].history == ("crashed",) * 3
+        assert results[1].status == "completed"
+        assert ledger.failed_keys() == ["doomed"]
+
+    def test_hang_is_killed_and_retried(self):
+        # Attempt 1 sleeps past the deadline: the worker is killed and
+        # respawned, and attempt 2 completes while siblings finish.
+        tasks = [("slow", "EX", {"hang_attempts": 1}), ("fast", "EX", {})]
+        start = time.monotonic()
+        results = _executor(execute=_hang_execute, timeout=1.0).run(tasks)
+        assert [r.status for r in results] == ["completed"] * 2
+        assert results[0].history == ("timeout", "ok")
+        assert time.monotonic() - start < 30.0  # killed, not slept out
+
+    def test_persistent_hang_times_out_terminally(self, tmp_path):
+        ledger = FailureLedger(str(tmp_path / "l.jsonl"))
+        tasks = [("stuck", "EX", {"hang_attempts": 99}), ("fine", "EX", {})]
+        results = _executor(
+            execute=_hang_execute, timeout=0.5,
+            retry=RetryPolicy(max_attempts=2, backoff=0.01), ledger=ledger,
+        ).run(tasks)
+        assert results[0].status == "timeout"
+        assert results[0].history == ("timeout", "timeout")
+        assert results[1].status == "completed"
+        assert ledger.failed_keys() == ["stuck"]
+        assert "timeout" in (ledger.outcomes()["stuck"].error or "")
+
+    def test_poison_error_not_retried(self):
+        results = _executor(execute=_raising_execute).run(
+            [("bad", "EX", {"boom": True}), ("good", "EX", {"boom": False})]
+        )
+        assert results[0].status == "failed" and results[0].attempts == 1
+        assert "RuntimeError" in results[0].error
+        assert results[1].status == "completed"
+
+    def test_chaos_crash_inside_production_worker(self):
+        # Chaos fires in the real worker loop (not a test fixture):
+        # deterministic first-two-attempts crash, third succeeds.
+        results = _executor(
+            execute=_ok_execute,
+            chaos="worker_crash:p=1,attempts=2",
+        ).run(_tasks(2))
+        assert all(r.status == "completed" for r in results)
+        assert all(r.history == ("crashed", "crashed", "ok") for r in results)
+
+    def test_chaos_corruption_detected_by_checksum(self):
+        results = _executor(
+            execute=_ok_execute,
+            chaos="result_corrupt:p=1,attempts=1",
+        ).run(_tasks(2))
+        assert all(r.status == "completed" for r in results)
+        assert all(r.history == ("corrupt", "ok") for r in results)
+        # The corrupted payload never leaks into the final result.
+        assert all("__chaos_corrupted__" not in r.result for r in results)
+
+    def test_completed_callback_fires_per_terminal_result(self):
+        seen = []
+        _executor(execute=_ok_execute).run(
+            _tasks(4), completed=lambda slot, res: seen.append((slot, res.key))
+        )
+        assert sorted(seen) == [(i, f"key{i}") for i in range(4)]
+
+
+# ----------------------------------------------------------------------
+# Runner integration: resilience end to end
+# ----------------------------------------------------------------------
+def _e7_scenarios(n=6):
+    return grid_sweep(
+        "E7", node_mtbf_years=tuple(float(i + 1) for i in range(n)), tag="soak"
+    )
+
+
+def _payloads(store):
+    """Key -> result payload, the store content modulo timing."""
+    return {key: store.get(key).result for key in store.keys()}
+
+
+class TestRunnerResilience:
+    def test_chaos_soak_store_matches_clean_run(self, tmp_path):
+        # The tentpole claim: a campaign run whose own workers crash,
+        # hang and corrupt results converges to a store identical (same
+        # keys, same payloads) to a fault-free run, with every retry
+        # visible in the ledger.
+        scenarios = _e7_scenarios()
+        clean = ResultStore(str(tmp_path / "clean.jsonl"))
+        CampaignRunner(clean, workers=2).run(scenarios)
+
+        chaotic = ResultStore(str(tmp_path / "chaos.jsonl"))
+        runner = CampaignRunner(
+            chaotic, workers=2, timeout=3.0,
+            retry=RetryPolicy(max_attempts=8, backoff=0.01),
+            chaos="worker_crash:p=0.5+worker_hang:p=0.2,seconds=60"
+                  "+result_corrupt:p=0.3",
+        )
+        outcomes = runner.run(scenarios)
+        assert [o.status for o in outcomes] == ["completed"] * len(scenarios)
+        assert _payloads(chaotic) == _payloads(clean)
+        # Chaos actually happened and the ledger saw it.
+        assert sum(o.attempts for o in outcomes) > len(outcomes)
+        statuses = {r.status for r in runner.ledger.records()}
+        assert "crashed" in statuses
+        # The failure table renders the history.
+        table = failure_table(runner.ledger)
+        assert table is not None and "crashed" in table.render()
+
+    def test_retried_results_bit_identical_to_first_try(self, tmp_path):
+        # Per-scenario seed derivation is resolved before dispatch, so
+        # the derive_seed stream is the same on attempt 1 and attempt 3
+        # -- retried results must be bit-identical to first-try ones,
+        # even for a genuinely stochastic fault-injection driver (E1).
+        scenarios = [Scenario("E1", {"grid": 6, "n_trials": 2}, tag="seed")]
+        clean = ResultStore(str(tmp_path / "clean.jsonl"))
+        CampaignRunner(clean, workers=2, base_seed=17).run(scenarios)
+
+        chaotic = ResultStore(str(tmp_path / "chaos.jsonl"))
+        runner = CampaignRunner(
+            chaotic, workers=2, base_seed=17,
+            retry=RetryPolicy(max_attempts=4, backoff=0.01),
+            chaos="worker_crash:p=1,attempts=2",
+        )
+        outcomes = runner.run(scenarios)
+        assert outcomes[0].status == "completed"
+        assert outcomes[0].attempts == 3  # two chaos crashes + success
+        assert _payloads(chaotic) == _payloads(clean)
+        # Both resolved the same injected seed.
+        resolved = runner.resolve(scenarios[0])
+        assert resolved.params["seed"] == derive_seed(17, scenarios[0].key)
+
+    def test_failed_outcomes_survive_the_process(self, tmp_path):
+        # A quarantined scenario's history must be re-loadable from
+        # disk by a fresh ledger (nothing lives only in memory).
+        store_path = str(tmp_path / "s.jsonl")
+        runner = CampaignRunner(
+            ResultStore(store_path), workers=2,
+            retry=RetryPolicy(max_attempts=2, backoff=0.01),
+            chaos="worker_crash:p=1",
+        )
+        scenarios = _e7_scenarios(2)
+        outcomes = runner.run(scenarios)
+        assert [o.status for o in outcomes] == ["quarantined"] * 2
+        reloaded = FailureLedger(FailureLedger.path_for(store_path))
+        assert sorted(reloaded.failed_keys()) == sorted(s.key for s in scenarios)
+        for records in reloaded.history().values():
+            assert [r.status for r in records] == ["crashed", "crashed"]
+            assert records[-1].outcome == "quarantined"
+
+    def test_in_process_failures_are_journaled(self, tmp_path):
+        # The sequential path journals too: today's satellite fix for
+        # "runner.py only ever appends successes".
+        store_path = str(tmp_path / "s.jsonl")
+        runner = CampaignRunner(ResultStore(store_path), workers=1)
+        outcomes = runner.run(
+            [Scenario("E2", {"sizes": (0,), "n_trials": 1})] + _e7_scenarios(1)
+        )
+        assert outcomes[0].status == "failed"
+        assert outcomes[1].status == "completed"
+        reloaded = FailureLedger(FailureLedger.path_for(store_path))
+        assert reloaded.failed_keys() == [outcomes[0].key]
+        failed = reloaded.outcomes()[outcomes[0].key]
+        assert failed.status == "error" and "Traceback" in failed.error
+        assert failed.elapsed >= 0.0 and failed.attempt == 1
+
+    def test_ledger_disabled(self, tmp_path):
+        store_path = str(tmp_path / "s.jsonl")
+        runner = CampaignRunner(ResultStore(store_path), ledger=False)
+        runner.run(_e7_scenarios(1))
+        assert not os.path.exists(FailureLedger.path_for(store_path))
+
+
+# ----------------------------------------------------------------------
+# CLI: --timeout/--retries/--chaos/--retry-failed and the report
+# ----------------------------------------------------------------------
+class TestCliResilience:
+    def test_chaos_quarantine_then_retry_failed(self, tmp_path, capsys):
+        store = str(tmp_path / "cli.jsonl")
+        base = ["run", "--smoke", "--experiment", "E7", "--workers", "2",
+                "--store", store]
+        # Every attempt crashes: both E7 scenarios quarantine, exit 1.
+        assert cli_main(base + ["--chaos", "worker_crash:p=1",
+                                "--retries", "2", "--backoff", "0.01"]) == 1
+        out = capsys.readouterr().out
+        assert "QUAR" in out and "2 failed" in out
+        assert len(ResultStore(store)) == 0
+
+        # --retry-failed without chaos re-executes exactly that set.
+        assert cli_main(base + ["--retry-failed"]) == 0
+        out = capsys.readouterr().out
+        assert "2 ran" in out and "0 cached" in out
+        assert len(ResultStore(store)) == 2
+
+        # Everything recovered: nothing left to retry.
+        assert cli_main(base + ["--retry-failed"]) == 0
+        assert "nothing to retry" in capsys.readouterr().out
+
+        # A plain re-run is fully cached (nothing re-executed).
+        assert cli_main(base) == 0
+        assert "0 ran" in capsys.readouterr().out
+
+        # The report surfaces the failure history from the ledger: the
+        # quarantine-era crashes plus the recovering retry, with the
+        # latest terminal outcome ("completed" after --retry-failed).
+        assert cli_main(["report", "--store", store]) == 0
+        report = capsys.readouterr().out
+        assert "failure history" in report
+        assert "crashed>crashed>ok" in report and "completed" in report
+
+    def test_timeout_flag_kills_and_completes_siblings(self, tmp_path, capsys):
+        store = str(tmp_path / "cli.jsonl")
+        # worker_hang on attempt 1 of every scenario; --timeout reaps
+        # them and the retries complete the campaign.
+        args = ["run", "--smoke", "--experiment", "E7", "--workers", "2",
+                "--store", store, "--timeout", "1.0",
+                "--chaos", "worker_hang:p=1,attempts=1",
+                "--retries", "3", "--backoff", "0.01"]
+        assert cli_main(args) == 0
+        out = capsys.readouterr().out
+        assert "2 ran" in out and "2 retried" in out
+
+    def test_retry_failed_requires_ledger(self, tmp_path, capsys):
+        assert cli_main(["run", "--smoke", "--experiment", "E7",
+                         "--no-store", "--retry-failed"]) == 2
+        assert "--retry-failed needs a ledger" in capsys.readouterr().err
+
+    def test_report_with_ledger_only(self, tmp_path, capsys):
+        # A ledger full of failures but an empty store still reports.
+        store = str(tmp_path / "cli.jsonl")
+        ledger = FailureLedger(FailureLedger.path_for(store))
+        ledger.record(AttemptRecord("kx", "E7", 1, "error",
+                                    outcome="failed", error="RuntimeError: x"))
+        assert cli_main(["report", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "failure history" in out and "kx" in out
+
+
+# ----------------------------------------------------------------------
+# Report helpers
+# ----------------------------------------------------------------------
+class TestFailureReport:
+    def test_clean_history_is_omitted(self, tmp_path):
+        ledger = FailureLedger(str(tmp_path / "l.jsonl"))
+        ledger.record(AttemptRecord("clean", "E7", 1, "ok", outcome="completed"))
+        assert failure_table(ledger) is None
+
+    def test_troubled_history_is_shown(self, tmp_path):
+        ledger = FailureLedger(str(tmp_path / "l.jsonl"))
+        ledger.record(AttemptRecord("k", "E7", 1, "crashed"))
+        ledger.record(AttemptRecord("k", "E7", 2, "ok", outcome="completed"))
+        table = failure_table(ledger)
+        rendered = table.render()
+        assert "crashed>ok" in rendered and "completed" in rendered
+
+    def test_render_report_includes_ledger_section(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s.jsonl"))
+        ledger = FailureLedger(str(tmp_path / "l.jsonl"))
+        ledger.record(AttemptRecord("k", "E7", 1, "timeout", outcome="timeout",
+                                    error="scenario exceeded timeout"))
+        text = render_report(store, ledger=ledger)
+        assert "failure history" in text and "timeout" in text
