@@ -17,6 +17,9 @@ benchmark module is picked up automatically.  Typical uses::
     # quick health check: run the smoke campaign instead of pytest-benchmark
     python benchmarks/run_benchmarks.py --smoke
 
+    # batched-vs-sequential campaign benchmark at 128 seed replicas
+    python benchmarks/run_benchmarks.py --batch 128 --json benchmarks/BENCH_PR7.json
+
 Exit status is pytest's, or the comparator's if a baseline regression
 is detected (see :mod:`benchmarks.compare_benchmarks`).
 """
@@ -174,6 +177,92 @@ def run_smoke_campaign() -> int:
     return 1 if failed else 0
 
 
+#: Per-experiment bases for the --batch benchmark: seed-replica sweeps
+#: over the three batch-capable drivers, sized so the batchable solver
+#: fraction dominates (small grid, lockstep-friendly solver sets).
+_BATCH_BENCH_SUITES = {
+    "E1": {"grid": 8, "n_trials": 2, "inject_at": 4, "check_period": 1},
+    "E8": {
+        "grid": 8,
+        "solvers": ("gmres", "cg", "sdc_gmres"),
+        "faults": "bitflip:p=0.02,bits=52..62",
+        "policy": "guard",
+    },
+    "E9": {
+        "grid": 8,
+        "solvers": ("gmres", "cg"),
+        "preconds": ("none", "jacobi"),
+        "faults": "bitflip:p=0.05,bits=52..62",
+        "target": "precond",
+    },
+}
+
+
+def run_batch_benchmark(scale: int, json_path: str) -> int:
+    """Benchmark batched vs sequential campaign execution at ``scale`` seeds.
+
+    Runs the same ``scale``-replica scenario list per batch-capable
+    experiment (E1/E8/E9) twice through the in-process runner --
+    scenario-at-a-time, then ``batch=0`` (one lockstep group) -- and
+    writes wall-clock numbers plus the equality verdict to
+    ``json_path``.  Exit status is non-zero if any scenario failed or
+    the batched results are not identical to the sequential ones: a
+    speedup that changes answers is not a speedup.
+    """
+    _with_src_on_path()
+    import json
+    import time
+
+    from repro.campaign.runner import CampaignRunner
+    from repro.campaign.spec import Scenario, canonical_json
+
+    if scale < 2:
+        raise SystemExit("--batch needs at least 2 seed replicas")
+    seeds = range(101, 101 + scale)
+    report = {"scale": scale, "experiments": {}}
+    status = 0
+    for experiment, base in _BATCH_BENCH_SUITES.items():
+        scenarios = [Scenario(experiment, dict(base, seed=s)) for s in seeds]
+
+        start = time.perf_counter()
+        sequential = CampaignRunner().run(scenarios)
+        sequential_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        batched = CampaignRunner(batch=0).run(scenarios)
+        batched_seconds = time.perf_counter() - start
+
+        completed = all(
+            o.status == "completed" for o in sequential + batched
+        )
+        identical = completed and all(
+            canonical_json(a.result) == canonical_json(b.result)
+            for a, b in zip(sequential, batched)
+        )
+        speedup = sequential_seconds / batched_seconds
+        report["experiments"][experiment] = {
+            "n_scenarios": len(scenarios),
+            "sequential_seconds": round(sequential_seconds, 4),
+            "batched_seconds": round(batched_seconds, 4),
+            "speedup": round(speedup, 3),
+            "all_completed": completed,
+            "identical_results": identical,
+        }
+        print(
+            f"{experiment}: S={len(scenarios)} sequential {sequential_seconds:.2f}s "
+            f"batched {batched_seconds:.2f}s speedup {speedup:.2f}x "
+            f"identical={identical}"
+        )
+        if not identical:
+            status = 1
+
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {json_path}")
+    return status
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -196,6 +285,16 @@ def main(argv=None) -> int:
         "--smoke",
         action="store_true",
         help="run the smoke campaign (fast health check) instead of "
+        "the pytest-benchmark suite",
+    )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="S",
+        help="benchmark batched vs sequential campaign execution at S "
+        "seed replicas per batch-capable experiment (E1/E8/E9), write "
+        "the report to --json and verify result identity, instead of "
         "the pytest-benchmark suite",
     )
     parser.add_argument(
@@ -232,6 +331,8 @@ def main(argv=None) -> int:
 
     if args.smoke:
         return run_smoke_campaign()
+    if args.batch is not None:
+        return run_batch_benchmark(args.batch, args.json)
 
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC_DIR + (

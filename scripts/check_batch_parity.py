@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Quick batched-vs-sequential parity gate (development aid).
+
+Runs the engine-level differential matrix -- every batchable solver x
+policy x preconditioner combination plus fault hooks and divergent
+tolerances -- and asserts bit-identity of iterates, residual histories
+and kernel call counts.  The full pinned matrix lives in
+``tests/test_batch_parity.py``; this script is the fast pre-commit
+smoke used by ``scripts/verify.sh``.
+"""
+import sys
+
+import numpy as np
+
+from repro.linalg.matgen import poisson_2d
+from repro.krylov import batch_solve
+from repro.krylov.registry import default_solver_registry
+from repro.reliability.spec import FaultSpec
+from repro.reliability.models import BasisBitflipFaults
+
+reg = default_solver_registry()
+A = poisson_2d(16)
+n = A.shape[0]
+failures = []
+
+
+def compare(name, results, seq_results):
+    assert len(results) == len(seq_results)
+    for k, (r, s) in enumerate(zip(results, seq_results)):
+        try:
+            assert r.x.tobytes() == s.x.tobytes(), "iterate bytes differ"
+            assert r.residual_norms == s.residual_norms, "residual history differs"
+            assert r.iterations == s.iterations, "iteration count differs"
+            assert r.converged == s.converged and r.breakdown == s.breakdown
+            ik = {a: b for a, b in r.info.items() if a != "kernels"}
+            sk = {a: b for a, b in s.info.items() if a != "kernels"}
+            assert ik == sk, f"info differs: {ik} != {sk}"
+            assert (
+                r.info["kernels"]["counts"] == s.info["kernels"]["counts"]
+            ), "kernel call counts differ"
+        except AssertionError as exc:
+            failures.append(f"{name}[{k}]: {exc}")
+            print(f"FAIL {name}[{k}]: {exc}")
+            return
+    print(f"ok {name}")
+
+
+model = BasisBitflipFaults(FaultSpec("basis_bitflip", {"bits": (30, 55)}))
+
+
+def hook(seed):
+    h, _info = model.iteration_hook(np.random.default_rng(seed), at=5)
+    return h
+
+
+bs = [np.random.default_rng(100 + i).standard_normal(n) for i in range(6)]
+compare(
+    "gmres",
+    batch_solve("gmres", A, bs, tol=1e-8, restart=30, maxiter=600),
+    [reg.get("gmres").solve(A, b, tol=1e-8, restart=30, maxiter=600) for b in bs],
+)
+
+bs2 = [np.random.default_rng(50 + i).standard_normal(n) for i in range(4)]
+compare(
+    "sdc_gmres+faults",
+    batch_solve(
+        "sdc_gmres", A, bs2, policy="skeptical_restart", tol=1e-8, restart=30,
+        maxiter=600, check_period=1,
+        lane_params=[{"fault_hook": hook(7 + i)} for i in range(4)],
+    ),
+    [
+        reg.get("sdc_gmres").solve(
+            A, b, policy="skeptical_restart", tol=1e-8, restart=30,
+            maxiter=600, check_period=1,
+            policy_options={"fault_hook": hook(7 + i)},
+        )
+        for i, b in enumerate(bs2)
+    ],
+)
+
+bs3 = [np.random.default_rng(900 + i).standard_normal(n) for i in range(5)]
+for name, solver, kw in [
+    ("gmres+jacobi nonconverging", "gmres",
+     dict(tol=1e-14, restart=20, maxiter=40, precond="jacobi")),
+    ("gmres+residual_guard", "gmres",
+     dict(tol=1e-8, restart=25, maxiter=500, policy="residual_guard")),
+    ("gmres classical GS", "gmres",
+     dict(tol=1e-8, restart=30, maxiter=600, gram_schmidt="classical")),
+    ("cg+jacobi", "cg", dict(tol=1e-10, maxiter=400, precond="jacobi")),
+    ("cg+residual_guard", "cg", dict(tol=1e-10, maxiter=400, policy="residual_guard")),
+]:
+    compare(
+        name,
+        batch_solve(solver, A, bs3, **kw),
+        [reg.get(solver).solve(A, b, **kw) for b in bs3],
+    )
+
+# Mid-batch divergence: mixed per-lane tolerances force staggered exits.
+lane_params = [{"tol": [1e-4, 1e-6, 1e-8, 1e-10, 1e-12][i % 5]} for i in range(10)]
+bs4 = [np.random.default_rng(40 + i).standard_normal(n) for i in range(10)]
+compare(
+    "gmres mixed tolerances",
+    batch_solve("gmres", A, bs4, restart=30, maxiter=600, lane_params=lane_params),
+    [
+        reg.get("gmres").solve(A, b, restart=30, maxiter=600, **lane_params[i])
+        for i, b in enumerate(bs4)
+    ],
+)
+compare(
+    "sdc mixed tolerances",
+    batch_solve(
+        "sdc_gmres", A, bs4, policy="skeptical_restart", restart=30,
+        maxiter=600, check_period=1, lane_params=lane_params,
+    ),
+    [
+        reg.get("sdc_gmres").solve(
+            A, b, policy="skeptical_restart", restart=30, maxiter=600,
+            check_period=1, **lane_params[i],
+        )
+        for i, b in enumerate(bs4)
+    ],
+)
+
+if failures:
+    print(f"{len(failures)} parity failure(s)")
+    sys.exit(1)
+print("all parity checks passed")

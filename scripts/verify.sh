@@ -3,7 +3,9 @@
 # preconditioner axes) + doc-link check + golden determinism + smoke
 # and precond campaigns with memoization re-runs + the chaos gate
 # (smoke campaign under worker_crash chaos must reproduce the clean
-# store byte for byte).
+# store byte for byte) + the batch-parity gate (the replicas campaign
+# run in lockstep batches must reproduce the sequential store byte for
+# byte).
 #
 #   scripts/verify.sh            # everything (~2 min)
 #   scripts/verify.sh --fast     # skip the second golden pass
@@ -222,10 +224,60 @@ print(f"chaos gate OK ({len(clean)} scenarios byte-identical under worker_crash:
 PY
 
 echo
+echo "== batch-parity gate (lockstep batches must not change results) =="
+# Engine-level differential matrix first (fast, pinpoints the layer on
+# failure) ...
+python scripts/check_batch_parity.py
+# ... then end to end: the replicas campaign -- seed-replica sweeps
+# over E1/E8/E9, the shape batch mode groups -- run scenario-at-a-time
+# and in lockstep batches through the supervised executor.  The two
+# stores must hold the same keys with byte-identical result payloads
+# (wall-clock kernel seconds excluded, as in the chaos gate).
+SEQ_STORE="$(mktemp -t repro_batchseq_XXXXXX.jsonl)"
+BATCH_STORE="$(mktemp -t repro_batch_XXXXXX.jsonl)"
+trap 'rm -f "$STORE" "${STORE%.jsonl}.ledger.jsonl" \
+           "$CHAOS_STORE" "${CHAOS_STORE%.jsonl}.ledger.jsonl" \
+           "$SEQ_STORE" "${SEQ_STORE%.jsonl}.ledger.jsonl" \
+           "$BATCH_STORE" "${BATCH_STORE%.jsonl}.ledger.jsonl"' EXIT
+rm -f "$SEQ_STORE" "$BATCH_STORE"
+python -m repro.campaign run replicas --workers 2 --store "$SEQ_STORE"
+python -m repro.campaign run replicas --workers 2 --store "$BATCH_STORE" --batch 0
+python - "$SEQ_STORE" "$BATCH_STORE" <<'PY'
+import sys
+from repro.campaign.spec import canonical_json
+from repro.campaign.store import ResultStore
+
+def strip_wall_clock(value):
+    if isinstance(value, dict):
+        return {k: strip_wall_clock(v) for k, v in value.items()
+                if k != "kernel_seconds"}
+    if isinstance(value, list):
+        return [strip_wall_clock(v) for v in value]
+    return value
+
+sequential, batched = (
+    {r.key: canonical_json(strip_wall_clock(r.result))
+     for r in ResultStore(path).records()}
+    for path in sys.argv[1:3]
+)
+assert set(sequential) == set(batched), (
+    f"batched run stored different scenarios: "
+    f"only-seq={sorted(set(sequential) - set(batched))} "
+    f"only-batch={sorted(set(batched) - set(sequential))}"
+)
+mismatched = [k for k in sequential if sequential[k] != batched[k]]
+assert not mismatched, f"batched run changed result payloads: {mismatched}"
+print(f"batch-parity gate OK ({len(sequential)} scenarios byte-identical "
+      f"under --batch 0)")
+PY
+
+echo
 echo "== precond campaign (fresh store) =="
 PRECOND_STORE="$(mktemp -t repro_precond_XXXXXX.jsonl)"
 trap 'rm -f "$STORE" "${STORE%.jsonl}.ledger.jsonl" \
            "$CHAOS_STORE" "${CHAOS_STORE%.jsonl}.ledger.jsonl" \
+           "$SEQ_STORE" "${SEQ_STORE%.jsonl}.ledger.jsonl" \
+           "$BATCH_STORE" "${BATCH_STORE%.jsonl}.ledger.jsonl" \
            "$PRECOND_STORE" "${PRECOND_STORE%.jsonl}.ledger.jsonl"' EXIT
 rm -f "$PRECOND_STORE"
 python -m repro.campaign run precond --workers 2 --store "$PRECOND_STORE"

@@ -19,6 +19,10 @@ Three ship with the toolkit:
   preconditioner cell under each fault spec, with the fault placed
   either selectively (only ``M^{-1} v`` unreliable) or on the trusted
   operator -- the paper's selective-reliability claim as a grid.
+* ``replicas`` -- seed-replica sweeps over the batch-capable drivers
+  (E1/E8/E9); identical parameters except ``seed``, so ``--batch``
+  groups each sweep into one lockstep batch.  The batch benchmark and
+  the verify batch-parity gate run this campaign.
 
 Campaigns are plain lists of scenarios produced by declarative
 :class:`~repro.campaign.spec.Sweep` specs, so adding a campaign is
@@ -178,11 +182,57 @@ def _precond() -> List[Scenario]:
     return scenarios
 
 
+def _replicas() -> List[Scenario]:
+    # Seed-replica sweeps over the batchable drivers (E1/E8/E9): every
+    # scenario in a sweep shares all parameters except ``seed``, so
+    # ``campaign run --campaign replicas --batch 0`` groups each sweep
+    # into a single lockstep batch.  This is the shape batch mode is
+    # built for -- Monte-Carlo replication of one configuration -- and
+    # what the benchmark harness and the verify batch-parity gate run.
+    seeds = tuple(range(101, 117))
+    sweeps = [
+        Sweep(
+            "E1",
+            axes={"seed": seeds},
+            base={"grid": 8, "n_trials": 2, "inject_at": 4},
+            tag="replicas",
+        ),
+        Sweep(
+            "E8",
+            axes={"seed": seeds},
+            base={
+                "grid": 8,
+                "solvers": ("gmres", "cg", "sdc_gmres"),
+                "faults": "bitflip:p=0.02,bits=52..62",
+                "policy": "guard",
+            },
+            tag="replicas",
+        ),
+        Sweep(
+            "E9",
+            axes={"seed": seeds},
+            base={
+                "grid": 8,
+                "solvers": ("gmres", "cg"),
+                "preconds": ("none", "jacobi"),
+                "faults": "bitflip:p=0.05,bits=52..62",
+                "target": "precond",
+            },
+            tag="replicas",
+        ),
+    ]
+    scenarios: List[Scenario] = []
+    for sweep in sweeps:
+        scenarios.extend(sweep.expand())
+    return scenarios
+
+
 _BUILDERS: Dict[str, Callable[[], List[Scenario]]] = {
     "smoke": _smoke,
     "default": _default,
     "solvers": _solvers,
     "precond": _precond,
+    "replicas": _replicas,
 }
 
 

@@ -134,6 +134,12 @@ def _build_parser() -> argparse.ArgumentParser:
                               "failed/timeout/quarantined")
     run_cmd.add_argument("--no-ledger", action="store_true",
                          help="do not journal attempts to the failure ledger")
+    run_cmd.add_argument("--batch", type=int, default=1, metavar="S",
+                         help="group compatible pending scenarios (same "
+                              "driver run_batch, same params except seed) "
+                              "into lockstep batches of at most S, each "
+                              "one supervised unit; 0 = unbounded group "
+                              "size, 1 (default) = scenario-at-a-time")
 
     report_cmd = commands.add_parser("report", help="render the aggregate report")
     report_cmd.add_argument("--store", default=DEFAULT_STORE)
@@ -274,6 +280,7 @@ def _cmd_run(args) -> int:
         retry=RetryPolicy(max_attempts=args.retries, backoff=args.backoff),
         chaos=args.chaos,
         ledger=False if args.no_ledger else None,
+        batch=args.batch,
     )
 
     if args.retry_failed:

@@ -103,6 +103,8 @@ __all__ = [
     "payload_checksum",
     "TRANSIENT_STATUSES",
     "FAILURE_OUTCOMES",
+    "BATCH_PARAMS_KEY",
+    "BATCH_RESULTS_KEY",
 ]
 
 # Attempt statuses the retry policy considers environmental: the
@@ -117,10 +119,20 @@ FAILURE_OUTCOMES = frozenset({"failed", "timeout", "quarantined"})
 # ----------------------------------------------------------------------
 # Scenario execution (shared by the in-process and worker paths)
 # ----------------------------------------------------------------------
+
+# Params key marking a batched unit of work: its value is the list of
+# member scenarios' param dicts, executed in one ``run_batch`` call.
+BATCH_PARAMS_KEY = "__batch__"
+
+# Result key the batched execution path returns: the list of member
+# result dicts, in the same order as the ``__batch__`` params list.
+BATCH_RESULTS_KEY = "__batch_results__"
+
+
 def default_execute(
     experiment: str, params: Mapping[str, Any], attempt: int = 1
 ) -> Tuple[Optional[dict], Optional[str], float]:
-    """Run one scenario against the experiment registry.
+    """Run one scenario (or one batched unit) against the registry.
 
     Returns ``(result_dict, error_traceback, elapsed)``.  ``attempt``
     is accepted (the executor passes it for test fixtures) but ignored:
@@ -128,6 +140,12 @@ def default_execute(
     would diverge from first-try ones.  Fault-injection drivers
     intentionally overflow floats, so RuntimeWarnings are silenced here
     exactly as the benchmark harness does.
+
+    When ``params`` carries :data:`BATCH_PARAMS_KEY` (a list of member
+    param dicts), the driver's ``run_batch`` executes every member in
+    lockstep and the result dict holds their serialized results under
+    :data:`BATCH_RESULTS_KEY`, in member order.  The whole unit shares
+    one fate: a raising batch fails (and is retried) as one task.
     """
     from repro.campaign.registry import default_registry
 
@@ -135,7 +153,18 @@ def default_execute(
     try:
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", RuntimeWarning)
-            result = default_registry().get(experiment).run(**params)
+            driver = default_registry().get(experiment)
+            members = params.get(BATCH_PARAMS_KEY)
+            if members is not None:
+                if driver.run_batch is None:
+                    raise TypeError(
+                        f"{driver.experiment} has no run_batch; the runner "
+                        "must not dispatch batched units to it"
+                    )
+                results = driver.run_batch([dict(p) for p in members])
+                payload = {BATCH_RESULTS_KEY: [r.to_dict() for r in results]}
+                return payload, None, time.perf_counter() - start
+            result = driver.run(**params)
         return result.to_dict(), None, time.perf_counter() - start
     except Exception:
         return None, traceback.format_exc(), time.perf_counter() - start
@@ -358,6 +387,28 @@ class FailureLedger:
             for key, record in self.outcomes().items()
             if record.outcome in FAILURE_OUTCOMES
         ]
+
+    def mark_completed(self, key: str, experiment: str) -> AttemptRecord:
+        """Reconcile a key the result store holds as completed.
+
+        Appends a zero-attempt ``"completed"`` record so the key leaves
+        :meth:`failed_keys`.  The runner calls this when it finds a
+        stored result for a key whose latest ledger outcome is still a
+        failure -- e.g. a scenario quarantined in one run whose batch
+        sibling (or a later solo run journaled elsewhere) completed it:
+        the store is authoritative for results, and the ledger must not
+        keep reporting a completed scenario as failed.
+        """
+        return self.record(
+            AttemptRecord(
+                key=key,
+                experiment=experiment,
+                attempt=0,
+                status="reconciled",
+                outcome="completed",
+                wall_time=time.time(),
+            )
+        )
 
     def __len__(self) -> int:
         return len(self._records)

@@ -25,11 +25,24 @@ __all__ = ["RegisteredExperiment", "ExperimentRegistry", "default_registry"]
 
 @dataclass(frozen=True)
 class RegisteredExperiment:
-    """One discovered driver: its spec, module and ``run`` callable."""
+    """One discovered driver: its spec, module and ``run`` callable.
+
+    ``run_batch``, when the driver module provides it, runs several
+    compatible scenarios (same parameters except ``seed``) in lockstep:
+    ``run_batch(params_list) -> List[ExperimentResult]``, bit-identical
+    to per-scenario ``run()`` calls.  The campaign runner's batch mode
+    groups scenarios onto it; drivers without one always run
+    scenario-at-a-time.
+    """
 
     spec: ExperimentSpec
     module: str
     run: Callable[..., ExperimentResult]
+    run_batch: Optional[Callable[..., List[ExperimentResult]]] = None
+
+    @property
+    def supports_batch(self) -> bool:
+        return self.run_batch is not None
 
     @property
     def experiment(self) -> str:
@@ -68,7 +81,10 @@ class ExperimentRegistry:
         if drivers is None:
             drivers = [
                 RegisteredExperiment(
-                    spec=module.SPEC, module=module.__name__, run=module.run
+                    spec=module.SPEC,
+                    module=module.__name__,
+                    run=module.run,
+                    run_batch=getattr(module, "run_batch", None),
                 )
                 for module in iter_driver_modules()
             ]

@@ -30,10 +30,15 @@ execution works under both fork and spawn start methods.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
-from typing import Callable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.campaign.executor import (
+    BATCH_PARAMS_KEY,
+    BATCH_RESULTS_KEY,
+    FAILURE_OUTCOMES,
+    AttemptRecord,
     ChaosSpec,
     ExecutionResult,
     FailureLedger,
@@ -42,7 +47,7 @@ from repro.campaign.executor import (
     default_execute,
 )
 from repro.campaign.registry import ExperimentRegistry, default_registry
-from repro.campaign.spec import Scenario
+from repro.campaign.spec import Scenario, canonical_json, scenario_key
 from repro.campaign.store import ResultStore
 from repro.experiments.common import ExperimentResult
 
@@ -51,7 +56,13 @@ from repro.experiments.common import ExperimentResult
 # scenario seed draw the same streams at every entry point.
 from repro.reliability.seeding import derive_seed
 
-__all__ = ["CampaignRunner", "ScenarioOutcome", "derive_seed", "FAILED_STATUSES"]
+__all__ = [
+    "CampaignRunner",
+    "ScenarioOutcome",
+    "derive_seed",
+    "plan_batch_groups",
+    "FAILED_STATUSES",
+]
 
 # Outcome statuses that mean a scenario did not produce a result.
 FAILED_STATUSES = ("failed", "timeout", "quarantined")
@@ -93,6 +104,54 @@ def _execute_payload(payload: Tuple[str, dict]) -> Tuple[Optional[dict], Optiona
     return default_execute(experiment, params)
 
 
+def plan_batch_groups(
+    scenarios: Sequence[Scenario],
+    registry: Optional[ExperimentRegistry] = None,
+    limit: int = 0,
+) -> List[List[int]]:
+    """Partition scenario indices into batch-compatible dispatch groups.
+
+    Returns index groups covering every scenario exactly once (no
+    drops, no duplicates), ordered by first member.  Scenarios share a
+    group exactly when their driver exposes ``run_batch`` and they
+    agree on every declared parameter except ``seed`` -- the driver
+    batch protocol's compatibility contract -- so a group can be
+    executed as one lockstep ``run_batch`` call.  Everything else
+    (no batch driver, or a unique parameter signature) stays a
+    singleton.  ``limit`` caps the group size (``0`` = unbounded);
+    oversized groups split into consecutive chunks.
+    """
+    registry = registry or default_registry()
+    groups: List[List[int]] = []
+    slots: Dict[str, int] = {}
+    for index, scenario in enumerate(scenarios):
+        driver = registry.get(scenario.experiment)
+        if driver.run_batch is None:
+            groups.append([index])
+            continue
+        signature = canonical_json(
+            {
+                "experiment": driver.experiment,
+                "params": {
+                    k: v for k, v in scenario.params.items() if k != "seed"
+                },
+            }
+        )
+        at = slots.get(signature)
+        if at is None:
+            slots[signature] = len(groups)
+            groups.append([index])
+        else:
+            groups[at].append(index)
+    if limit and limit > 0:
+        groups = [
+            group[start : start + limit]
+            for group in groups
+            for start in range(0, len(group), limit)
+        ]
+    return groups
+
+
 class CampaignRunner:
     """Execute scenarios against a registry, store and supervised workers.
 
@@ -131,6 +190,16 @@ class CampaignRunner:
         configured; ``False`` disables journaling; a path or
         :class:`~repro.campaign.executor.FailureLedger` overrides the
         location.
+    batch:
+        Batched dispatch: ``1`` (default) runs scenario-at-a-time;
+        any other value groups pending scenarios that share a driver
+        ``run_batch`` and a parameter signature (everything equal
+        except ``seed``) into lockstep units of at most ``batch``
+        members (``0`` = unbounded), each executed as *one* supervised
+        task -- one retry budget, one chaos draw stream, one timeout.
+        Results are bit-identical to the sequential path (the driver
+        batch protocol guarantees it); the ledger records one terminal
+        outcome per member scenario.
     """
 
     def __init__(
@@ -145,9 +214,12 @@ class CampaignRunner:
         retry: Optional[RetryPolicy] = None,
         chaos: Union[ChaosSpec, str, Mapping, None] = None,
         ledger: Union[FailureLedger, str, bool, None] = None,
+        batch: int = 1,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if batch < 0:
+            raise ValueError("batch must be >= 0 (0 = unbounded group size)")
         self.store = store
         self.workers = int(workers)
         self.base_seed = int(base_seed)
@@ -157,6 +229,7 @@ class CampaignRunner:
         self.retry = retry if retry is not None else RetryPolicy()
         self.chaos = ChaosSpec.parse(chaos) if chaos is not None else ChaosSpec(())
         self.ledger = self._resolve_ledger(ledger)
+        self.batch = int(batch)
 
     def _resolve_ledger(
         self, ledger: Union[FailureLedger, str, bool, None]
@@ -197,11 +270,24 @@ class CampaignRunner:
         resolved = [self.resolve(s) for s in scenarios]
         outcomes: List[ScenarioOutcome] = [None] * len(resolved)  # type: ignore
 
+        failed_in_ledger = (
+            set(self.ledger.failed_keys()) if self.ledger is not None else set()
+        )
         pending: List[Tuple[int, Scenario]] = []
         for index, scenario in enumerate(resolved):
             key = scenario.key
             record = self.store.get(key) if self.store is not None else None
             if record is not None:
+                if key in failed_in_ledger:
+                    # Store and ledger disagree: the key has a stored
+                    # result (completed in some run the ledger did not
+                    # see terminally -- e.g. quarantined here, later
+                    # completed alongside its batch siblings) but its
+                    # latest ledger outcome is still a failure.  The
+                    # store is authoritative for results; reconcile so
+                    # failed_keys()/--retry-failed stop reporting it.
+                    self.ledger.mark_completed(key, scenario.experiment)
+                    failed_in_ledger.discard(key)
                 outcomes[index] = ScenarioOutcome(
                     scenario=scenario, key=key, status="cached",
                     result=record.result, elapsed=record.elapsed,
@@ -243,32 +329,117 @@ class CampaignRunner:
         supervised = (
             self.workers > 1 or self.timeout is not None or bool(self.chaos)
         )
+        batching = self.batch != 1
+        if batching:
+            units = plan_batch_groups(
+                [s for _, s in pending], self.registry, self.batch
+            )
+        else:
+            units = [[slot] for slot in range(len(pending))]
+
+        def unit_task(unit: List[int]) -> Tuple[str, str, dict]:
+            if len(unit) == 1:
+                scenario = pending[unit[0]][1]
+                return (scenario.key, scenario.experiment, dict(scenario.params))
+            members = [pending[slot][1] for slot in unit]
+            payload = {BATCH_PARAMS_KEY: [dict(m.params) for m in members]}
+            # Content-derived unit key: stable across runs, so chaos
+            # draws and retry histories of a batched unit reproduce.
+            return (
+                scenario_key(members[0].experiment, payload),
+                members[0].experiment,
+                payload,
+            )
+
+        def conclude_unit(unit: List[int], final: ExecutionResult) -> None:
+            # Fan one unit's terminal state out to its member
+            # scenarios: a completed batch unpacks per-member results
+            # (in member order); a failed/timeout/quarantined unit
+            # fails every member -- the unit shares one fate, exactly
+            # like one scenario under the non-batched runner.
+            batched = len(unit) > 1
+            members_payload = None
+            if batched and final.status == "completed":
+                members_payload = (final.result or {}).get(BATCH_RESULTS_KEY)
+                if (
+                    not isinstance(members_payload, list)
+                    or len(members_payload) != len(unit)
+                ):
+                    got = (
+                        len(members_payload)
+                        if isinstance(members_payload, list) else "no"
+                    )
+                    final = ExecutionResult(
+                        key=final.key, experiment=final.experiment,
+                        status="failed",
+                        error=f"batched unit returned a malformed result "
+                              f"({got} member results for {len(unit)} "
+                              f"scenarios)",
+                        elapsed=final.elapsed, attempts=final.attempts,
+                        history=final.history,
+                    )
+            # Wall time is a property of the unit; members report an
+            # equal share so campaign-level elapsed sums stay honest.
+            share = final.elapsed / len(unit) if batched else final.elapsed
+            attempt_status = (
+                final.history[-1] if final.history
+                else ("ok" if final.status == "completed" else "error")
+            )
+            for position, slot in enumerate(unit):
+                scenario = pending[slot][1]
+                if batching:
+                    # Batch mode journals terminal outcomes per member
+                    # (the executor, which only knows unit keys, runs
+                    # ledger-less); per-attempt retry history is a
+                    # non-batched-run detail.
+                    self._journal_terminal(
+                        scenario, attempt_status, final.status,
+                        final.error, share, final.attempts,
+                    )
+                if final.status == "completed":
+                    member = (
+                        members_payload[position]
+                        if members_payload is not None else final.result
+                    )
+                    finish(slot, "completed", member, None, share,
+                           final.attempts)
+                else:
+                    finish(slot, final.status, None, final.error, share,
+                           final.attempts)
+
         if supervised and pending:
-            tasks = [
-                (s.key, s.experiment, dict(s.params)) for _, s in pending
-            ]
+            tasks = [unit_task(unit) for unit in units]
             executor = SupervisedExecutor(
                 workers=self.workers,
                 timeout=self.timeout,
                 retry=self.retry,
                 chaos=self.chaos,
                 chaos_seed=self.base_seed,
-                ledger=self.ledger,
+                ledger=None if batching else self.ledger,
             )
 
-            def completed(slot: int, final: ExecutionResult) -> None:
-                finish(slot, final.status, final.result, final.error,
-                       final.elapsed, final.attempts)
+            def completed(index: int, final: ExecutionResult) -> None:
+                conclude_unit(units[index], final)
 
             executor.run(tasks, completed=completed)
-        else:
-            for slot, (_, scenario) in enumerate(pending):
-                result, error, elapsed = _execute_payload(
-                    (scenario.experiment, dict(scenario.params))
-                )
+        elif pending:
+            for unit in units:
+                key, experiment, params = unit_task(unit)
+                result, error, elapsed = default_execute(experiment, params)
                 status = "completed" if error is None else "failed"
-                self._journal_inprocess(scenario, status, error, elapsed)
-                finish(slot, status, result, error, elapsed)
+                if not batching:
+                    self._journal_inprocess(
+                        pending[unit[0]][1], status, error, elapsed
+                    )
+                conclude_unit(
+                    unit,
+                    ExecutionResult(
+                        key=key, experiment=experiment, status=status,
+                        result=result, error=error, elapsed=elapsed,
+                        attempts=1,
+                        history=("ok" if error is None else "error",),
+                    ),
+                )
         return outcomes
 
     # ------------------------------------------------------------------
@@ -277,19 +448,25 @@ class CampaignRunner:
         elapsed: float,
     ) -> None:
         """Journal a single-attempt in-process execution to the ledger."""
+        self._journal_terminal(
+            scenario, "ok" if status == "completed" else "error",
+            status, error, elapsed, 1,
+        )
+
+    def _journal_terminal(
+        self, scenario: Scenario, status: str, outcome: str,
+        error: Optional[str], elapsed: float, attempts: int,
+    ) -> None:
+        """Journal one scenario's terminal outcome to the ledger."""
         if self.ledger is None:
             return
-        import time as _time
-
-        from repro.campaign.executor import AttemptRecord
-
         self.ledger.record(
             AttemptRecord(
                 key=scenario.key,
                 experiment=scenario.experiment,
-                attempt=1,
-                status="ok" if status == "completed" else "error",
-                outcome=status,
+                attempt=int(attempts),
+                status=status,
+                outcome=outcome,
                 error=error,
                 elapsed=float(elapsed),
                 worker=None,

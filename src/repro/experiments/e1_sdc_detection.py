@@ -15,12 +15,13 @@ same faults (how many silently wrong answers it returns).
 
 from __future__ import annotations
 
-from typing import Optional
+import inspect
+from typing import List, Mapping, Optional
 
 import numpy as np
 
 from repro.experiments.common import ExperimentResult, ExperimentSpec
-from repro.krylov.registry import default_solver_registry
+from repro.krylov.registry import batch_solve, default_solver_registry
 from repro.linalg.matgen import poisson_2d
 from repro.reliability.events import FaultEvent, FaultRecord
 from repro.reliability.registry import resolve_faults
@@ -28,7 +29,7 @@ from repro.reliability.sdc import SdcCampaign, classify_outcome
 from repro.utils.rng import RngFactory
 from repro.utils.tables import Table
 
-__all__ = ["run", "SPEC"]
+__all__ = ["run", "run_batch", "SPEC"]
 
 SPEC = ExperimentSpec(
     experiment="E1",
@@ -47,11 +48,8 @@ _BIT_CLASSES = {
 }
 
 
-def _solve_with_injection(
-    matrix, b, x_true, *, fault_model, inject_at, rng, skeptical: bool, tol: float,
-    check_period: int,
-):
-    """One faulty run; returns a FaultRecord.
+def _make_hook(fault_model, rng, inject_at):
+    """The per-trial injection hook plus its draw record.
 
     The injection comes from the fault model's engine iteration hook
     (see :meth:`repro.reliability.models.BasisBitflipFaults.iteration_hook`),
@@ -59,9 +57,39 @@ def _solve_with_injection(
     hook creation, victim index at fire time.
     """
     if fault_model.is_null:
-        fault_hook, injected = None, {"bit": None, "index": None}
-    else:
-        fault_hook, injected = fault_model.iteration_hook(rng, at=inject_at)
+        return None, {"bit": None, "index": None}
+    return fault_model.iteration_hook(rng, at=inject_at)
+
+
+def _record_from_result(matrix, b, result, injected, detected, *, tol, skeptical):
+    """Classify one finished (possibly faulty) solve into a FaultRecord."""
+    x = np.asarray(result.x, dtype=np.float64)
+    error = float(np.linalg.norm(matrix.matvec(x) - b) / np.linalg.norm(b))
+    outcome = classify_outcome(
+        converged=result.converged,
+        error_norm=error,
+        tolerance=10 * tol,
+        detected=detected,
+    )
+    return FaultRecord(
+        events=[FaultEvent(kind="bitflip", target="arnoldi_basis",
+                           location=injected["index"], bit=injected["bit"])],
+        detected=detected,
+        outcome=outcome,
+        extra={
+            "iterations": result.iterations,
+            "relative_residual": error,
+            "check_flops": result.info.get("check_flops", 0.0) if skeptical else 0.0,
+        },
+    )
+
+
+def _solve_with_injection(
+    matrix, b, x_true, *, fault_model, inject_at, rng, skeptical: bool, tol: float,
+    check_period: int,
+):
+    """One faulty run; returns a FaultRecord."""
+    fault_hook, injected = _make_hook(fault_model, rng, inject_at)
 
     solvers = default_solver_registry()
     if skeptical:
@@ -75,26 +103,9 @@ def _solve_with_injection(
             matrix, b, tol=tol, restart=30, maxiter=600, iteration_hook=fault_hook
         )
         detected = False
-    x = np.asarray(result.x, dtype=np.float64)
-    error = float(np.linalg.norm(matrix.matvec(x) - b) / np.linalg.norm(b))
-    outcome = classify_outcome(
-        converged=result.converged,
-        error_norm=error,
-        tolerance=10 * tol,
-        detected=detected,
+    return _record_from_result(
+        matrix, b, result, injected, detected, tol=tol, skeptical=skeptical
     )
-    record = FaultRecord(
-        events=[FaultEvent(kind="bitflip", target="arnoldi_basis",
-                           location=injected["index"], bit=injected["bit"])],
-        detected=detected,
-        outcome=outcome,
-        extra={
-            "iterations": result.iterations,
-            "relative_residual": error,
-            "check_flops": result.info.get("check_flops", 0.0) if skeptical else 0.0,
-        },
-    )
-    return record
 
 
 def run(
@@ -130,6 +141,158 @@ def run(
     seed:
         Root seed.
     """
+    fault_template, faults_label = _resolve_template(faults)
+    matrix = poisson_2d(grid)
+    factory = RngFactory(seed)
+    rng_rhs = factory.spawn("rhs")
+    b = rng_rhs.standard_normal(matrix.n_rows)
+    x_true = None
+
+    baseline = default_solver_registry().get("gmres").solve(
+        matrix, b, tol=tol, restart=30, maxiter=600
+    )
+    solver_flops = 2.0 * matrix.nnz * max(baseline.iterations, 1)
+
+    table = _result_table()
+    summary = {}
+    for class_name, bit_range in _BIT_CLASSES.items():
+        class_model = (
+            fault_template
+            if fault_template.is_null
+            else fault_template.with_params(bits=bit_range)
+        )
+        for skeptical in (False, True):
+            rng = factory.spawn(f"{class_name}-{skeptical}")
+
+            def run_once(trial, _rng=rng, _model=class_model, _skeptical=skeptical):
+                return _solve_with_injection(
+                    matrix, b, x_true, fault_model=_model, inject_at=inject_at,
+                    rng=_rng, skeptical=_skeptical, tol=tol, check_period=check_period,
+                )
+
+            campaign = SdcCampaign(run_once, n_trials).run(
+                metadata={"bit_class": class_name, "skeptical": skeptical}
+            )
+            _add_cell(table, summary, campaign, class_name, skeptical, solver_flops)
+    return _finish_result(
+        table, summary, baseline.iterations,
+        grid=grid, n_trials=n_trials, inject_at=inject_at,
+        check_period=check_period, seed=seed, faults_label=faults_label,
+    )
+
+
+def run_batch(params_list: List[Mapping]) -> List[ExperimentResult]:
+    """Run several E1 scenarios in lockstep; results identical to :func:`run`.
+
+    The scenarios (typically one per seed) must agree on every
+    parameter except ``seed``; incompatible sets fall back to
+    sequential :func:`run` calls.  Each (bit-class, solver) cell of
+    every trial solves all scenarios as one batched
+    :func:`repro.krylov.registry.batch_solve` call, with per-scenario
+    fault hooks drawing from per-scenario RNG streams in the exact
+    sequential order (hook creation before the trial's solve, victim
+    draw at fire time inside it).
+    """
+    resolved = [_bind_defaults(p) for p in params_list]
+    if not resolved:
+        return []
+    if len(resolved) == 1 or not _compatible(resolved):
+        return [run(**dict(p)) for p in params_list]
+
+    shared = resolved[0]
+    grid = shared["grid"]
+    n_trials = shared["n_trials"]
+    inject_at = shared["inject_at"]
+    tol = shared["tol"]
+    check_period = shared["check_period"]
+    faults = shared["faults"]
+    n_scenarios = len(resolved)
+
+    fault_template, faults_label = _resolve_template(faults)
+    matrix = poisson_2d(grid)
+    factories = [RngFactory(p["seed"]) for p in resolved]
+    b_list = [f.spawn("rhs").standard_normal(matrix.n_rows) for f in factories]
+
+    baselines = batch_solve(
+        "gmres", matrix, b_list, tol=tol, restart=30, maxiter=600
+    )
+    solver_flops = [2.0 * matrix.nnz * max(r.iterations, 1) for r in baselines]
+
+    tables = [_result_table() for _ in range(n_scenarios)]
+    summaries: List[dict] = [{} for _ in range(n_scenarios)]
+    for class_name, bit_range in _BIT_CLASSES.items():
+        class_model = (
+            fault_template
+            if fault_template.is_null
+            else fault_template.with_params(bits=bit_range)
+        )
+        for skeptical in (False, True):
+            rngs = [f.spawn(f"{class_name}-{skeptical}") for f in factories]
+            records: List[List[FaultRecord]] = [[] for _ in range(n_scenarios)]
+            for _trial in range(n_trials):
+                hooks = []
+                injected = []
+                for rng in rngs:
+                    hook, inj = _make_hook(class_model, rng, inject_at)
+                    hooks.append(hook)
+                    injected.append(inj)
+                if skeptical:
+                    results = batch_solve(
+                        "sdc_gmres", matrix, b_list, policy="skeptical_restart",
+                        tol=tol, restart=30, maxiter=600, check_period=check_period,
+                        lane_params=[{"fault_hook": hook} for hook in hooks],
+                    )
+                    detected = [r.detected_faults > 0 for r in results]
+                else:
+                    results = batch_solve(
+                        "gmres", matrix, b_list, tol=tol, restart=30, maxiter=600,
+                        lane_params=[{"iteration_hook": hook} for hook in hooks],
+                    )
+                    detected = [False] * n_scenarios
+                for s in range(n_scenarios):
+                    records[s].append(
+                        _record_from_result(
+                            matrix, b_list[s], results[s], injected[s],
+                            detected[s], tol=tol, skeptical=skeptical,
+                        )
+                    )
+            for s in range(n_scenarios):
+                campaign = SdcCampaign(
+                    lambda trial, _records=records[s]: _records[trial], n_trials
+                ).run(metadata={"bit_class": class_name, "skeptical": skeptical})
+                _add_cell(
+                    tables[s], summaries[s], campaign, class_name, skeptical,
+                    solver_flops[s],
+                )
+    return [
+        _finish_result(
+            tables[s], summaries[s], baselines[s].iterations,
+            grid=grid, n_trials=n_trials, inject_at=inject_at,
+            check_period=check_period, seed=resolved[s]["seed"],
+            faults_label=faults_label,
+        )
+        for s in range(n_scenarios)
+    ]
+
+
+def _bind_defaults(params: Mapping) -> dict:
+    """Apply :func:`run`'s keyword defaults to one scenario's parameters."""
+    bound = inspect.signature(run).bind(**dict(params))
+    bound.apply_defaults()
+    return dict(bound.arguments)
+
+
+def _compatible(resolved: List[dict]) -> bool:
+    """Whether the scenarios agree on everything except the seed."""
+    reference = {k: v for k, v in resolved[0].items() if k != "seed"}
+    return all(
+        {k: v for k, v in p.items() if k != "seed"} == reference
+        for p in resolved[1:]
+    )
+
+
+def _resolve_template(faults):
+    """Resolve the fault axis exactly as :func:`run` historically did."""
     # Record the requested axis value (like every other driver); the
     # template below may degrade to the component E1 actually consumes.
     fault_template = resolve_faults(
@@ -151,18 +314,11 @@ def run(
             )
         else:
             fault_template = resolve_faults("none")
-    matrix = poisson_2d(grid)
-    factory = RngFactory(seed)
-    rng_rhs = factory.spawn("rhs")
-    b = rng_rhs.standard_normal(matrix.n_rows)
-    x_true = None
+    return fault_template, faults_label
 
-    baseline = default_solver_registry().get("gmres").solve(
-        matrix, b, tol=tol, restart=30, maxiter=600
-    )
-    solver_flops = 2.0 * matrix.nnz * max(baseline.iterations, 1)
 
-    table = Table(
+def _result_table() -> Table:
+    return Table(
         [
             "bit_class",
             "solver",
@@ -175,41 +331,32 @@ def run(
         ],
         title="E1: single bit flips in the GMRES Arnoldi basis",
     )
-    summary = {}
-    for class_name, bit_range in _BIT_CLASSES.items():
-        class_model = (
-            fault_template
-            if fault_template.is_null
-            else fault_template.with_params(bits=bit_range)
-        )
-        for skeptical in (False, True):
-            rng = factory.spawn(f"{class_name}-{skeptical}")
 
-            def run_once(trial, _rng=rng, _model=class_model, _skeptical=skeptical):
-                return _solve_with_injection(
-                    matrix, b, x_true, fault_model=_model, inject_at=inject_at,
-                    rng=_rng, skeptical=_skeptical, tol=tol, check_period=check_period,
-                )
 
-            campaign = SdcCampaign(run_once, n_trials).run(
-                metadata={"bit_class": class_name, "skeptical": skeptical}
-            )
-            check_flops = campaign.mean_extra("check_flops")
-            overhead = check_flops / solver_flops if solver_flops else 0.0
-            table.add_row(
-                class_name,
-                "skeptical" if skeptical else "plain",
-                campaign.detection_rate,
-                campaign.rate_outcome("benign"),
-                campaign.rate_outcome("sdc"),
-                campaign.rate_outcome("crash"),
-                campaign.mean_extra("iterations"),
-                overhead if skeptical else 0.0,
-            )
-            key = f"{class_name}_{'skeptical' if skeptical else 'plain'}"
-            summary[key + "_sdc_rate"] = campaign.rate_outcome("sdc")
-            summary[key + "_detection_rate"] = campaign.detection_rate
-    summary["baseline_iterations"] = baseline.iterations
+def _add_cell(table, summary, campaign, class_name, skeptical, solver_flops):
+    """Fold one (bit-class, solver) campaign cell into the table/summary."""
+    check_flops = campaign.mean_extra("check_flops")
+    overhead = check_flops / solver_flops if solver_flops else 0.0
+    table.add_row(
+        class_name,
+        "skeptical" if skeptical else "plain",
+        campaign.detection_rate,
+        campaign.rate_outcome("benign"),
+        campaign.rate_outcome("sdc"),
+        campaign.rate_outcome("crash"),
+        campaign.mean_extra("iterations"),
+        overhead if skeptical else 0.0,
+    )
+    key = f"{class_name}_{'skeptical' if skeptical else 'plain'}"
+    summary[key + "_sdc_rate"] = campaign.rate_outcome("sdc")
+    summary[key + "_detection_rate"] = campaign.detection_rate
+
+
+def _finish_result(
+    table, summary, baseline_iterations, *, grid, n_trials, inject_at,
+    check_period, seed, faults_label,
+) -> ExperimentResult:
+    summary["baseline_iterations"] = baseline_iterations
     parameters = {
         "grid": grid,
         "n_trials": n_trials,

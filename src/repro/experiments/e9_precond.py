@@ -42,12 +42,14 @@ convergence across the board.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+import contextlib
+import inspect
+from typing import List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.experiments.common import ExperimentResult, ExperimentSpec
-from repro.krylov.registry import default_solver_registry
+from repro.krylov.registry import batch_solve, default_solver_registry
 from repro.linalg.matgen import poisson_2d
 from repro.precond import parse_precond, resolve_preconds
 from repro.reliability import unreliable
@@ -58,7 +60,7 @@ from repro.utils.rng import RngFactory
 from repro.utils.tables import Table
 from repro.utils.validation import check_in
 
-__all__ = ["run", "SPEC"]
+__all__ = ["run", "run_batch", "SPEC"]
 
 SPEC = ExperimentSpec(
     experiment="E9",
@@ -248,13 +250,301 @@ def run(
     }
     return ExperimentResult(
         experiment="E9",
-        claim=(
-            "Selective reliability: the preconditioner is the part of a flexible "
-            "Krylov solve that can run unreliably -- a corrupted M^-1 v only slows "
-            "convergence, while the same fault on the trusted operator degrades "
-            "or destroys the answer."
-        ),
+        claim=_CLAIM,
         table=table,
         summary=summary,
         parameters=parameters,
+    )
+
+
+_CLAIM = (
+    "Selective reliability: the preconditioner is the part of a flexible "
+    "Krylov solve that can run unreliably -- a corrupted M^-1 v only slows "
+    "convergence, while the same fault on the trusted operator degrades "
+    "or destroys the answer."
+)
+
+
+def run_batch(params_list: List[Mapping]) -> List[ExperimentResult]:
+    """Run several E9 scenarios in lockstep; results identical to :func:`run`.
+
+    The scenarios (typically one per seed) must agree on every
+    parameter except ``seed``; incompatible sets fall back to
+    sequential :func:`run` calls.  Each (solver, preconditioner) cell
+    solves all scenarios as one :func:`repro.krylov.registry.batch_solve`
+    call.  Selective reliability stays per-lane: every lane gets its own
+    freshly built preconditioner wrapped in its own
+    :func:`~repro.reliability.unreliable` domain (domains carry no
+    global state, so ``S`` of them coexist), or its own fault-injecting
+    operator when the fault targets the operator, each seeded exactly
+    as the sequential run seeds it.  FT-GMRES runs sequentially per
+    lane, built exactly as :func:`run` builds it.
+    """
+    resolved = [_bind_defaults(p) for p in params_list]
+    if not resolved:
+        return []
+    if len(resolved) == 1 or not _compatible(resolved):
+        return [run(**dict(p)) for p in params_list]
+
+    shared = resolved[0]
+    grid = shared["grid"]
+    solvers = shared["solvers"]
+    preconds = shared["preconds"]
+    faults = shared["faults"]
+    target = shared["target"]
+    tol = shared["tol"]
+    maxiter = shared["maxiter"]
+    error_tolerance = shared["error_tolerance"]
+    seeds = [p["seed"] for p in resolved]
+    n_scenarios = len(resolved)
+
+    check_in(target, ("precond", "operator"), "target")
+    registry = default_solver_registry()
+    if solvers is None:
+        solver_list = list(_DEFAULT_SOLVERS)
+    elif isinstance(solvers, str):
+        solver_list = [solvers]
+    else:
+        solver_list = list(solvers)
+    if preconds is None:
+        from repro.precond import precond_names
+
+        precond_list = precond_names()
+    elif isinstance(preconds, str):
+        precond_list = [preconds]
+    else:
+        precond_list = list(preconds)
+
+    fault_model = resolve_faults(faults)
+    soft_model = fault_model.soft_component()
+
+    matrix = poisson_2d(grid)
+    dense = matrix.to_dense()
+    b_list = [
+        RngFactory(s).spawn("rhs").standard_normal(matrix.n_rows) for s in seeds
+    ]
+    x_refs = [np.linalg.solve(dense, b) for b in b_list]
+    x_ref_norms = [float(np.linalg.norm(x)) for x in x_refs]
+
+    tables = [
+        Table(
+            ["solver", "precond", "iterations", "converged", "faults", "error",
+             "outcome"],
+            title=f"E9: solver x preconditioner x fault matrix "
+                  f"(faults target the {target})",
+        )
+        for _ in range(n_scenarios)
+    ]
+    counters = [
+        {"n_runs": 0, "n_correct": 0, "n_silent": 0, "total_faults": 0}
+        for _ in range(n_scenarios)
+    ]
+
+    for solver_name in solver_list:
+        solver = registry.get(solver_name)
+        for precond_name in precond_list:
+            # Built per lane: stateful preconditioners (and the
+            # injecting domain proxies around them) must not be shared
+            # across lanes, exactly as S sequential runs build S of
+            # them from the clean matrix.
+            builts = [
+                resolve_preconds(precond_name, matrix=matrix)
+                for _ in range(n_scenarios)
+            ]
+            precond_label = parse_precond(precond_name).to_string()
+            fault_seeds = [
+                derive_fault_seed(s, f"{solver.name}/{precond_label}")
+                for s in seeds
+            ]
+
+            if solver.name == "ft_gmres":
+                results, faults_hits = _solve_cell_sequential(
+                    solver, matrix, b_list, builts, fault_seeds,
+                    soft_model=soft_model, target=target, tol=tol,
+                    maxiter=maxiter,
+                )
+            else:
+                results, faults_hits = _solve_cell_batched(
+                    solver, matrix, b_list, builts, fault_seeds,
+                    soft_model=soft_model, target=target, tol=tol,
+                    maxiter=maxiter, registry=registry,
+                )
+
+            for s in range(n_scenarios):
+                result = results[s]
+                x = np.asarray(result.x, dtype=np.float64)
+                finite = bool(np.all(np.isfinite(x)))
+                error = (
+                    float(np.linalg.norm(x - x_refs[s])) / x_ref_norms[s]
+                    if finite else float("inf")
+                )
+                outcome = classify_outcome(
+                    converged=result.converged,
+                    error_norm=error,
+                    tolerance=error_tolerance,
+                    detected=result.detected_faults > 0,
+                )
+                tables[s].add_row(
+                    solver.name,
+                    precond_label,
+                    result.iterations,
+                    result.converged,
+                    faults_hits[s],
+                    f"{error:.3e}" if finite else "inf",
+                    outcome,
+                )
+                cell = counters[s]
+                cell["n_runs"] += 1
+                cell["total_faults"] += faults_hits[s]
+                cell["n_silent"] += int(outcome == "sdc")
+                cell["n_correct"] += int(
+                    result.converged and error <= error_tolerance
+                )
+
+    out = []
+    for s in range(n_scenarios):
+        cell = counters[s]
+        summary = {
+            "n_runs": cell["n_runs"],
+            "n_solvers": len(solver_list),
+            "n_preconds": len(precond_list),
+            "n_correct": cell["n_correct"],
+            "n_silent_corruptions": cell["n_silent"],
+            "total_faults_injected": cell["total_faults"],
+            "target": target,
+            "faults": fault_model.describe(),
+        }
+        parameters = {
+            "grid": grid,
+            "solvers": tuple(solver_list),
+            "preconds": tuple(precond_list),
+            "faults": fault_model.describe(),
+            "target": target,
+            "tol": tol,
+            "maxiter": maxiter,
+            "error_tolerance": error_tolerance,
+            "seed": seeds[s],
+        }
+        out.append(
+            ExperimentResult(
+                experiment="E9",
+                claim=_CLAIM,
+                table=tables[s],
+                summary=summary,
+                parameters=parameters,
+            )
+        )
+    return out
+
+
+def _solve_cell_batched(
+    solver, matrix, b_list, builts, fault_seeds, *,
+    soft_model, target, tol, maxiter, registry,
+):
+    """One (solver, precond) cell for all lanes via ``batch_solve``."""
+    n_scenarios = len(b_list)
+    params = {"tol": tol, "maxiter": maxiter}
+    with np.errstate(over="ignore", invalid="ignore"):
+        if soft_model is not None and target == "precond" and builts[0] is not None:
+            with contextlib.ExitStack() as stack:
+                domains = [
+                    stack.enter_context(
+                        unreliable(soft_model, seed=fault_seeds[s],
+                                   name=f"precond/{solver.name}")
+                    )
+                    for s in range(n_scenarios)
+                ]
+                wrapped = [
+                    domains[s].preconditioner(
+                        builts[s], flops_per_call=float(matrix.nnz)
+                    )
+                    for s in range(n_scenarios)
+                ]
+                results = batch_solve(
+                    solver.name, matrix, b_list,
+                    lane_params=[{"precond": w} for w in wrapped],
+                    registry=registry, **params,
+                )
+            faults_hits = [domain.faults_injected() for domain in domains]
+        elif soft_model is not None and target == "operator":
+            environments = [
+                soft_model.environment(seed=fs) for fs in fault_seeds
+            ]
+            operators = [
+                env.unreliable_operator(
+                    matrix.matvec, flops_per_call=2.0 * matrix.nnz
+                )
+                for env in environments
+            ]
+            results = batch_solve(
+                solver.name, matrix, b_list,
+                lane_params=[{"precond": built} for built in builts],
+                operators=operators, registry=registry, **params,
+            )
+            faults_hits = [env.faults_injected() for env in environments]
+        else:
+            results = batch_solve(
+                solver.name, matrix, b_list,
+                lane_params=[{"precond": built} for built in builts],
+                registry=registry, **params,
+            )
+            faults_hits = [0] * n_scenarios
+    return results, faults_hits
+
+
+def _solve_cell_sequential(
+    solver, matrix, b_list, builts, fault_seeds, *,
+    soft_model, target, tol, maxiter,
+):
+    """One (solver, precond) cell lane by lane, exactly as :func:`run`."""
+    results = []
+    faults_hits = []
+    for s in range(len(b_list)):
+        built = builts[s]
+        fault_seed = fault_seeds[s]
+        params = {"tol": tol}
+        if solver.name == "ft_gmres":
+            params.update(outer_maxiter=min(maxiter, 50), inner_maxiter=20,
+                          seed=fault_seed)
+        else:
+            params["maxiter"] = maxiter
+        faults_hit = 0
+        with np.errstate(over="ignore", invalid="ignore"):
+            if soft_model is not None and target == "precond" and built is not None:
+                with unreliable(soft_model, seed=fault_seed,
+                                name=f"precond/{solver.name}") as domain:
+                    wrapped = domain.preconditioner(
+                        built, flops_per_call=float(matrix.nnz)
+                    )
+                    result = solver.solve(matrix, b_list[s], precond=wrapped,
+                                          **params)
+                faults_hit = domain.faults_injected()
+            elif soft_model is not None and target == "operator":
+                environment = soft_model.environment(seed=fault_seed)
+                operator = environment.unreliable_operator(
+                    matrix.matvec, flops_per_call=2.0 * matrix.nnz
+                )
+                result = solver.solve(operator, b_list[s], precond=built,
+                                      **params)
+                faults_hit = environment.faults_injected()
+            else:
+                result = solver.solve(matrix, b_list[s], precond=built, **params)
+        results.append(result)
+        faults_hits.append(faults_hit)
+    return results, faults_hits
+
+
+def _bind_defaults(params: Mapping) -> dict:
+    """Apply :func:`run`'s keyword defaults to one scenario's parameters."""
+    bound = inspect.signature(run).bind(**dict(params))
+    bound.apply_defaults()
+    return dict(bound.arguments)
+
+
+def _compatible(resolved: List[dict]) -> bool:
+    """Whether the scenarios agree on everything except the seed."""
+    reference = {k: v for k, v in resolved[0].items() if k != "seed"}
+    return all(
+        {k: v for k, v in p.items() if k != "seed"} == reference
+        for p in resolved[1:]
     )

@@ -46,6 +46,7 @@ from repro.krylov.pipelined_cg import pipelined_cg
 from repro.krylov.registry import (
     RegisteredSolver,
     SolverRegistry,
+    batch_solve,
     default_solver_registry,
     solver_names,
 )
@@ -67,4 +68,5 @@ __all__ = [
     "SolverRegistry",
     "default_solver_registry",
     "solver_names",
+    "batch_solve",
 ]

@@ -44,6 +44,18 @@ from repro.krylov.engine.resilience import (
     SkepticalGmresPolicy,
 )
 
+# The batched lockstep path imports the engine submodules above; keep
+# this import last so the package namespace is populated first.
+from repro.krylov.engine.batch import (
+    BATCH_GRAM_SCHMIDT,
+    CgLaneSpec,
+    GmresLaneSpec,
+    SdcLaneSpec,
+    batched_matvec,
+    run_arnoldi_batch,
+    run_cg_batch,
+)
+
 __all__ = [
     "SolverEngine",
     "IterationScheme",
@@ -68,4 +80,11 @@ __all__ = [
     "FaultInjectionPolicy",
     "CycleAbandoned",
     "IterationEvent",
+    "GmresLaneSpec",
+    "SdcLaneSpec",
+    "CgLaneSpec",
+    "run_arnoldi_batch",
+    "run_cg_batch",
+    "batched_matvec",
+    "BATCH_GRAM_SCHMIDT",
 ]

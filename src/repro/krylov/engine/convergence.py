@@ -9,6 +9,8 @@ per-component, energy norm) slot in without touching the core loop.
 
 from __future__ import annotations
 
+import numpy as np
+
 __all__ = ["ConvergenceTest"]
 
 
@@ -39,3 +41,15 @@ class ConvergenceTest:
     def is_met(self, residual_norm: float, target: float) -> bool:
         """Whether ``residual_norm`` satisfies the resolved target."""
         return residual_norm <= target
+
+    def is_met_many(self, residual_norms, targets) -> np.ndarray:
+        """Vectorized :meth:`is_met` over a batch of lockstep solves.
+
+        ``residual_norms`` and ``targets`` are broadcastable arrays (one
+        entry per scenario lane); the comparison is the same ``<=`` as
+        the scalar rule, so a lane's batched convergence decision is
+        bit-for-bit the sequential one.
+        """
+        return np.asarray(residual_norms, dtype=np.float64) <= np.asarray(
+            targets, dtype=np.float64
+        )

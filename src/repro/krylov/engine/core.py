@@ -46,7 +46,13 @@ from repro.krylov.result import SolveResult
 from repro.linalg.blas import HessenbergLsq
 from repro.utils.timing import KernelCounters
 
-__all__ = ["GmresState", "IterationScheme", "ArnoldiScheme", "SolverEngine"]
+__all__ = [
+    "GmresState",
+    "IterationScheme",
+    "ArnoldiScheme",
+    "SolverEngine",
+    "cycle_dimension",
+]
 
 # Every engine-produced SolveResult carries these kernels (possibly at
 # zero) so downstream consumers see one counter schema across solvers.
@@ -59,6 +65,17 @@ def canonical_kernel_counters() -> KernelCounters:
     for kernel in CANONICAL_KERNELS:
         kernels.add(kernel, 0.0, calls=0)
     return kernels
+
+
+def cycle_dimension(restart: int, maxiter: int, total_iteration: int) -> int:
+    """Krylov dimension of the next restart cycle.
+
+    The cycle is capped both by the restart length and by the remaining
+    iteration budget.  Shared by the sequential core loop and the
+    batched lockstep path (:mod:`repro.krylov.engine.batch`), which
+    groups lanes into cohorts by this value.
+    """
+    return min(int(restart), int(maxiter) - int(total_iteration))
 
 
 @dataclass
@@ -165,7 +182,7 @@ class ArnoldiScheme(IterationScheme):
             if convergence.is_met(beta, target):
                 converged = True
                 break
-            m = min(self.restart, maxiter - total_iteration)
+            m = cycle_dimension(self.restart, maxiter, total_iteration)
             basis = ops.allocate_basis(b, m + 1)
             basis.append(r, scale=1.0 / beta)
             self.preconditioner.start_cycle(engine, b, m)

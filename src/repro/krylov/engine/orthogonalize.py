@@ -35,9 +35,42 @@ __all__ = [
     "BlockedOrthogonalizer",
     "PipelinedOrthogonalizer",
     "GRAM_SCHMIDT_METHODS",
+    "HAPPY_BREAKDOWN_TOL",
+    "orthogonalize_many",
 ]
 
 GRAM_SCHMIDT_METHODS = ("cgs2", "classical", "modified")
+
+# Happy-breakdown threshold of the blocking kernel, relative to the
+# cycle residual: shared with the batched lockstep path so both decide
+# breakdown on exactly the same comparison.
+HAPPY_BREAKDOWN_TOL = 1e-14
+
+
+def orthogonalize_many(rows: np.ndarray, w: np.ndarray, method: str = "cgs2"):
+    """One Gram-Schmidt step for a stack of independent lanes.
+
+    ``rows`` is ``(G, k, n)`` (lane ``g``'s first ``k`` basis vectors as
+    rows) and ``w`` is ``(G, n)``.  Returns ``(w_orth, coefficients)``
+    of shapes ``(G, n)`` and ``(G, k)``.
+
+    Bit-parity contract: per lane this computes exactly what
+    ``_DenseKrylovBasis.orthogonalize`` computes -- ``np.matmul`` with
+    one stacked batch dimension reduces each lane with the same gemv
+    kernel as the sequential ``rows @ w`` / ``coefficients @ rows``
+    calls, so the floats are identical (``np.einsum`` is NOT, and must
+    not be substituted here).  ``"modified"`` has no batched form; the
+    caller falls back per lane.
+    """
+    if method not in ("cgs2", "classical"):
+        raise ValueError(f"no batched kernel for gram_schmidt={method!r}")
+    coefficients = np.matmul(rows, w[:, :, None])[:, :, 0]
+    w = w - np.matmul(coefficients[:, None, :], rows)[:, 0, :]
+    if method == "cgs2":
+        correction = np.matmul(rows, w[:, :, None])[:, :, 0]
+        w -= np.matmul(correction[:, None, :], rows)[:, 0, :]
+        coefficients = coefficients + correction
+    return w, coefficients
 
 
 class Orthogonalizer:
@@ -71,7 +104,7 @@ class BlockedOrthogonalizer(Orthogonalizer):
         t0 = kernels.tick()
         w, coefficients = basis.orthogonalize(w, method=self.method, k=j + 1)
         h_next = ops.norm(w)
-        happy = h_next <= 1e-14 * max(cycle_residual, 1.0)
+        happy = h_next <= HAPPY_BREAKDOWN_TOL * max(cycle_residual, 1.0)
         if not happy:
             basis.append(w, scale=1.0 / h_next)
         else:

@@ -58,14 +58,25 @@ class RightPreconditioner(PreconditionerStrategy):
     def __init__(self, preconditioner=None):
         self.preconditioner = preconditioner
 
+    def preconditioned_vector(self, engine, basis, j: int):
+        """``M^{-1} v_j`` (or ``v_j`` itself), charged to the counters.
+
+        The half of :meth:`candidate` before the operator application,
+        split out so the batched lockstep path can run the (cheap,
+        per-lane) preconditioner application exactly as the sequential
+        path does while batching the matvec across lanes.
+        """
+        if self.preconditioner is None:
+            return basis.column(j)
+        kernels = engine.kernels
+        t0 = kernels.tick()
+        z = ops.apply_preconditioner(self.preconditioner, basis.column(j))
+        kernels.charge("preconditioner", t0)
+        return z
+
     def candidate(self, engine, basis, j: int):
         kernels = engine.kernels
-        if self.preconditioner is None:
-            z = basis.column(j)
-        else:
-            t0 = kernels.tick()
-            z = ops.apply_preconditioner(self.preconditioner, basis.column(j))
-            kernels.charge("preconditioner", t0)
+        z = self.preconditioned_vector(engine, basis, j)
         t0 = kernels.tick()
         w = ops.matvec(engine.operator, z)
         kernels.charge("matvec", t0)

@@ -78,6 +78,15 @@ class ResiliencePolicy:
 
     name = "none"
 
+    #: Whether :meth:`observe` reads the Arnoldi internals (basis,
+    #: Hessenberg, reconstruct closure) of its events.  The batched
+    #: lockstep path (:mod:`repro.krylov.engine.batch`) skips building
+    #: the full per-lane :class:`~repro.krylov.engine.core.GmresState`
+    #: for policies that only look at the scalar fields -- same
+    #: observations, less per-iteration interpreter work.  Conservative
+    #: default: assume the state is needed.
+    needs_arnoldi_state = True
+
     def begin_attempt(self, x) -> None:
         """Called when a (re)solve attempt starts from iterate ``x``."""
 
@@ -90,6 +99,8 @@ class ResiliencePolicy:
 
 class NullPolicy(ResiliencePolicy):
     """No resilience instrumentation (the bare solver)."""
+
+    needs_arnoldi_state = False
 
 
 class CallbackPolicy(ResiliencePolicy):
@@ -108,6 +119,11 @@ class CallbackPolicy(ResiliencePolicy):
             raise ValueError("style must be 'state' or 'scalar'")
         self.callback = callback
         self.style = style
+
+    @property
+    def needs_arnoldi_state(self) -> bool:
+        # A scalar-style callback never sees the event object at all.
+        return self.style == "state"
 
     @classmethod
     def from_hook(cls, hook: Optional[Callable], style: str) -> ResiliencePolicy:
@@ -128,6 +144,10 @@ class CompositePolicy(ResiliencePolicy):
 
     def __init__(self, policies: Sequence[ResiliencePolicy]):
         self.policies = list(policies)
+
+    @property
+    def needs_arnoldi_state(self) -> bool:
+        return any(policy.needs_arnoldi_state for policy in self.policies)
 
     def begin_attempt(self, x) -> None:
         for policy in self.policies:
@@ -177,6 +197,8 @@ class ResidualGuardPolicy(ResiliencePolicy):
     """
 
     name = "residual_guard"
+    # Observes only the scalar residual/iteration fields.
+    needs_arnoldi_state = False
 
     def __init__(self, growth_factor: float = 1e4):
         if growth_factor <= 1.0:

@@ -49,6 +49,8 @@ __all__ = [
     "SolverRegistry",
     "default_solver_registry",
     "solver_names",
+    "batch_solve",
+    "BATCHABLE_SOLVERS",
 ]
 
 # Generic policy axis values campaigns sweep; resolve_policy maps them
@@ -332,6 +334,190 @@ def _dispatch_gmres(gmres_fn, sdc_fn) -> Callable:
         return sdc_fn(operator, b, x0, policy=response, **options, **params)
 
     return run
+
+
+#: Solvers with a batched lockstep engine path; everything else falls
+#: back to per-lane sequential solves inside :func:`batch_solve`.
+BATCHABLE_SOLVERS = ("gmres", "cg", "sdc_gmres")
+
+#: Concrete policy names the lockstep lanes support.  ``skeptical_abort``
+#: is deliberately absent: aborting one lane must not kill its siblings,
+#: so those solves always run sequentially.
+_BATCHABLE_POLICIES = ("none", "residual_guard", "skeptical_restart")
+
+# SdcLaneSpec fields that may arrive via solver params / policy options.
+_SDC_LANE_FIELDS = (
+    "tol",
+    "atol",
+    "restart",
+    "maxiter",
+    "preconditioner",
+    "check_period",
+    "orthogonality_period",
+    "residual_check_period",
+    "hessenberg_safety",
+    "orthogonality_tol",
+    "max_restarts_on_detection",
+    "operator_norm",
+    "fault_hook",
+)
+
+
+def _is_batchable(entry: RegisteredSolver, effective: str, merged: Mapping) -> bool:
+    """Whether one lane's (solver, policy, params) has a lockstep path."""
+    if entry.name not in BATCHABLE_SOLVERS:
+        return False
+    if effective not in _BATCHABLE_POLICIES:
+        return False
+    if entry.family == "gmres" and effective in ("none", "residual_guard"):
+        from repro.krylov.engine.batch import BATCH_GRAM_SCHMIDT
+
+        if merged.get("gram_schmidt", "cgs2") not in BATCH_GRAM_SCHMIDT:
+            return False
+    return True
+
+
+def _precond_label(precond) -> str:
+    """The ``info["precond"]`` label, mirroring ``RegisteredSolver.solve``."""
+    if hasattr(precond, "apply") or callable(precond):
+        return type(precond).__name__
+    from repro.precond import parse_precond
+
+    return parse_precond(precond).to_string()
+
+
+def batch_solve(
+    solver: str,
+    operator,
+    bs,
+    x0s=None,
+    *,
+    policy: Optional[str] = None,
+    policy_options: Optional[Mapping] = None,
+    precond=None,
+    precond_matrix=None,
+    lane_params: Optional[List[Mapping]] = None,
+    operators: Optional[List] = None,
+    registry: Optional[SolverRegistry] = None,
+    **params,
+) -> List[SolveResult]:
+    """Solve ``S`` independent right-hand sides of one named solver.
+
+    The batched counterpart of :meth:`RegisteredSolver.solve`: the same
+    declarative surface (named solver, named policy, ``policy_options``,
+    declarative ``precond``), applied to a list of right-hand sides
+    ``bs`` (optionally per-lane ``x0s`` and per-lane parameter
+    overrides ``lane_params``, e.g. a per-scenario ``iteration_hook``).
+    Results are bit-identical to ``S`` separate ``solve`` calls.
+
+    Lanes whose configuration has a lockstep path (``gmres``/``cg``/
+    ``sdc_gmres`` with ``none``/``residual_guard``/``skeptical_restart``
+    and a batchable Gram-Schmidt kernel) advance together through
+    :func:`repro.krylov.engine.batch.run_arnoldi_batch` /
+    :func:`~repro.krylov.engine.batch.run_cg_batch`; anything else
+    (``skeptical_abort``, ``gram_schmidt="modified"``, the pipelined /
+    flexible / distributed solvers) falls back to per-lane sequential
+    solves, so callers never need to special-case batchability.
+
+    ``operators`` optionally gives each lane its own operator (e.g. a
+    per-scenario fault-injecting wrapper); the shared ``operator`` then
+    only anchors the batch (and builds spec-shaped preconditioners when
+    no ``precond_matrix`` is given).  Lanes with private operators still
+    advance in lockstep, each applying its own operator per step.
+    """
+    entry = (registry or default_solver_registry()).get(solver)
+    effective = entry.resolve_policy(policy)
+    options = dict(policy_options or {})
+    bs = list(bs)
+    n_lanes = len(bs)
+    if x0s is None:
+        x0s = [None] * n_lanes
+    elif len(x0s) != n_lanes:
+        raise ValueError("x0s must match the number of right-hand sides")
+    if lane_params is None:
+        lane_params = [{}] * n_lanes
+    elif len(lane_params) != n_lanes:
+        raise ValueError("lane_params must match the number of right-hand sides")
+    if operators is None:
+        lane_operators = [None] * n_lanes
+    elif len(operators) != n_lanes:
+        raise ValueError("operators must match the number of right-hand sides")
+    else:
+        lane_operators = list(operators)
+
+    merged_all = [dict(params, **dict(extra)) for extra in lane_params]
+    if not all(_is_batchable(entry, effective, merged) for merged in merged_all):
+        # Sequential fallback: exactly S independent solve() calls.
+        return [
+            entry.solve(
+                lane_op if lane_op is not None else operator,
+                b,
+                x0,
+                policy=effective,
+                policy_options=options,
+                precond=merged.pop("precond", precond),
+                precond_matrix=precond_matrix,
+                **merged,
+            )
+            for b, x0, merged, lane_op in zip(bs, x0s, merged_all, lane_operators)
+        ]
+
+    from repro.krylov.engine import ResidualGuardPolicy
+    from repro.krylov.engine.batch import (
+        CgLaneSpec,
+        GmresLaneSpec,
+        SdcLaneSpec,
+        run_arnoldi_batch,
+        run_cg_batch,
+    )
+    from repro.precond import resolve_preconds
+
+    precond_label = None
+    specs = []
+    for b, x0, merged, lane_op in zip(bs, x0s, merged_all, lane_operators):
+        # Preconditioners are resolved per lane, exactly as S separate
+        # solve() calls would build them (stateful injecting proxies
+        # must not be shared across lanes).
+        lane_precond = merged.pop("precond", precond)
+        built = None
+        if lane_precond is not None:
+            built = resolve_preconds(
+                lane_precond,
+                matrix=precond_matrix if precond_matrix is not None else operator,
+            )
+            if precond_label is None:
+                precond_label = _precond_label(lane_precond)
+        if built is not None:
+            merged["preconditioner"] = built
+        if entry.family == "cg":
+            guard = ResidualGuardPolicy(**options) if effective == "residual_guard" else None
+            specs.append(CgLaneSpec(b=b, x0=x0, policy=guard, operator=lane_op, **merged))
+        elif effective == "skeptical_restart":
+            # Mirror _dispatch_gmres: CGS2 is pinned, and a generic
+            # iteration hook becomes the pre-check fault hook.
+            merged.pop("gram_schmidt", None)
+            hook = merged.pop("iteration_hook", None)
+            if hook is not None and "fault_hook" not in merged:
+                merged["fault_hook"] = hook
+            merged.update(options)
+            unknown = set(merged) - set(_SDC_LANE_FIELDS)
+            if unknown:
+                raise TypeError(f"unsupported skeptical solver options: {sorted(unknown)}")
+            specs.append(SdcLaneSpec(b=b, x0=x0, operator=lane_op, **merged))
+        else:
+            guard = ResidualGuardPolicy(**options) if effective == "residual_guard" else None
+            specs.append(GmresLaneSpec(b=b, x0=x0, policy=guard, operator=lane_op, **merged))
+
+    if entry.family == "cg":
+        results = run_cg_batch(operator, specs)
+    else:
+        results = run_arnoldi_batch(operator, specs)
+    for result in results:
+        result.info.setdefault("solver_name", entry.name)
+        result.info["policy_name"] = effective
+        if precond_label is not None:
+            result.info.setdefault("precond", precond_label)
+    return results
 
 
 _DEFAULT: Optional[SolverRegistry] = None

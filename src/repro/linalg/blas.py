@@ -20,6 +20,7 @@ from repro.utils.validation import check_array_1d
 __all__ = [
     "axpy",
     "givens_rotation",
+    "givens_rotation_many",
     "apply_givens",
     "rotate_hessenberg_column",
     "back_substitution",
@@ -60,6 +61,33 @@ def givens_rotation(a: float, b: float) -> Tuple[float, float]:
         c = 1.0 / math.sqrt(1.0 + t * t)
         s = c * t
     return float(c), float(s)
+
+
+def givens_rotation_many(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`givens_rotation` over a batch of ``(a, b)`` pairs.
+
+    Replicates the scalar branch structure with ``np.where`` masks; each
+    lane's ``(c, s)`` is bit-for-bit the scalar result, including the
+    NaN cases (comparisons against NaN are False both in Python and in
+    the mask chain, so a NaN input lands in the same final branch).  All
+    branches are evaluated eagerly, so the out-of-branch divisions are
+    run under ``errstate`` suppression and discarded by the masks.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        t_big = a / b
+        s_big = 1.0 / np.sqrt(1.0 + t_big * t_big)
+        c_big = s_big * t_big
+        t_small = b / a
+        c_small = 1.0 / np.sqrt(1.0 + t_small * t_small)
+        s_small = c_small * t_small
+    b_zero = b == 0.0
+    a_zero = (a == 0.0) & ~b_zero
+    big = (np.abs(b) > np.abs(a)) & ~b_zero & ~a_zero
+    c = np.where(b_zero, 1.0, np.where(a_zero, 0.0, np.where(big, c_big, c_small)))
+    s = np.where(b_zero, 0.0, np.where(a_zero, 1.0, np.where(big, s_big, s_small)))
+    return c, s
 
 
 def apply_givens(c: float, s: float, a: float, b: float) -> Tuple[float, float]:

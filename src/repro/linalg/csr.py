@@ -201,6 +201,31 @@ class CsrMatrix:
             )
         return result
 
+    def matvec_block(self, X: np.ndarray) -> np.ndarray:
+        """Return ``(A @ X.T).T`` for a stack of vectors ``X`` of shape ``(S, n)``.
+
+        One gather and one ``reduceat`` over the whole stack: each row of
+        the result is bit-identical to ``matvec(X[s])`` because
+        ``np.add.reduceat`` reduces every row of the 2-D product array
+        with the same segment sums the 1-D call uses.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_cols:
+            raise ValueError(
+                f"X must have shape (S, {self.n_cols}), got {X.shape}"
+            )
+        products = self.data * X[:, self.indices]
+        if not self._has_empty_rows:
+            if self.n_rows == 0:
+                return np.zeros((X.shape[0], 0), dtype=np.float64)
+            return np.add.reduceat(products, self._reduce_starts, axis=1)
+        result = np.zeros((X.shape[0], self.n_rows), dtype=np.float64)
+        if products.size:
+            result[:, self._nonempty_rows] = np.add.reduceat(
+                products, self._reduce_starts, axis=1
+            )
+        return result
+
     def rmatvec(self, y: np.ndarray) -> np.ndarray:
         """Return ``A.T @ y``."""
         y = np.asarray(y, dtype=np.float64)

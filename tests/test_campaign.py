@@ -324,11 +324,15 @@ class TestCampaignRunner:
 
 class TestBuiltinCampaigns:
     def test_names(self):
-        assert builtin_campaign_names() == ["default", "precond", "smoke", "solvers"]
+        assert builtin_campaign_names() == [
+            "default", "precond", "replicas", "smoke", "solvers"
+        ]
         with pytest.raises(KeyError):
             builtin_campaign("nope")
 
-    @pytest.mark.parametrize("name", ["smoke", "default", "solvers", "precond"])
+    @pytest.mark.parametrize(
+        "name", ["smoke", "default", "solvers", "precond", "replicas"]
+    )
     def test_shape(self, name):
         scenarios = builtin_campaign(name)
         # Acceptance: a meaningful sweep with unique keys (no silently
