@@ -42,7 +42,12 @@ def _with_src_on_path() -> None:
         sys.path.insert(0, SRC_DIR)
 
 
-def bench_modules(solver: str = None, faults: str = None, precond: str = None) -> list:
+def bench_modules(
+    solver: str = None,
+    faults: str = None,
+    precond: str = None,
+    precision: str = None,
+) -> list:
     """One benchmark module per registered experiment, in E-number order.
 
     Modules are matched by prefix (``bench_e3_*.py`` covers E3) so the
@@ -57,7 +62,11 @@ def bench_modules(solver: str = None, faults: str = None, precond: str = None) -
     ``precond`` -- a :mod:`repro.precond` registry name or compact
     preconditioner spec -- only the experiments registered as
     exercising that preconditioner are kept; inline specs map through
-    their kind's registry entries.  Filters intersect.
+    their kind's registry entries.  With ``precision`` -- a
+    :mod:`repro.reliability.precision` registry name or compact spec
+    like ``"fp32:storage=fp16"`` -- only the experiments registered as
+    exercising that precision are kept; inline specs map through their
+    kind's registry entries.  Filters intersect.
     """
     _with_src_on_path()
     from repro.campaign.registry import default_registry
@@ -133,6 +142,38 @@ def bench_modules(solver: str = None, faults: str = None, precond: str = None) -
             else wanted & precond_experiments
         )
 
+    if precision is not None:
+        from repro.reliability.precision import (
+            default_precision_registry,
+            parse_precision,
+        )
+
+        registry = default_precision_registry()
+        try:
+            if precision in registry:
+                precision_experiments = set(registry.get(precision).experiments)
+            else:
+                # An inline spec: validate it, then take the union of
+                # the registry entries matching its kind.
+                kind = parse_precision(precision).kind
+                precision_experiments = {
+                    experiment
+                    for entry in registry
+                    if entry.spec.kind == kind
+                    for experiment in entry.experiments
+                }
+        except (KeyError, ValueError) as exc:
+            raise SystemExit(str(exc)) from None
+        if not precision_experiments:
+            raise SystemExit(
+                f"precision spec {precision!r} maps to no registered "
+                f"experiments"
+            )
+        wanted = (
+            precision_experiments if wanted is None
+            else wanted & precision_experiments
+        )
+
     modules = []
     for driver in default_registry():
         if wanted is not None and driver.experiment not in wanted:
@@ -151,8 +192,8 @@ def bench_modules(solver: str = None, faults: str = None, precond: str = None) -
     if not modules:
         raise SystemExit(
             f"filters (solver={solver!r}, faults={faults!r}, "
-            f"precond={precond!r}) map to no benchmark modules "
-            f"(experiments: {sorted(wanted or ())})"
+            f"precond={precond!r}, precision={precision!r}) map to no "
+            f"benchmark modules (experiments: {sorted(wanted or ())})"
         )
     return modules
 
@@ -323,6 +364,15 @@ def main(argv=None) -> int:
         "against a full baseline",
     )
     parser.add_argument(
+        "--precision",
+        default=None,
+        help="run only the benchmarks exercising this precision "
+        "(a repro.reliability.precision registry name, e.g. 'fp32', or "
+        "a compact spec string like 'fp32:storage=fp16'); combines with "
+        "--solver, --faults and --precond as an intersection; a "
+        "filtered run is not comparable against a full baseline",
+    )
+    parser.add_argument(
         "pytest_args",
         nargs="*",
         help="extra arguments forwarded to pytest (after --)",
@@ -344,7 +394,8 @@ def main(argv=None) -> int:
         "-m",
         "pytest",
         *[os.path.join(BENCH_DIR, module)
-          for module in bench_modules(args.solver, args.faults, args.precond)],
+          for module in bench_modules(
+              args.solver, args.faults, args.precond, args.precision)],
         "--benchmark-only",
         f"--benchmark-json={args.json}",
         "-q",

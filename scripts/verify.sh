@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 tests + registry self-checks (solver / fault /
-# preconditioner axes) + doc-link check + golden determinism + smoke
-# and precond campaigns with memoization re-runs + the chaos gate
+# preconditioner / precision axes) + fp64-parity gate + doc-link check
+# + golden determinism + smoke, precond and precision campaigns with
+# memoization re-runs + the chaos gate
 # (smoke campaign under worker_crash chaos must reproduce the clean
 # store byte for byte) + the batch-parity gate (the replicas campaign
 # run in lockstep batches must reproduce the sequential store byte for
@@ -100,6 +101,67 @@ for entry in default_precond_registry():
     assert PrecondSpec.from_dict(entry.spec.to_dict()) == entry.spec, entry.name
 print(f"preconditioner registry OK "
       f"({len(default_precond_registry())} preconditioners build and round-trip)")
+PY
+
+echo
+echo "== precision registry self-check =="
+grep -q "registered precisions" <<<"$listing" || {
+    echo "ERROR: 'campaign list' does not include the precision axis" >&2
+    exit 1
+}
+for entry in fp64 fp32 fp32_fp16; do
+    grep -qE "^$entry " <<<"$listing" || {
+        echo "ERROR: precision '$entry' missing from the registry listing" >&2
+        exit 1
+    }
+done
+python -m repro.campaign list --campaign precision > /dev/null
+# Every named precision must round-trip through its compact string and
+# dict forms and resolve to a consistent dtype pair.
+python - <<'PY'
+import numpy as np
+from repro.reliability.precision import (
+    PrecisionSpec,
+    default_precision_registry,
+    parse_precision,
+)
+
+for entry in default_precision_registry():
+    spec = entry.spec
+    assert PrecisionSpec.parse(spec.to_string()) == spec, entry.name
+    assert PrecisionSpec.from_dict(spec.to_dict()) == spec, entry.name
+    assert parse_precision(entry.name) == spec, entry.name
+    assert spec.storage_dtype.itemsize <= spec.compute_dtype.itemsize, entry.name
+print(f"precision registry OK "
+      f"({len(default_precision_registry())} precisions round-trip)")
+PY
+
+echo
+echo "== fp64-parity gate (precision='fp64' is the default path) =="
+# Every registered solver, run with an explicit precision="fp64", must
+# reproduce the default path bit for bit -- the contract that keeps
+# every pre-E10 golden byte-identical while the precision axis exists.
+python - <<'PY'
+import numpy as np
+from repro.krylov import default_solver_registry
+from repro.linalg import poisson_2d
+
+matrix = poisson_2d(8)
+rng = np.random.default_rng(17)
+b = rng.standard_normal(matrix.n_rows)
+for solver in default_solver_registry():
+    params = (
+        {"tol": 1e-8, "outer_maxiter": 30, "inner_maxiter": 10}
+        if solver.name == "ft_gmres" else {"tol": 1e-8, "maxiter": 400}
+    )
+    default = solver.solve(matrix, b, **params)
+    explicit = solver.solve(matrix, b, precision="fp64", **params)
+    assert np.array_equal(np.asarray(default.x), np.asarray(explicit.x)), solver.name
+    assert default.residual_norms == explicit.residual_norms, solver.name
+    assert "precision" not in default.info, solver.name
+    assert explicit.info["precision"] == "fp64", solver.name
+print(f"fp64-parity gate OK "
+      f"({len(default_solver_registry())} solvers bit-identical)")
 PY
 
 echo
@@ -288,6 +350,27 @@ precond_rerun="$(python -m repro.campaign run precond --workers 2 --store "$PREC
 echo "$precond_rerun" | tail -2
 if ! grep -q " 0 ran, " <<<"$precond_rerun"; then
     echo "ERROR: precond re-run executed scenarios; the store failed to memoize" >&2
+    exit 1
+fi
+
+echo
+echo "== precision campaign (fresh store) =="
+PRECISION_STORE="$(mktemp -t repro_precision_XXXXXX.jsonl)"
+trap 'rm -f "$STORE" "${STORE%.jsonl}.ledger.jsonl" \
+           "$CHAOS_STORE" "${CHAOS_STORE%.jsonl}.ledger.jsonl" \
+           "$SEQ_STORE" "${SEQ_STORE%.jsonl}.ledger.jsonl" \
+           "$BATCH_STORE" "${BATCH_STORE%.jsonl}.ledger.jsonl" \
+           "$PRECOND_STORE" "${PRECOND_STORE%.jsonl}.ledger.jsonl" \
+           "$PRECISION_STORE" "${PRECISION_STORE%.jsonl}.ledger.jsonl"' EXIT
+rm -f "$PRECISION_STORE"
+python -m repro.campaign run precision --workers 2 --store "$PRECISION_STORE"
+
+echo
+echo "== precision campaign re-run (must be fully cached) =="
+precision_rerun="$(python -m repro.campaign run precision --workers 2 --store "$PRECISION_STORE")"
+echo "$precision_rerun" | tail -2
+if ! grep -q " 0 ran, " <<<"$precision_rerun"; then
+    echo "ERROR: precision re-run executed scenarios; the store failed to memoize" >&2
     exit 1
 fi
 

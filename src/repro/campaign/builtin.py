@@ -19,6 +19,12 @@ Three ship with the toolkit:
   preconditioner cell under each fault spec, with the fault placed
   either selectively (only ``M^{-1} v`` unreliable) or on the trusted
   operator -- the paper's selective-reliability claim as a grid.
+* ``precision`` -- the precision-axis sweep over
+  :mod:`repro.reliability.precision` (experiment E10): every default
+  solver x precision x preconditioner cell, with the reduced precision
+  placed either selectively (only the inner stage -- the FGMRES inner
+  solve or ``M^{-1} v`` -- runs low) or on the whole solve -- the
+  selective-precision claim as a grid, with and without faults.
 * ``replicas`` -- seed-replica sweeps over the batch-capable drivers
   (E1/E8/E9); identical parameters except ``seed``, so ``--batch``
   groups each sweep into one lockstep batch.  The batch benchmark and
@@ -182,6 +188,37 @@ def _precond() -> List[Scenario]:
     return scenarios
 
 
+def _precision() -> List[Scenario]:
+    # The solver x precision x preconditioner x fault x placement grid
+    # of E10: solvers, precisions and preconditioners are swept inside
+    # the driver while the placement (inner stage vs whole solve) and
+    # the fault spec are campaign axes.  target="inner" is the
+    # selective-precision wiring (fp64 outer, low-precision inner);
+    # target="outer" pins the whole solve to the low dtype's residual
+    # floor -- the claim's control.
+    base = {
+        "grid": 8,
+        "precisions": ("fp64", "fp32", "fp32:storage=fp16"),
+        "preconds": ("none", "jacobi"),
+        "seed": 2013,
+    }
+    scenarios = Sweep(
+        "E10",
+        axes={"target": ("inner", "outer")},
+        base=dict(base, faults="none"),
+        tag="precision",
+    ).expand()
+    scenarios.extend(
+        Sweep(
+            "E10",
+            axes={"target": ("inner", "outer")},
+            base=dict(base, faults="bitflip:p=0.05,bits=52..62"),
+            tag="precision",
+        ).expand()
+    )
+    return scenarios
+
+
 def _replicas() -> List[Scenario]:
     # Seed-replica sweeps over the batchable drivers (E1/E8/E9): every
     # scenario in a sweep shares all parameters except ``seed``, so
@@ -232,6 +269,7 @@ _BUILDERS: Dict[str, Callable[[], List[Scenario]]] = {
     "default": _default,
     "solvers": _solvers,
     "precond": _precond,
+    "precision": _precision,
     "replicas": _replicas,
 }
 

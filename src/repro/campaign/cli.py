@@ -6,9 +6,9 @@ List every sweepable axis and built-in campaign::
 
     python -m repro.campaign list
 
-``list`` prints five tables, one per registry:
+``list`` prints six tables, one per registry:
 
-* **registered experiments** -- the auto-discovered E1-E9 drivers
+* **registered experiments** -- the auto-discovered E1-E10 drivers
   (:mod:`repro.campaign.registry`): id, short name, tags, the
   parameters ``run()`` accepts, title.
 * **registered solvers** -- the named engine configurations
@@ -20,6 +20,9 @@ List every sweepable axis and built-in campaign::
 * **registered preconditioners** -- the named preconditioner specs
   (:mod:`repro.precond`): name, compact spec string, the experiments
   exercising it, title.
+* **registered precisions** -- the named precision specs
+  (:mod:`repro.reliability.precision`): name, compact spec string, the
+  experiments exercising it, title.
 * **built-in campaigns** -- name, scenario count, experiments covered.
 
 Show the scenarios of a campaign::
@@ -78,7 +81,7 @@ DEFAULT_STORE = "campaign_results.jsonl"
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.campaign",
-        description="Declarative scenario sweeps over the E1-E9 experiment drivers.",
+        description="Declarative scenario sweeps over the E1-E10 experiment drivers.",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -223,6 +226,18 @@ def _cmd_list(args) -> int:
             ",".join(entry.experiments), entry.title,
         )
     print(preconds.render())
+    print()
+    from repro.reliability.precision import default_precision_registry
+
+    precision_registry = default_precision_registry()
+    precisions = Table(["precision", "spec", "experiments", "title"],
+                       title=f"registered precisions ({len(precision_registry)})")
+    for entry in precision_registry:
+        precisions.add_row(
+            entry.name, entry.spec.to_string(),
+            ",".join(entry.experiments), entry.title,
+        )
+    print(precisions.render())
     print()
     campaigns = Table(["campaign", "scenarios", "experiments"],
                       title="built-in campaigns")

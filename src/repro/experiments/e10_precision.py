@@ -1,0 +1,653 @@
+"""E10 -- Selective precision: the fourth sweepable axis.
+
+The paper's selective-reliability argument is about *placement*: the
+inner stage of a flexible solve may be unreliable because the reliable
+outer iteration bounds the damage (conf_hpdc_Heroux13).  Reduced
+precision is the deterministic cousin of that unreliability -- rounding
+instead of bit flips, bounded error instead of arbitrary corruption --
+so the same placement argument applies, and this driver makes it a
+swept matrix: every requested solver from :mod:`repro.krylov.registry`
+x every precision from :mod:`repro.reliability.precision` x one
+preconditioner axis x one declarative fault spec, with the reduced
+precision routed into one of two placements:
+
+* ``target="inner"`` (the selective-precision placement): only the
+  inner stage runs at the swept precision.  For ``fgmres`` that stage
+  is a *real inner GMRES solve* executed entirely at the swept
+  precision through the solver registry's ``precision=`` axis (the
+  iterative-refinement shape: fp32 inner solve, fp64 outer recurrence,
+  Hessenberg QR and convergence tests); for every other solver it is
+  the preconditioner application ``M^{-1} v``, wrapped in a
+  :func:`~repro.reliability.lowprecision` domain.
+* ``target="outer"`` (the control placement): the *whole* solve runs
+  at the swept precision via ``solve(..., precision=...)`` -- operator,
+  right-hand side, basis and recurrence all in the low dtype, which
+  pins the solve to that dtype's residual floor (about ``1e-7``
+  relative for fp32), far above a double-precision target like
+  ``tol=1e-8``.
+
+The pinned, executable claim: under ``target="inner"`` the fp32 rows
+reach the fp64-accurate answer (correct to the trusted-error
+tolerance), while under ``target="outer"`` the same fp32 sweep fails a
+double-precision tolerance.  Selective precision, like selective
+reliability, is about *where* you spend the cheap mode.
+
+Faults compose as in E9's selective placement: a soft fault model
+corrupts the (wrapped) inner stage only -- ``M^{-1} v`` or the FGMRES
+inner solve -- never the outer recurrence, so the fault and precision
+axes stack on the same inner/outer boundary.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import inspect
+from typing import List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, ExperimentSpec
+from repro.krylov.registry import batch_solve, default_solver_registry
+from repro.linalg.matgen import poisson_2d
+from repro.precond import parse_precond, resolve_preconds
+from repro.reliability import lowprecision, unreliable
+from repro.reliability.precision import PrecisionDomain, parse_precision
+from repro.reliability.registry import resolve_faults
+from repro.reliability.sdc import classify_outcome
+from repro.reliability.seeding import derive_fault_seed
+from repro.utils.rng import RngFactory
+from repro.utils.tables import Table
+from repro.utils.validation import check_in
+
+__all__ = ["run", "run_batch", "SPEC"]
+
+SPEC = ExperimentSpec(
+    experiment="E10",
+    name="precision",
+    title="Selective precision: solver x precision x preconditioner x fault "
+          "matrix, inner vs outer placement",
+    tags=("precision", "registry", "srp", "mixed-precision"),
+    smoke={"grid": 6, "solvers": ("gmres",),
+           "precisions": ("fp64", "fp32"), "preconds": "none",
+           "faults": "none"},
+    golden={"grid": 8, "solvers": ("gmres", "fgmres", "cg"),
+            "precisions": ("fp64", "fp32", "fp32:storage=fp16"),
+            "preconds": ("none", "jacobi"),
+            "faults": "bitflip:p=0.05,bits=52..62", "seed": 2013},
+)
+
+# Solvers swept by default: the flexible solver that owns the claim's
+# flagship row (fgmres, whose inner stage is a real low-precision
+# GMRES) plus one fixed-preconditioner solver per family.
+_DEFAULT_SOLVERS = ("gmres", "fgmres", "cg")
+
+#: Inner-solve budget of the fgmres selective-precision configuration.
+_INNER_TOL = 1e-4
+_INNER_MAXITER = 50
+
+
+def _solver_axis(solvers) -> List[str]:
+    if solvers is None:
+        return list(_DEFAULT_SOLVERS)
+    if isinstance(solvers, str):
+        return [solvers]
+    return list(solvers)
+
+
+def _precision_axis(precisions) -> List[str]:
+    """Canonical spec strings of the swept precisions."""
+    if precisions is None:
+        from repro.reliability.precision import (
+            default_precision_registry,
+            precision_names,
+        )
+
+        registry = default_precision_registry()
+        values = [registry.get(name).spec for name in precision_names()]
+    elif isinstance(precisions, str):
+        values = [precisions]
+    else:
+        values = list(precisions)
+    return [parse_precision(value).to_string() for value in values]
+
+
+def _precond_axis(preconds) -> List[str]:
+    if preconds is None:
+        from repro.precond import precond_names
+
+        return precond_names()
+    if isinstance(preconds, str):
+        return [preconds]
+    return list(preconds)
+
+
+def _fgmres_inner_solve(matrix, built, pspec, registry, *, precision_used):
+    """The selective-precision FGMRES inner stage: a whole GMRES solve
+    at the swept precision (preconditioned by the cell's ``built``)."""
+    inner_entry = registry.get("gmres")
+
+    def inner_solve(v):
+        result = inner_entry.solve(
+            matrix, v, tol=_INNER_TOL, maxiter=_INNER_MAXITER,
+            precond=built, precision=precision_used,
+        )
+        return result.x
+
+    return inner_solve
+
+
+def run(
+    *,
+    grid: int = 8,
+    solvers: Optional[Union[str, Sequence[str]]] = None,
+    precisions: Optional[Union[str, Sequence[str]]] = None,
+    preconds: Optional[Union[str, Sequence[str]]] = "jacobi",
+    faults=None,
+    target: str = "inner",
+    tol: float = 1e-8,
+    maxiter: int = 400,
+    error_tolerance: float = 1e-5,
+    seed: int = 2013,
+) -> ExperimentResult:
+    """Run experiment E10 and return its table.
+
+    Parameters
+    ----------
+    grid:
+        2-D Poisson grid size (SPD, so every swept solver applies).
+    solvers:
+        Solver-registry names to run (string or sequence; ``None`` =
+        ``gmres``/``fgmres``/``cg``).
+    precisions:
+        The precision axis: registry names (``"fp32"``) or compact
+        specs (``"fp32:storage=fp16"``), string or sequence; ``None`` =
+        every registered precision.
+    preconds:
+        The preconditioner axis (names or inline specs); defaults to
+        ``"jacobi"`` alone; ``None`` = every registered preconditioner.
+    faults:
+        The fault axis (name, compact spec, dict or ``FaultSpec``);
+        only the soft component corrupts data, and it lands on the
+        wrapped inner stage (never the outer recurrence).  ``None``
+        runs fault-free.
+    target:
+        Where the reduced precision lands: ``"inner"`` places it on
+        the inner stage only (the FGMRES inner solve, or ``M^{-1} v``
+        for the fixed-preconditioner solvers), ``"outer"`` runs the
+        whole solve at the swept precision via ``precision=``.
+    tol, maxiter:
+        Outer solver settings (the fgmres inner solve uses its own
+        fixed budget).
+    error_tolerance:
+        Trusted-error threshold of the outcome classification.
+    seed:
+        Root seed: right-hand side and per-cell fault streams.
+    """
+    check_in(target, ("inner", "outer"), "target")
+    registry = default_solver_registry()
+    solver_list = _solver_axis(solvers)
+    precision_list = _precision_axis(precisions)
+    precond_list = _precond_axis(preconds)
+
+    fault_model = resolve_faults(faults)
+    soft_model = fault_model.soft_component()
+
+    matrix = poisson_2d(grid)
+    factory = RngFactory(seed)
+    b = factory.spawn("rhs").standard_normal(matrix.n_rows)
+    x_ref = np.linalg.solve(matrix.to_dense(), b)
+    x_ref_norm = float(np.linalg.norm(x_ref))
+
+    table = Table(
+        ["solver", "precond", "precision", "iterations", "converged",
+         "faults", "error", "outcome"],
+        title=f"E10: solver x precision x preconditioner x fault matrix "
+              f"(precision on the {target} stage)",
+    )
+
+    n_runs = 0
+    n_correct = 0
+    n_silent = 0
+    total_faults = 0
+    low_correct = 0
+    low_runs = 0
+    for solver_name in solver_list:
+        solver = registry.get(solver_name)
+        for precond_name in precond_list:
+            precond_label = parse_precond(precond_name).to_string()
+            for precision_label in precision_list:
+                pspec = parse_precision(precision_label)
+                # Setup runs reliably and in full precision: the
+                # preconditioner is always built from the clean fp64
+                # matrix (outer-target solves rebuild it from the cast
+                # operator inside solve(), via the spec string).
+                built = resolve_preconds(precond_name, matrix=matrix)
+                fault_seed = derive_fault_seed(
+                    seed, f"{solver.name}/{precond_label}/{precision_label}"
+                )
+                params = {"tol": tol, "maxiter": maxiter}
+
+                result, faults_hit = _solve_cell(
+                    solver, matrix, b, built, pspec,
+                    soft_model=soft_model, fault_seed=fault_seed,
+                    target=target, registry=registry, params=params,
+                    precond_name=precond_name,
+                )
+
+                x = np.asarray(result.x, dtype=np.float64)
+                finite = bool(np.all(np.isfinite(x)))
+                error = (
+                    float(np.linalg.norm(x - x_ref)) / x_ref_norm
+                    if finite else float("inf")
+                )
+                outcome = classify_outcome(
+                    converged=result.converged,
+                    error_norm=error,
+                    tolerance=error_tolerance,
+                    detected=result.detected_faults > 0,
+                )
+                table.add_row(
+                    solver.name,
+                    precond_label,
+                    precision_label,
+                    result.iterations,
+                    result.converged,
+                    faults_hit,
+                    f"{error:.3e}" if finite else "inf",
+                    outcome,
+                )
+                n_runs += 1
+                total_faults += faults_hit
+                n_silent += int(outcome == "sdc")
+                correct = result.converged and error <= error_tolerance
+                n_correct += int(correct)
+                if not pspec.is_default:
+                    low_runs += 1
+                    low_correct += int(correct)
+
+    summary = {
+        "n_runs": n_runs,
+        "n_solvers": len(solver_list),
+        "n_precisions": len(precision_list),
+        "n_preconds": len(precond_list),
+        "n_correct": n_correct,
+        "n_silent_corruptions": n_silent,
+        "total_faults_injected": total_faults,
+        # The pinned claim, as counters: under target="inner" every
+        # reduced-precision row should be correct; under
+        # target="outer" they fail a double-precision tolerance.
+        "n_lowprecision_runs": low_runs,
+        "n_lowprecision_correct": low_correct,
+        "target": target,
+        "faults": fault_model.describe(),
+    }
+    parameters = {
+        "grid": grid,
+        "solvers": tuple(solver_list),
+        "precisions": tuple(precision_list),
+        "preconds": tuple(precond_list),
+        "faults": fault_model.describe(),
+        "target": target,
+        "tol": tol,
+        "maxiter": maxiter,
+        "error_tolerance": error_tolerance,
+        "seed": seed,
+    }
+    return ExperimentResult(
+        experiment="E10",
+        claim=_CLAIM,
+        table=table,
+        summary=summary,
+        parameters=parameters,
+    )
+
+
+_CLAIM = (
+    "Selective precision: reduced precision placed on the inner stage only "
+    "(the FGMRES inner solve, or M^-1 v) still reaches the fp64-accurate "
+    "answer, while running the whole solve at fp32 pins it to the fp32 "
+    "residual floor and fails a double-precision tolerance."
+)
+
+
+def _solve_cell(
+    solver, matrix, b, built, pspec, *,
+    soft_model, fault_seed, target, registry, params, precond_name,
+):
+    """One (solver, precond, precision) cell; returns (result, faults)."""
+    precision_label = pspec.to_string()
+    faults_hit = 0
+    with np.errstate(over="ignore", invalid="ignore"):
+        if target == "outer":
+            # Whole solve at the swept precision.  Spec-shaped
+            # preconditioners go through by name so solve() builds them
+            # from the *cast* operator -- M^{-1} v then runs at the
+            # swept precision natively, like every other kernel.
+            if soft_model is not None and built is not None:
+                with unreliable(soft_model, seed=fault_seed,
+                                name=f"precision/{solver.name}") as domain:
+                    wrapped = domain.preconditioner(
+                        built, flops_per_call=float(matrix.nnz)
+                    )
+                    result = solver.solve(
+                        matrix, b, precond=wrapped,
+                        precision=precision_label, **params,
+                    )
+                faults_hit = domain.faults_injected()
+            else:
+                result = solver.solve(
+                    matrix, b, precond=precond_name,
+                    precision=precision_label, **params,
+                )
+        elif solver.name == "fgmres":
+            # The flagship selective-precision configuration: a real
+            # inner GMRES at the swept precision, fp64 outer.  The
+            # lowprecision() wrap pins the stage's input and output to
+            # the compute dtype (the bounded-error contract); faults
+            # land outside it, on the widened float64 result, exactly
+            # where E9 lands them on M^{-1} v.
+            inner = _fgmres_inner_solve(
+                matrix, built, pspec, registry,
+                precision_used=precision_label,
+            )
+            with lowprecision(pspec) as pdom:
+                low_inner = pdom.inner_solve(inner)
+                if soft_model is not None:
+                    with unreliable(soft_model, seed=fault_seed,
+                                    name=f"precision/{solver.name}") as domain:
+                        wrapped = domain.preconditioner(
+                            low_inner, flops_per_call=float(matrix.nnz)
+                        )
+                        result = solver.solve(matrix, b, precond=wrapped, **params)
+                    faults_hit = domain.faults_injected()
+                else:
+                    result = solver.solve(matrix, b, precond=low_inner, **params)
+        else:
+            # Fixed-preconditioner solvers: M^{-1} v at the swept
+            # precision (identity rounding when there is none).
+            with lowprecision(pspec) as pdom:
+                low = pdom.preconditioner(built)
+                if soft_model is not None and built is not None:
+                    with unreliable(soft_model, seed=fault_seed,
+                                    name=f"precision/{solver.name}") as domain:
+                        wrapped = domain.preconditioner(
+                            low, flops_per_call=float(matrix.nnz)
+                        )
+                        result = solver.solve(matrix, b, precond=wrapped, **params)
+                    faults_hit = domain.faults_injected()
+                else:
+                    result = solver.solve(matrix, b, precond=low, **params)
+    return result, faults_hit
+
+
+def run_batch(params_list: List[Mapping]) -> List[ExperimentResult]:
+    """Run several E10 scenarios in lockstep; results identical to :func:`run`.
+
+    The scenarios (typically one per seed) must agree on every
+    parameter except ``seed``; incompatible sets fall back to
+    sequential :func:`run` calls.  Cells whose configuration has a
+    lockstep path (the default-precision rows of ``gmres``/``cg``)
+    advance together through one
+    :func:`repro.krylov.registry.batch_solve` call per cell;
+    reduced-precision and fgmres cells run their lanes sequentially
+    inside that same call (the batch engine is pinned to the bit-exact
+    float64 contract), so every lane is built and seeded exactly as
+    :func:`run` builds it.
+    """
+    resolved = [_bind_defaults(p) for p in params_list]
+    if not resolved:
+        return []
+    if len(resolved) == 1 or not _compatible(resolved):
+        return [run(**dict(p)) for p in params_list]
+
+    shared = resolved[0]
+    grid = shared["grid"]
+    target = shared["target"]
+    tol = shared["tol"]
+    maxiter = shared["maxiter"]
+    error_tolerance = shared["error_tolerance"]
+    seeds = [p["seed"] for p in resolved]
+    n_scenarios = len(resolved)
+
+    check_in(target, ("inner", "outer"), "target")
+    registry = default_solver_registry()
+    solver_list = _solver_axis(shared["solvers"])
+    precision_list = _precision_axis(shared["precisions"])
+    precond_list = _precond_axis(shared["preconds"])
+
+    fault_model = resolve_faults(shared["faults"])
+    soft_model = fault_model.soft_component()
+
+    matrix = poisson_2d(grid)
+    dense = matrix.to_dense()
+    b_list = [
+        RngFactory(s).spawn("rhs").standard_normal(matrix.n_rows) for s in seeds
+    ]
+    x_refs = [np.linalg.solve(dense, b) for b in b_list]
+    x_ref_norms = [float(np.linalg.norm(x)) for x in x_refs]
+
+    tables = [
+        Table(
+            ["solver", "precond", "precision", "iterations", "converged",
+             "faults", "error", "outcome"],
+            title=f"E10: solver x precision x preconditioner x fault matrix "
+                  f"(precision on the {target} stage)",
+        )
+        for _ in range(n_scenarios)
+    ]
+    counters = [
+        {"n_runs": 0, "n_correct": 0, "n_silent": 0, "total_faults": 0,
+         "low_runs": 0, "low_correct": 0}
+        for _ in range(n_scenarios)
+    ]
+
+    for solver_name in solver_list:
+        solver = registry.get(solver_name)
+        for precond_name in precond_list:
+            precond_label = parse_precond(precond_name).to_string()
+            for precision_label in precision_list:
+                pspec = parse_precision(precision_label)
+                fault_seeds = [
+                    derive_fault_seed(
+                        s, f"{solver.name}/{precond_label}/{precision_label}"
+                    )
+                    for s in seeds
+                ]
+                params = {"tol": tol, "maxiter": maxiter}
+
+                results, faults_hits = _solve_cell_lanes(
+                    solver, matrix, b_list, precond_name, pspec,
+                    soft_model=soft_model, fault_seeds=fault_seeds,
+                    target=target, registry=registry, params=params,
+                )
+
+                for s in range(n_scenarios):
+                    result = results[s]
+                    x = np.asarray(result.x, dtype=np.float64)
+                    finite = bool(np.all(np.isfinite(x)))
+                    error = (
+                        float(np.linalg.norm(x - x_refs[s])) / x_ref_norms[s]
+                        if finite else float("inf")
+                    )
+                    outcome = classify_outcome(
+                        converged=result.converged,
+                        error_norm=error,
+                        tolerance=error_tolerance,
+                        detected=result.detected_faults > 0,
+                    )
+                    tables[s].add_row(
+                        solver.name,
+                        precond_label,
+                        precision_label,
+                        result.iterations,
+                        result.converged,
+                        faults_hits[s],
+                        f"{error:.3e}" if finite else "inf",
+                        outcome,
+                    )
+                    cell = counters[s]
+                    cell["n_runs"] += 1
+                    cell["total_faults"] += faults_hits[s]
+                    cell["n_silent"] += int(outcome == "sdc")
+                    correct = result.converged and error <= error_tolerance
+                    cell["n_correct"] += int(correct)
+                    if not pspec.is_default:
+                        cell["low_runs"] += 1
+                        cell["low_correct"] += int(correct)
+
+    out = []
+    for s in range(n_scenarios):
+        cell = counters[s]
+        summary = {
+            "n_runs": cell["n_runs"],
+            "n_solvers": len(solver_list),
+            "n_precisions": len(precision_list),
+            "n_preconds": len(precond_list),
+            "n_correct": cell["n_correct"],
+            "n_silent_corruptions": cell["n_silent"],
+            "total_faults_injected": cell["total_faults"],
+            "n_lowprecision_runs": cell["low_runs"],
+            "n_lowprecision_correct": cell["low_correct"],
+            "target": target,
+            "faults": fault_model.describe(),
+        }
+        parameters = {
+            "grid": grid,
+            "solvers": tuple(solver_list),
+            "precisions": tuple(precision_list),
+            "preconds": tuple(precond_list),
+            "faults": fault_model.describe(),
+            "target": target,
+            "tol": tol,
+            "maxiter": maxiter,
+            "error_tolerance": error_tolerance,
+            "seed": seeds[s],
+        }
+        out.append(
+            ExperimentResult(
+                experiment="E10",
+                claim=_CLAIM,
+                table=tables[s],
+                summary=summary,
+                parameters=parameters,
+            )
+        )
+    return out
+
+
+def _solve_cell_lanes(
+    solver, matrix, b_list, precond_name, pspec, *,
+    soft_model, fault_seeds, target, registry, params,
+):
+    """One (solver, precond, precision) cell for all lanes.
+
+    Cells route through :func:`batch_solve` whenever the whole lane
+    configuration is expressible as its declarative surface (the fixed-
+    preconditioner placements); the fgmres inner-solve configuration is
+    built per lane and solved sequentially, exactly as :func:`run`
+    builds it.
+    """
+    n_scenarios = len(b_list)
+    # Built per lane: stateful preconditioners (and the wrapping
+    # proxies) must not be shared across lanes.
+    builts = [
+        resolve_preconds(precond_name, matrix=matrix)
+        for _ in range(n_scenarios)
+    ]
+    if target != "outer" and solver.name == "fgmres":
+        results = []
+        faults_hits = []
+        for s in range(n_scenarios):
+            result, hit = _solve_cell(
+                solver, matrix, b_list[s], builts[s], pspec,
+                soft_model=soft_model, fault_seed=fault_seeds[s],
+                target=target, registry=registry, params=params,
+                precond_name=precond_name,
+            )
+            results.append(result)
+            faults_hits.append(hit)
+        return results, faults_hits
+
+    precision_label = pspec.to_string()
+    with np.errstate(over="ignore", invalid="ignore"):
+        if target == "outer":
+            if soft_model is not None and builts[0] is not None:
+                with contextlib.ExitStack() as stack:
+                    domains = [
+                        stack.enter_context(
+                            unreliable(soft_model, seed=fault_seeds[s],
+                                       name=f"precision/{solver.name}")
+                        )
+                        for s in range(n_scenarios)
+                    ]
+                    wrapped = [
+                        domains[s].preconditioner(
+                            builts[s], flops_per_call=float(matrix.nnz)
+                        )
+                        for s in range(n_scenarios)
+                    ]
+                    results = batch_solve(
+                        solver.name, matrix, b_list,
+                        precision=precision_label,
+                        lane_params=[{"precond": w} for w in wrapped],
+                        registry=registry, **params,
+                    )
+                faults_hits = [d.faults_injected() for d in domains]
+            else:
+                results = batch_solve(
+                    solver.name, matrix, b_list,
+                    precision=precision_label,
+                    lane_params=[{"precond": precond_name}] * n_scenarios,
+                    registry=registry, **params,
+                )
+                faults_hits = [0] * n_scenarios
+        else:
+            lows = [
+                PrecisionDomain(pspec).preconditioner(builts[s])
+                for s in range(n_scenarios)
+            ]
+            if soft_model is not None and builts[0] is not None:
+                with contextlib.ExitStack() as stack:
+                    domains = [
+                        stack.enter_context(
+                            unreliable(soft_model, seed=fault_seeds[s],
+                                       name=f"precision/{solver.name}")
+                        )
+                        for s in range(n_scenarios)
+                    ]
+                    wrapped = [
+                        domains[s].preconditioner(
+                            lows[s], flops_per_call=float(matrix.nnz)
+                        )
+                        for s in range(n_scenarios)
+                    ]
+                    results = batch_solve(
+                        solver.name, matrix, b_list,
+                        lane_params=[{"precond": w} for w in wrapped],
+                        registry=registry, **params,
+                    )
+                faults_hits = [d.faults_injected() for d in domains]
+            else:
+                results = batch_solve(
+                    solver.name, matrix, b_list,
+                    lane_params=[{"precond": low} for low in lows],
+                    registry=registry, **params,
+                )
+                faults_hits = [0] * n_scenarios
+    return results, faults_hits
+
+
+def _bind_defaults(params: Mapping) -> dict:
+    """Apply :func:`run`'s keyword defaults to one scenario's parameters."""
+    bound = inspect.signature(run).bind(**dict(params))
+    bound.apply_defaults()
+    return dict(bound.arguments)
+
+
+def _compatible(resolved: List[dict]) -> bool:
+    """Whether the scenarios agree on everything except the seed."""
+    reference = {k: v for k, v in resolved[0].items() if k != "seed"}
+    return all(
+        {k: v for k, v in p.items() if k != "seed"} == reference
+        for p in resolved[1:]
+    )

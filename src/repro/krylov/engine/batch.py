@@ -375,8 +375,8 @@ class _ArnoldiAttempt:
         self.cycle_outcome = "end"
         self._cycle_r = None
 
-    def end_cycle(self):
-        """The cycle tail: least-squares update and true-residual check."""
+    def update_solution(self):
+        """First half of the cycle tail: the least-squares iterate update."""
         if self.inner_used > 0:  # update_on_breakdown=True for the GMRES family
             try:
                 y = self.lsq.solve(self.inner_used)
@@ -389,16 +389,30 @@ class _ArnoldiAttempt:
                 )
             else:
                 self.breakdown = True
+
+    def finish_cycle(self, true_residual: float):
+        """Second half of the cycle tail: record the true residual.
+
+        ``true_residual`` is ``||b - A x||`` of the updated iterate --
+        computed here per lane by :meth:`end_cycle`, or by the stacked
+        block matvec of :func:`_batched_cycle_tail` (bit-identical per
+        row, so the recorded history is the same either way).
+        """
+        self.residual_norms[-1] = true_residual
+        if self.convergence.is_met(true_residual, self.target):
+            self.converged = True
+        self.outer += 1
+
+    def end_cycle(self):
+        """The cycle tail: least-squares update and true-residual check."""
+        self.update_solution()
         kernels = self.kernels
         t0 = kernels.tick()
         true_residual = ops.norm(
             ops.axpby(1.0, self.b, -1.0, ops.matvec(self.operator, self.x))
         )
         kernels.charge("matvec", t0)
-        self.residual_norms[-1] = true_residual
-        if self.convergence.is_met(true_residual, self.target):
-            self.converged = True
-        self.outer += 1
+        self.finish_cycle(true_residual)
 
 
 class _PlainGmresLane:
@@ -448,6 +462,12 @@ class _PlainGmresLane:
 
     def after_cycle(self):
         self._attempt.end_cycle()
+
+    def tail_begin(self):
+        """Run the x-update half of the cycle tail; return the attempt
+        whose true-residual matvec remains (never ``None`` here)."""
+        self._attempt.update_solution()
+        return self._attempt
 
     def _finish(self):
         a = self._attempt
@@ -555,6 +575,20 @@ class _SdcGmresLane:
 
     def after_cycle(self):
         a = self._attempt
+        if self._tail_abandoned():
+            return
+        a.end_cycle()
+
+    def tail_begin(self):
+        """The x-update half of the cycle tail; ``None`` when the cycle
+        was abandoned (no true-residual matvec remains for this lane)."""
+        if self._tail_abandoned():
+            return None
+        self._attempt.update_solution()
+        return self._attempt
+
+    def _tail_abandoned(self) -> bool:
+        a = self._attempt
         if a.cycle_outcome == "abandoned":
             # The corrupted cycle is discarded; its kernel work and one
             # iteration tick stay in the accounting, and the next
@@ -562,8 +596,8 @@ class _SdcGmresLane:
             self.kernels.merge_dict(a.kernels.as_dict())
             self.total_iterations += 1
             self._attempt = None
-        else:
-            a.end_cycle()
+            return True
+        return False
 
     def _next_attempt(self) -> bool:
         """The head of the ``while attempts <= max_restarts`` driver loop."""
@@ -1005,10 +1039,70 @@ def run_arnoldi_batch(operator, specs: Sequence) -> List[SolveResult]:
         pool = []
         for (m, method), members in cohorts.items():
             _run_cohort(operator, members, m, method, n)
-            for lane in members:
-                lane.after_cycle()
+            _batched_cycle_tail(members)
             pool.extend(members)
     return [lane.result for lane in lanes]
+
+
+#: Stack the cycle-tail residual matvecs only while the cohort's total
+#: row count (``S * n`` = the number of ``reduceat`` segments) stays in
+#: the interpreter-bound regime; above this the per-segment cost of the
+#: axis-1 ``reduceat`` outweighs the saved per-lane dispatch (measured:
+#: 2.6x faster at n=64/S=256, 3x *slower* at n=1024/S=64).
+_TAIL_STACK_MAX_SEGMENTS = 16_384
+
+
+def _batched_cycle_tail(members) -> None:
+    """The cycle tail across one cohort, with the residual matvecs stacked.
+
+    Every lane first runs its x-update (per lane, charged nothing, as
+    sequentially); the per-lane true-residual matvecs that close each
+    cycle are then stacked into one :meth:`CsrMatrix.matvec_block` call
+    whenever every remaining lane shares one CsrMatrix operator.  The
+    block kernel is bit-identical per row to the per-lane matvec, and
+    each lane is charged one matvec call with an even share of the
+    batched span -- exactly the accounting contract of the inner-loop
+    spans, so batch/sequential parity (which excludes seconds only)
+    holds.  Lanes with private operators (fault-injecting wrappers)
+    keep their own sequential matvec, preserving fault streams
+    draw for draw.
+
+    The stacked path is gated on the block size: ``reduceat`` along
+    axis 1 pays a per-segment cost that makes the block kernel *slower*
+    than S well-vectorized 1-D matvecs once ``S * n`` leaves the
+    interpreter-bound regime (measured crossover ~16k row segments), so
+    large-n cohorts keep the per-lane tail.  Both residual forms are
+    bit-identical (``b - Ax`` and ``1.0*b + (-1.0)*Ax`` are the same
+    IEEE operation), so the gate is a pure time heuristic.
+    """
+    acts = [a for a in (lane.tail_begin() for lane in members) if a is not None]
+    if not acts:
+        return
+    op0 = acts[0].operator
+    if (
+        len(acts) > 1
+        and isinstance(op0, CsrMatrix)
+        and len(acts) * op0.shape[0] <= _TAIL_STACK_MAX_SEGMENTS
+        and all(a.operator is op0 for a in acts)
+    ):
+        t0 = time.perf_counter()
+        X = np.array([a.x for a in acts], dtype=np.float64)
+        AX = op0.matvec_block(X)
+        R = np.array([a.b for a in acts], dtype=np.float64) - AX
+        residuals = [float(np.sqrt(R[i] @ R[i])) for i in range(len(acts))]
+        share = (time.perf_counter() - t0) / len(acts)
+        for a, true_residual in zip(acts, residuals):
+            a.kernels.add("matvec", share, calls=1)
+            a.finish_cycle(true_residual)
+        return
+    for a in acts:
+        kernels = a.kernels
+        t0 = kernels.tick()
+        true_residual = ops.norm(
+            ops.axpby(1.0, a.b, -1.0, ops.matvec(a.operator, a.x))
+        )
+        kernels.charge("matvec", t0)
+        a.finish_cycle(true_residual)
 
 
 # ---------------------------------------------------------------------------

@@ -34,6 +34,7 @@ from repro.simmpi.requests import CompletedRequest
 
 __all__ = [
     "is_distributed",
+    "as_float",
     "matvec",
     "dot",
     "idot",
@@ -59,6 +60,25 @@ def is_distributed(vector: Any) -> bool:
     return isinstance(vector, DistributedVector)
 
 
+def as_float(x) -> np.ndarray:
+    """Coerce to a floating ndarray, preserving a reduced compute dtype.
+
+    This is the dtype-dispatch point of the kernel layer: float64 input
+    passes through as the usual no-op view (so the default path is
+    bit-identical to the old blanket ``np.asarray(x, dtype=np.float64)``
+    coercions), float32 input *stays* float32 instead of being silently
+    upcast, float16 widens to float32 (no kernel here accumulates in
+    half precision), and everything else -- ints, lists, generic
+    objects -- coerces to float64 exactly as before.
+    """
+    arr = np.asarray(x)
+    if arr.dtype == np.float64 or arr.dtype == np.float32:
+        return arr
+    if arr.dtype == np.float16:
+        return arr.astype(np.float32)
+    return np.asarray(arr, dtype=np.float64)
+
+
 def matvec(operator: Operator, x: Vector) -> Vector:
     """Apply the operator to a vector, dispatching on types."""
     if isinstance(x, DistributedVector):
@@ -70,9 +90,9 @@ def matvec(operator: Operator, x: Vector) -> Vector:
             "distributed vectors require a DistributedRowMatrix or callable operator"
         )
     if isinstance(operator, CsrMatrix):
-        return operator.matvec(np.asarray(x, dtype=np.float64))
+        return operator.matvec(as_float(x))
     if isinstance(operator, np.ndarray):
-        return operator @ np.asarray(x, dtype=np.float64)
+        return operator @ as_float(x)
     if callable(operator):
         return operator(x)
     raise TypeError(f"unsupported operator type {type(operator).__name__}")
@@ -82,7 +102,7 @@ def dot(x: Vector, y: Vector) -> float:
     """Global inner product."""
     if isinstance(x, DistributedVector):
         return x.dot(y)
-    return float(np.asarray(x, dtype=np.float64) @ np.asarray(y, dtype=np.float64))
+    return float(as_float(x) @ as_float(y))
 
 
 def idot(x: Vector, y: Vector):
@@ -122,7 +142,7 @@ def norm(x: Vector) -> float:
     """Global 2-norm."""
     if isinstance(x, DistributedVector):
         return x.norm()
-    x = np.asarray(x, dtype=np.float64)
+    x = as_float(x)
     # sqrt(x . x) is what np.linalg.norm computes for 1-D input, minus
     # the generic-dispatch overhead that matters at small n.
     return float(np.sqrt(x @ x))
@@ -134,35 +154,37 @@ def axpby(alpha: float, x: Vector, beta: float, y: Vector) -> Vector:
         result = x.copy().scale(alpha)
         result.axpy(beta, y)
         return result
-    return alpha * np.asarray(x, dtype=np.float64) + beta * np.asarray(y, dtype=np.float64)
+    # Python-float scalars do not upcast float32 arrays under NumPy
+    # promotion, so a reduced-precision pair stays reduced here.
+    return alpha * as_float(x) + beta * as_float(y)
 
 
 def scale(alpha: float, x: Vector) -> Vector:
     """Return ``alpha * x`` as a new vector."""
     if isinstance(x, DistributedVector):
         return x.copy().scale(alpha)
-    return alpha * np.asarray(x, dtype=np.float64)
+    return alpha * as_float(x)
 
 
 def copy_vector(x: Vector) -> Vector:
     """Deep copy."""
     if isinstance(x, DistributedVector):
         return x.copy()
-    return np.array(x, dtype=np.float64, copy=True)
+    return as_float(x).copy()
 
 
 def zeros_like(x: Vector) -> Vector:
     """A zero vector with the same shape/distribution as ``x``."""
     if isinstance(x, DistributedVector):
         return DistributedVector.zeros_like(x)
-    return np.zeros_like(np.asarray(x, dtype=np.float64))
+    return np.zeros_like(as_float(x))
 
 
 def to_local(x: Vector) -> np.ndarray:
     """Return the local (or full, for sequential) NumPy data of ``x``."""
     if isinstance(x, DistributedVector):
         return x.local
-    return np.asarray(x, dtype=np.float64)
+    return as_float(x)
 
 
 def vector_size(x: Vector) -> int:
@@ -195,9 +217,14 @@ class KrylovBasis:
     ``state.basis[i]`` in place keep hitting the live solver state.
     """
 
-    def __init__(self, max_vectors: int, local_size: int):
-        self._rows = np.zeros((int(max_vectors), int(local_size)), dtype=np.float64)
+    def __init__(self, max_vectors: int, local_size: int, dtype=np.float64):
+        self._rows = np.zeros((int(max_vectors), int(local_size)), dtype=dtype)
         self.n_columns = 0
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Dtype the basis block is stored (and orthogonalized) in."""
+        return self._rows.dtype
 
     # -- storage -------------------------------------------------------
     @property
@@ -322,7 +349,7 @@ class _DenseKrylovBasis(KrylovBasis):
 
     def append(self, vec, scale: float = 1.0):
         row = self._rows[self.n_columns]
-        np.multiply(float(scale), np.asarray(vec, dtype=np.float64), out=row)
+        np.multiply(float(scale), as_float(vec), out=row)
         self.n_columns += 1
         return row
 
@@ -336,7 +363,10 @@ class _DenseKrylovBasis(KrylovBasis):
 
     def lincomb(self, coefficients, k: Optional[int] = None) -> np.ndarray:
         k = self.n_columns if k is None else int(k)
-        return np.asarray(coefficients, dtype=np.float64) @ self._rows[:k]
+        # Match the basis dtype: a float64 coefficient vector against a
+        # float32 basis would otherwise upcast the whole (k, n) block
+        # for one gemv, throwing away the memory-traffic win.
+        return np.asarray(coefficients, dtype=self._rows.dtype) @ self._rows[:k]
 
     def fused_projection(self, w, k: Optional[int] = None):
         k = self.n_columns if k is None else int(k)
@@ -346,7 +376,7 @@ class _DenseKrylovBasis(KrylovBasis):
         return CompletedRequest(payload, operation="fused_projection")
 
     def _mgs(self, w, k: int):
-        w = np.array(w, dtype=np.float64, copy=True)
+        w = as_float(w).copy()
         coefficients = np.zeros(k, dtype=np.float64)
         for i in range(k):
             v = self._rows[i]
@@ -428,10 +458,10 @@ def allocate_basis(template: Vector, max_vectors: int) -> KrylovBasis:
         raise ValueError("max_vectors must be positive")
     if isinstance(template, DistributedVector):
         return _DistributedKrylovBasis(max_vectors, template)
-    local = np.asarray(template, dtype=np.float64)
+    local = as_float(template)
     if local.ndim != 1:
         raise ValueError("template vector must be 1-D")
-    return _DenseKrylovBasis(max_vectors, local.size)
+    return _DenseKrylovBasis(max_vectors, local.size, dtype=local.dtype)
 
 
 def apply_preconditioner(preconditioner, x: Vector) -> Vector:

@@ -32,6 +32,17 @@ except FGMRES, whose variable preconditioner is its ``inner_solve=``),
 and the canonical spec string is recorded in
 ``result.info["precond"]``.
 
+Precision is the fourth declarative axis: ``solve(..., precision=...)``
+accepts anything :func:`repro.reliability.parse_precision` does -- a
+registry name (``"fp32"``), a compact spec string
+(``"fp32:storage=fp16"``), a dict or a
+:class:`~repro.reliability.PrecisionSpec`.  The default (``"fp64"`` or
+``None``) leaves the solve bit-for-bit identical to the historical
+path; any lower precision casts the operator, right-hand side and
+initial guess down before the solve, records the canonical spec string
+in ``result.info["precision"]`` and returns the answer cast back to
+float64 so callers always receive a double-precision ``x``.
+
 ``python -m repro.campaign list`` prints this registry as the solver
 table (one row per solver: name, family, supported policies, title)
 next to the experiment, fault-model and preconditioner tables.
@@ -41,6 +52,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
 
 from repro.krylov.result import SolveResult
 
@@ -157,6 +170,7 @@ class RegisteredSolver:
         policy_options: Optional[Mapping] = None,
         precond=None,
         precond_matrix=None,
+        precision=None,
         **params,
     ) -> SolveResult:
         """Run this solver with a named resilience policy.
@@ -168,10 +182,35 @@ class RegisteredSolver:
         compact spec string, dict, :class:`~repro.precond.PrecondSpec`
         or a built preconditioner object); spec-shaped values are built
         against ``precond_matrix`` when given, else against the
-        operator itself.  The effective policy name is recorded in
-        ``result.info["policy_name"]`` and the preconditioner in
-        ``result.info["precond"]``.
+        operator itself.  ``precision`` is anything
+        :func:`repro.reliability.parse_precision` accepts; ``None`` and
+        ``"fp64"`` leave the solve bit-for-bit identical to the
+        historical path, while lower precisions cast the operator and
+        vectors down (spec-shaped preconditioners are then built from
+        the cast operator, so ``M^{-1} v`` runs at the swept precision
+        too) and the answer is cast back to float64.  The effective
+        policy name is recorded in ``result.info["policy_name"]``, the
+        preconditioner in ``result.info["precond"]`` and -- whenever
+        ``precision`` was requested -- the canonical precision string
+        in ``result.info["precision"]``.
         """
+        precision_label = None
+        if precision is not None:
+            from repro.reliability.precision import (
+                cast_operator,
+                cast_vector,
+                parse_precision,
+            )
+
+            pspec = parse_precision(precision)
+            precision_label = pspec.to_string()
+            if not pspec.is_default:
+                operator = cast_operator(operator, pspec)
+                if precond_matrix is not None:
+                    precond_matrix = cast_operator(precond_matrix, pspec)
+                b = cast_vector(b, pspec)
+                if x0 is not None:
+                    x0 = cast_vector(x0, pspec)
         precond_label = None
         if precond is not None:
             from repro.precond import parse_precond, resolve_preconds
@@ -194,6 +233,10 @@ class RegisteredSolver:
         result.info["policy_name"] = effective
         if precond_label is not None:
             result.info.setdefault("precond", precond_label)
+        if precision_label is not None:
+            result.info["precision"] = precision_label
+            if isinstance(result.x, np.ndarray) and result.x.dtype != np.float64:
+                result.x = np.asarray(result.x, dtype=np.float64)
         return result
 
 
@@ -257,7 +300,7 @@ def _builtin_solvers() -> List[RegisteredSolver]:
             title="Restarted GMRES, right preconditioning, blocking CGS2",
             policies=("none", "residual_guard", "skeptical_restart", "skeptical_abort"),
             _solve=_dispatch_gmres(gmres, sdc_detecting_gmres),
-            experiments=("E1", "E3", "E6", "E8", "E9"),
+            experiments=("E1", "E3", "E6", "E8", "E9", "E10"),
         ),
         RegisteredSolver(
             name="fgmres",
@@ -265,7 +308,7 @@ def _builtin_solvers() -> List[RegisteredSolver]:
             title="Flexible GMRES (variable preconditioner, reliable outer)",
             policies=guard_only,
             _solve=_guarded(fgmres),
-            experiments=("E6", "E8", "E9"),
+            experiments=("E6", "E8", "E9", "E10"),
             precond_param="inner_solve",
         ),
         RegisteredSolver(
@@ -283,7 +326,7 @@ def _builtin_solvers() -> List[RegisteredSolver]:
             policies=guard_only,
             _solve=_guarded(cg),
             spd_only=True,
-            experiments=("E3", "E5", "E8", "E9"),
+            experiments=("E3", "E5", "E8", "E9", "E10"),
         ),
         RegisteredSolver(
             name="pipelined_cg",
@@ -377,6 +420,15 @@ def _is_batchable(entry: RegisteredSolver, effective: str, merged: Mapping) -> b
     return True
 
 
+def _default_precision(value) -> bool:
+    """Whether a lane's precision request keeps the float64 fast path."""
+    if value is None:
+        return True
+    from repro.reliability.precision import parse_precision
+
+    return parse_precision(value).is_default
+
+
 def _precond_label(precond) -> str:
     """The ``info["precond"]`` label, mirroring ``RegisteredSolver.solve``."""
     if hasattr(precond, "apply") or callable(precond):
@@ -396,6 +448,7 @@ def batch_solve(
     policy_options: Optional[Mapping] = None,
     precond=None,
     precond_matrix=None,
+    precision=None,
     lane_params: Optional[List[Mapping]] = None,
     operators: Optional[List] = None,
     registry: Optional[SolverRegistry] = None,
@@ -418,6 +471,16 @@ def batch_solve(
     (``skeptical_abort``, ``gram_schmidt="modified"``, the pipelined /
     flexible / distributed solvers) falls back to per-lane sequential
     solves, so callers never need to special-case batchability.
+
+    ``precision`` (batch-wide, or per lane via a ``"precision"`` key in
+    ``lane_params``) is the same declarative axis as
+    :meth:`RegisteredSolver.solve`.  The lockstep engine is pinned to
+    the bit-exact float64 contract, so any lane requesting a
+    non-default precision routes the whole batch through the
+    sequential fallback -- results stay identical to ``S`` separate
+    ``solve`` calls either way.  (On current NumPy the stacked fp32
+    kernels do match the per-lane forms bit for bit, so lifting this
+    restriction is measured headroom, not a correctness risk.)
 
     ``operators`` optionally gives each lane its own operator (e.g. a
     per-scenario fault-injecting wrapper); the shared ``operator`` then
@@ -446,7 +509,11 @@ def batch_solve(
         lane_operators = list(operators)
 
     merged_all = [dict(params, **dict(extra)) for extra in lane_params]
-    if not all(_is_batchable(entry, effective, merged) for merged in merged_all):
+    lane_precisions = [merged.pop("precision", precision) for merged in merged_all]
+    if not (
+        all(_default_precision(value) for value in lane_precisions)
+        and all(_is_batchable(entry, effective, merged) for merged in merged_all)
+    ):
         # Sequential fallback: exactly S independent solve() calls.
         return [
             entry.solve(
@@ -457,9 +524,12 @@ def batch_solve(
                 policy_options=options,
                 precond=merged.pop("precond", precond),
                 precond_matrix=precond_matrix,
+                precision=lane_precision,
                 **merged,
             )
-            for b, x0, merged, lane_op in zip(bs, x0s, merged_all, lane_operators)
+            for b, x0, merged, lane_op, lane_precision in zip(
+                bs, x0s, merged_all, lane_operators, lane_precisions
+            )
         ]
 
     from repro.krylov.engine import ResidualGuardPolicy
@@ -512,11 +582,17 @@ def batch_solve(
         results = run_cg_batch(operator, specs)
     else:
         results = run_arnoldi_batch(operator, specs)
-    for result in results:
+    for result, lane_precision in zip(results, lane_precisions):
         result.info.setdefault("solver_name", entry.name)
         result.info["policy_name"] = effective
         if precond_label is not None:
             result.info.setdefault("precond", precond_label)
+        if lane_precision is not None:
+            # Lanes only reach the lockstep engine with the default
+            # precision; mirror the label solve() would have recorded.
+            from repro.reliability.precision import parse_precision
+
+            result.info["precision"] = parse_precision(lane_precision).to_string()
     return results
 
 

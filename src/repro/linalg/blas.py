@@ -6,6 +6,14 @@ matrix), back substitution, axpy and the two Gram-Schmidt variants.
 Keeping them here (rather than inlined in the solvers) lets the
 skeptical-programming layer wrap and check them, and lets the tests
 exercise them in isolation.
+
+Precision: the Gram-Schmidt block kernels follow the dtype of their
+operands (a float32 basis orthogonalizes in float32 -- the
+memory-traffic lever of the mixed-precision layer), while the Givens
+rotations, Hessenberg least-squares state and back substitution stay
+float64 unconditionally: they are O(m) per cycle, cost nothing, and
+keeping the outer recurrence in full precision is what makes reduced
+inner precision safe (the iterative-refinement shape).
 """
 
 from __future__ import annotations
@@ -29,6 +37,14 @@ __all__ = [
     "classical_gram_schmidt_step",
     "cgs2_step",
 ]
+
+
+def _as_float(x) -> np.ndarray:
+    """float64 no-op view, float32 preserved, everything else -> float64."""
+    arr = np.asarray(x)
+    if arr.dtype == np.float64 or arr.dtype == np.float32:
+        return arr
+    return np.asarray(arr, dtype=np.float64)
 
 
 def axpy(alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
@@ -206,7 +222,7 @@ def modified_gram_schmidt_step(
     Returns ``(w_orth, coefficients)`` where ``coefficients[j]`` is the
     projection of the *partially orthogonalized* ``w`` onto column j.
     """
-    w = np.array(w, dtype=np.float64, copy=True)
+    w = _as_float(w).copy()
     coefficients = np.zeros(n_vectors, dtype=np.float64)
     for j in range(n_vectors):
         v = basis[:, j]
@@ -225,7 +241,7 @@ def classical_gram_schmidt_step(
     Krylov variants prefer it -- exactly the trade the RBSP model makes
     explicit.
     """
-    w = np.asarray(w, dtype=np.float64)
+    w = _as_float(w)
     coefficients = basis[:, :n_vectors].T @ w
     w_orth = w - basis[:, :n_vectors] @ coefficients
     return w_orth, coefficients

@@ -17,6 +17,31 @@ from repro.utils.validation import check_integer
 
 __all__ = ["CsrMatrix"]
 
+#: Compute dtypes a CsrMatrix may carry.  Accumulation narrower than
+#: float32 is numerically useless for Krylov work, so float16 is only
+#: allowed as a *storage* dtype (entries are widened on multiply).
+_COMPUTE_DTYPES = (np.float32, np.float64)
+_STORAGE_DTYPES = (np.float16, np.float32, np.float64)
+
+
+def _check_compute_dtype(dtype) -> np.dtype:
+    resolved = np.dtype(dtype)
+    if resolved not in [np.dtype(d) for d in _COMPUTE_DTYPES]:
+        raise ValueError(
+            f"compute dtype must be float32 or float64, got {resolved}"
+        )
+    return resolved
+
+
+def _check_storage_dtype(dtype) -> np.dtype:
+    resolved = np.dtype(dtype)
+    if resolved not in [np.dtype(d) for d in _STORAGE_DTYPES]:
+        raise ValueError(
+            f"storage dtype must be float16, float32 or float64, "
+            f"got {resolved}"
+        )
+    return resolved
+
 
 class CsrMatrix:
     """A real matrix in compressed-sparse-row format.
@@ -28,9 +53,19 @@ class CsrMatrix:
     indices:
         Column indices of stored entries (length ``nnz``).
     data:
-        Stored values (length ``nnz``), coerced to float64.
+        Stored values (length ``nnz``), coerced to the storage dtype
+        (float64 unless ``dtype``/``storage`` say otherwise).
     shape:
         ``(n_rows, n_cols)``.
+    dtype:
+        Compute dtype -- the dtype matvec coerces input vectors to and
+        (together with the storage dtype) the dtype of its results.
+        float64 (the default) or float32.
+    storage:
+        Dtype the ``data`` array is stored in; defaults to ``dtype``.
+        May be float16 to halve matrix memory traffic again -- entries
+        are widened by NumPy promotion during the multiply, so the
+        accumulation still runs at the compute dtype.
 
     Notes
     -----
@@ -46,10 +81,20 @@ class CsrMatrix:
         indices: Iterable[int],
         data: Iterable[float],
         shape: Tuple[int, int],
+        *,
+        dtype=np.float64,
+        storage=None,
     ):
+        self.dtype = _check_compute_dtype(dtype)
+        storage_dtype = (
+            self.dtype if storage is None else _check_storage_dtype(storage)
+        )
         self.indptr = np.asarray(indptr, dtype=np.int64)
         self.indices = np.asarray(indices, dtype=np.int64)
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = np.asarray(data, dtype=storage_dtype)
+        # Dtype of matvec products: NumPy promotion of storage x compute
+        # (float16 storage widens to the compute dtype, never narrows it).
+        self._result_dtype = np.result_type(self.data.dtype, self.dtype)
         n_rows, n_cols = int(shape[0]), int(shape[1])
         if n_rows < 0 or n_cols < 0:
             raise ValueError("shape entries must be non-negative")
@@ -88,7 +133,14 @@ class CsrMatrix:
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
-    def from_dense(cls, dense: np.ndarray, *, tol: float = 0.0) -> "CsrMatrix":
+    def from_dense(
+        cls,
+        dense: np.ndarray,
+        *,
+        tol: float = 0.0,
+        dtype=np.float64,
+        storage=None,
+    ) -> "CsrMatrix":
         """Build from a dense array, dropping entries with ``|a_ij| <= tol``."""
         arr = np.asarray(dense, dtype=np.float64)
         if arr.ndim != 2:
@@ -98,7 +150,7 @@ class CsrMatrix:
         indptr[1:] = np.cumsum(mask.sum(axis=1))
         indices = np.nonzero(mask)[1]
         data = arr[mask]
-        return cls(indptr, indices, data, arr.shape)
+        return cls(indptr, indices, data, arr.shape, dtype=dtype, storage=storage)
 
     @classmethod
     def from_coo(
@@ -107,6 +159,9 @@ class CsrMatrix:
         cols: Iterable[int],
         values: Iterable[float],
         shape: Tuple[int, int],
+        *,
+        dtype=np.float64,
+        storage=None,
     ) -> "CsrMatrix":
         """Build from coordinate (triplet) format; duplicates are summed."""
         rows = np.asarray(rows, dtype=np.int64)
@@ -136,25 +191,29 @@ class CsrMatrix:
         indptr = np.zeros(n_rows + 1, dtype=np.int64)
         np.add.at(indptr, rows + 1, 1)
         indptr = np.cumsum(indptr)
-        return cls(indptr, cols, values, (n_rows, n_cols))
+        return cls(
+            indptr, cols, values, (n_rows, n_cols), dtype=dtype, storage=storage
+        )
 
     @classmethod
-    def identity(cls, n: int) -> "CsrMatrix":
+    def identity(cls, n: int, *, dtype=np.float64, storage=None) -> "CsrMatrix":
         """The n-by-n identity matrix."""
         check_integer(n, "n")
         indptr = np.arange(n + 1, dtype=np.int64)
         indices = np.arange(n, dtype=np.int64)
         data = np.ones(n, dtype=np.float64)
-        return cls(indptr, indices, data, (n, n))
+        return cls(indptr, indices, data, (n, n), dtype=dtype, storage=storage)
 
     @classmethod
-    def diagonal(cls, values: Iterable[float]) -> "CsrMatrix":
+    def diagonal(
+        cls, values: Iterable[float], *, dtype=np.float64, storage=None
+    ) -> "CsrMatrix":
         """A diagonal matrix with the given diagonal values."""
         vals = np.asarray(values, dtype=np.float64)
         n = vals.size
         indptr = np.arange(n + 1, dtype=np.int64)
         indices = np.arange(n, dtype=np.int64)
-        return cls(indptr, indices, vals.copy(), (n, n))
+        return cls(indptr, indices, vals.copy(), (n, n), dtype=dtype, storage=storage)
 
     # ------------------------------------------------------------------
     # Properties
@@ -179,12 +238,39 @@ class CsrMatrix:
         """Whether the matrix is square."""
         return self.shape[0] == self.shape[1]
 
+    @property
+    def storage_dtype(self) -> np.dtype:
+        """Dtype the stored entries are held in (may be narrower than
+        the compute dtype, e.g. float16 storage under float32 compute)."""
+        return self.data.dtype
+
+    def astype(self, dtype, *, storage=None) -> "CsrMatrix":
+        """Return a copy with the given compute (and optional storage) dtype.
+
+        The structure arrays are shared (they are immutable by
+        convention); only ``data`` is converted.  ``astype(np.float64)``
+        on a float64 matrix is still a new object, matching
+        :meth:`copy` semantics for the data array.
+        """
+        resolved = _check_compute_dtype(dtype)
+        storage_dtype = (
+            resolved if storage is None else _check_storage_dtype(storage)
+        )
+        return CsrMatrix(
+            self.indptr,
+            self.indices,
+            self.data.astype(storage_dtype),
+            self.shape,
+            dtype=resolved,
+            storage=storage_dtype,
+        )
+
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """Return ``A @ x`` for a 1-D vector ``x``."""
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.dtype)
         if x.ndim != 1 or x.size != self.n_cols:
             raise ValueError(
                 f"x must be a vector of length {self.n_cols}, got shape {x.shape}"
@@ -192,9 +278,9 @@ class CsrMatrix:
         products = self.data * x[self.indices]
         if not self._has_empty_rows:
             if self.n_rows == 0:
-                return np.zeros(0, dtype=np.float64)
+                return np.zeros(0, dtype=self._result_dtype)
             return np.add.reduceat(products, self._reduce_starts)
-        result = np.zeros(self.n_rows, dtype=np.float64)
+        result = np.zeros(self.n_rows, dtype=self._result_dtype)
         if products.size:
             result[self._nonempty_rows] = np.add.reduceat(
                 products, self._reduce_starts
@@ -209,7 +295,7 @@ class CsrMatrix:
         ``np.add.reduceat`` reduces every row of the 2-D product array
         with the same segment sums the 1-D call uses.
         """
-        X = np.asarray(X, dtype=np.float64)
+        X = np.asarray(X, dtype=self.dtype)
         if X.ndim != 2 or X.shape[1] != self.n_cols:
             raise ValueError(
                 f"X must have shape (S, {self.n_cols}), got {X.shape}"
@@ -217,9 +303,9 @@ class CsrMatrix:
         products = self.data * X[:, self.indices]
         if not self._has_empty_rows:
             if self.n_rows == 0:
-                return np.zeros((X.shape[0], 0), dtype=np.float64)
+                return np.zeros((X.shape[0], 0), dtype=self._result_dtype)
             return np.add.reduceat(products, self._reduce_starts, axis=1)
-        result = np.zeros((X.shape[0], self.n_rows), dtype=np.float64)
+        result = np.zeros((X.shape[0], self.n_rows), dtype=self._result_dtype)
         if products.size:
             result[:, self._nonempty_rows] = np.add.reduceat(
                 products, self._reduce_starts, axis=1
@@ -228,12 +314,12 @@ class CsrMatrix:
 
     def rmatvec(self, y: np.ndarray) -> np.ndarray:
         """Return ``A.T @ y``."""
-        y = np.asarray(y, dtype=np.float64)
+        y = np.asarray(y, dtype=self.dtype)
         if y.ndim != 1 or y.size != self.n_rows:
             raise ValueError(
                 f"y must be a vector of length {self.n_rows}, got shape {y.shape}"
             )
-        result = np.zeros(self.n_cols, dtype=np.float64)
+        result = np.zeros(self.n_cols, dtype=self._result_dtype)
         row_ids = np.repeat(np.arange(self.n_rows), np.diff(self.indptr))
         np.add.at(result, self.indices, self.data * y[row_ids])
         return result
@@ -243,7 +329,7 @@ class CsrMatrix:
 
     def diagonal_values(self) -> np.ndarray:
         """Extract the main diagonal (zeros where no entry is stored)."""
-        diag = np.zeros(min(self.shape), dtype=np.float64)
+        diag = np.zeros(min(self.shape), dtype=self.dtype)
         for i in range(min(self.shape)):
             start, end = self.indptr[i], self.indptr[i + 1]
             row_cols = self.indices[start:end]
@@ -271,11 +357,12 @@ class CsrMatrix:
         return CsrMatrix(
             indptr, self.indices[lo:hi].copy(), self.data[lo:hi].copy(),
             (stop - start, self.n_cols),
+            dtype=self.dtype, storage=self.data.dtype,
         )
 
     def to_dense(self) -> np.ndarray:
         """Return the dense equivalent (use only for small matrices/tests)."""
-        dense = np.zeros(self.shape, dtype=np.float64)
+        dense = np.zeros(self.shape, dtype=self.dtype)
         row_ids = np.repeat(np.arange(self.n_rows), np.diff(self.indptr))
         np.add.at(dense, (row_ids, self.indices), self.data)
         return dense
@@ -284,24 +371,27 @@ class CsrMatrix:
         """Return the transpose as a new CSR matrix."""
         row_ids = np.repeat(np.arange(self.n_rows), np.diff(self.indptr))
         return CsrMatrix.from_coo(
-            self.indices, row_ids, self.data, (self.n_cols, self.n_rows)
+            self.indices, row_ids, self.data, (self.n_cols, self.n_rows),
+            dtype=self.dtype, storage=self.data.dtype,
         )
 
     def scale_rows(self, factors: np.ndarray) -> "CsrMatrix":
         """Return ``diag(factors) @ A`` as a new matrix."""
-        factors = np.asarray(factors, dtype=np.float64)
+        factors = np.asarray(factors, dtype=self.dtype)
         if factors.shape != (self.n_rows,):
             raise ValueError("factors must have one entry per row")
         row_ids = np.repeat(np.arange(self.n_rows), np.diff(self.indptr))
         return CsrMatrix(
             self.indptr.copy(), self.indices.copy(), self.data * factors[row_ids],
             self.shape,
+            dtype=self.dtype, storage=self.data.dtype,
         )
 
     def copy(self) -> "CsrMatrix":
         """Deep copy."""
         return CsrMatrix(
-            self.indptr.copy(), self.indices.copy(), self.data.copy(), self.shape
+            self.indptr.copy(), self.indices.copy(), self.data.copy(), self.shape,
+            dtype=self.dtype, storage=self.data.dtype,
         )
 
     def __add__(self, other: "CsrMatrix") -> "CsrMatrix":
@@ -316,6 +406,7 @@ class CsrMatrix:
             np.concatenate([self.indices, other.indices]),
             np.concatenate([self.data, other.data]),
             self.shape,
+            dtype=np.result_type(self.dtype, other.dtype),
         )
 
     def __mul__(self, scalar: Union[int, float]) -> "CsrMatrix":
@@ -324,6 +415,7 @@ class CsrMatrix:
         return CsrMatrix(
             self.indptr.copy(), self.indices.copy(), self.data * float(scalar),
             self.shape,
+            dtype=self.dtype, storage=self.data.dtype,
         )
 
     __rmul__ = __mul__

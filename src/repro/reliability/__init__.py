@@ -68,6 +68,9 @@ Module map (mechanism -> declarative layer):
   surface over the mechanisms above.
 * :mod:`~repro.reliability.registry` -- named fault models and
   :func:`resolve_faults`.
+* :mod:`~repro.reliability.precision` -- :class:`PrecisionSpec`, the
+  named precision registry and the ``lowprecision()`` domain (reduced
+  precision as a bounded-error fault model; the fourth sweepable axis).
 * :mod:`~repro.reliability.seeding` -- the per-scenario seed
   derivation shared with the campaign runner.
 
@@ -140,6 +143,18 @@ from repro.reliability.registry import (
     fault_names,
     resolve_faults,
 )
+from repro.reliability.precision import (
+    LowPrecisionOperator,
+    LowPrecisionPreconditioner,
+    PrecisionDomain,
+    PrecisionRegistry,
+    PrecisionSpec,
+    RegisteredPrecision,
+    default_precision_registry,
+    lowprecision,
+    parse_precision,
+    precision_names,
+)
 from repro.reliability.seeding import derive_fault_seed, derive_seed, fault_stream
 
 __all__ = [
@@ -205,6 +220,17 @@ __all__ = [
     "default_fault_registry",
     "fault_names",
     "resolve_faults",
+    # precision (the fourth axis)
+    "PrecisionSpec",
+    "RegisteredPrecision",
+    "PrecisionRegistry",
+    "default_precision_registry",
+    "precision_names",
+    "parse_precision",
+    "PrecisionDomain",
+    "LowPrecisionOperator",
+    "LowPrecisionPreconditioner",
+    "lowprecision",
     # seeding
     "derive_seed",
     "derive_fault_seed",

@@ -1,19 +1,24 @@
-"""Bit-level fault primitives for IEEE-754 double precision.
+"""Bit-level fault primitives for IEEE-754 double and single precision.
 
 Silent data corruption is modeled, as in the SDC-detection literature
 the paper builds on (Elliott & Hoemmen's bit-flip-resilient GMRES),
-as the flip of a single bit in the 64-bit representation of a floating
+as the flip of a single bit in the binary representation of a floating
 point number.  The *position* of the flipped bit determines the
-magnitude of the induced error:
+magnitude of the induced error.  For float64 (the default everywhere):
 
 * bits 0-51  -- mantissa: small relative error (at most a factor of 2);
 * bits 52-62 -- exponent: error can be astronomically large or drive
   the value toward zero;
 * bit 63     -- sign flip.
 
+Float32 arrays (the mixed-precision layer's compute dtype) are flipped
+natively through 32-bit patterns -- bits 0-22 mantissa, 23-30 exponent,
+31 sign -- instead of erroring or silently upcasting, so ``bitflip``
+fault models compose with ``precision="fp32"`` solves.
+
 All helpers operate out-of-place on NumPy data and never use Python
 ``struct`` in inner loops; views via :func:`numpy.ndarray.view` keep
-array-scale injection vectorized.
+array-scale injection vectorized and contiguity-preserving.
 """
 
 from __future__ import annotations
@@ -29,18 +34,44 @@ __all__ = [
     "bits_of",
     "float_from_bits",
     "flip_bit_float64",
+    "flip_bit_float32",
     "flip_bit_array",
     "flip_random_bit",
+    "max_bit_index",
     "relative_perturbation",
     "MANTISSA_BITS",
     "EXPONENT_BITS",
     "SIGN_BIT",
+    "MANTISSA_BITS_FP32",
+    "EXPONENT_BITS_FP32",
+    "SIGN_BIT_FP32",
 ]
 
 #: Bit indices (little-endian, 0 = least significant mantissa bit).
 MANTISSA_BITS = tuple(range(0, 52))
 EXPONENT_BITS = tuple(range(52, 63))
 SIGN_BIT = 63
+
+#: The float32 layout: 23 mantissa bits, 8 exponent bits, 1 sign bit.
+MANTISSA_BITS_FP32 = tuple(range(0, 23))
+EXPONENT_BITS_FP32 = tuple(range(23, 31))
+SIGN_BIT_FP32 = 31
+
+#: dtype -> same-width unsigned integer type for pattern views.
+_BIT_VIEWS = {
+    np.dtype(np.float64): (np.uint64, 63),
+    np.dtype(np.float32): (np.uint32, 31),
+}
+
+
+def max_bit_index(dtype) -> int:
+    """Highest flippable bit index for a float dtype (63 or 31)."""
+    try:
+        return _BIT_VIEWS[np.dtype(dtype)][1]
+    except KeyError:
+        raise TypeError(
+            f"bit flips support float64 and float32 data, got {np.dtype(dtype)}"
+        ) from None
 
 
 def bits_of(value: float) -> int:
@@ -80,6 +111,20 @@ def flip_bit_float64(value: float, bit: int) -> float:
     return float(pattern.view(np.float64))
 
 
+def flip_bit_float32(value: float, bit: int) -> float:
+    """Flip bit ``bit`` (0..31) of a single-precision value.
+
+    The float32 sibling of :func:`flip_bit_float64`: ``value`` is
+    rounded to float32 first, the flip happens in the 32-bit pattern,
+    and the corrupted float32 value is returned (as a Python float).
+    """
+    bit = check_integer(bit, "bit")
+    if not 0 <= bit <= 31:
+        raise ValueError(f"bit must be in [0, 31], got {bit}")
+    pattern = np.float32(value).view(np.uint32) ^ np.uint32(1 << bit)
+    return float(pattern.view(np.float32))
+
+
 def flip_bit_array(
     array: np.ndarray,
     index: Union[int, Tuple[int, ...]],
@@ -87,29 +132,36 @@ def flip_bit_array(
     *,
     inplace: bool = False,
 ) -> np.ndarray:
-    """Flip one bit of one element of a float64 array.
+    """Flip one bit of one element of a float64 or float32 array.
 
     Parameters
     ----------
     array:
-        Array of dtype ``float64`` (other dtypes are rejected to avoid
-        silent precision surprises).
+        Array of dtype ``float64`` or ``float32`` (other dtypes are
+        rejected to avoid silent precision surprises).  The flip runs
+        through a same-width unsigned-integer view, so float32 arrays
+        are corrupted natively via 32-bit patterns.
     index:
         Flat index (int) or multi-dimensional index tuple of the
         element to corrupt.
     bit:
-        Bit position, 0..63.
+        Bit position, 0..63 for float64 or 0..31 for float32.
     inplace:
         If ``True`` the array is modified in place and returned;
         otherwise a corrupted copy is returned and the input is left
         untouched.
     """
     arr = np.asarray(array)
-    if arr.dtype != np.float64:
-        raise TypeError(f"flip_bit_array requires float64 data, got {arr.dtype}")
+    if arr.dtype not in _BIT_VIEWS:
+        raise TypeError(
+            f"flip_bit_array requires float64 or float32 data, got {arr.dtype}"
+        )
+    uint_type, max_bit = _BIT_VIEWS[arr.dtype]
     bit = check_integer(bit, "bit")
-    if not 0 <= bit <= 63:
-        raise ValueError(f"bit must be in [0, 63], got {bit}")
+    if not 0 <= bit <= max_bit:
+        raise ValueError(
+            f"bit must be in [0, {max_bit}] for {arr.dtype}, got {bit}"
+        )
     out = arr if inplace else arr.copy()
     flat = out.reshape(-1)
     if isinstance(index, tuple):
@@ -120,8 +172,8 @@ def flip_bit_array(
             flat_index += flat.size
     if not 0 <= flat_index < flat.size:
         raise IndexError(f"index {index!r} out of bounds for size {flat.size}")
-    view = flat.view(np.uint64)
-    view[flat_index] = view[flat_index] ^ np.uint64(1 << bit)
+    view = flat.view(uint_type)
+    view[flat_index] = view[flat_index] ^ uint_type(1 << bit)
     return out
 
 
@@ -137,14 +189,15 @@ def flip_random_bit(
     Parameters
     ----------
     array:
-        Target float64 array.
+        Target float64 or float32 array.
     rng:
         Seed or generator controlling the random choice.
     bit_range:
         Inclusive ``(low, high)`` range of bit positions to choose
-        from.  Defaults to the full 0..63 range.  Restricting the range
-        (e.g. ``(52, 62)`` for exponent bits) is how experiments sweep
-        error magnitudes.
+        from.  Defaults to the full width of the dtype (0..63 for
+        float64, 0..31 for float32).  Restricting the range (e.g.
+        ``(52, 62)`` for float64 exponent bits) is how experiments
+        sweep error magnitudes.
     inplace:
         Whether to modify the array in place.
 
@@ -157,12 +210,16 @@ def flip_random_bit(
     arr = np.asarray(array)
     if arr.size == 0:
         raise ValueError("cannot flip a bit of an empty array")
+    max_bit = max_bit_index(arr.dtype)
     gen = as_generator(rng)
-    low, high = bit_range if bit_range is not None else (0, 63)
+    low, high = bit_range if bit_range is not None else (0, max_bit)
     low = check_integer(low, "bit_range[0]")
     high = check_integer(high, "bit_range[1]")
-    if not (0 <= low <= high <= 63):
-        raise ValueError(f"invalid bit_range {bit_range!r}")
+    if not (0 <= low <= high <= max_bit):
+        raise ValueError(
+            f"invalid bit_range {bit_range!r} for {arr.dtype} "
+            f"(bits 0..{max_bit})"
+        )
     flat_index = int(gen.integers(0, arr.size))
     bit = int(gen.integers(low, high + 1))
     corrupted = flip_bit_array(arr, flat_index, bit, inplace=inplace)

@@ -213,7 +213,13 @@ class ReliabilityDomain:
         """Pass data through the domain (may corrupt it if unreliable)."""
         self.operations += 1
         if self.injector is not None and self.level == "unreliable":
-            return self.injector.maybe_inject(np.asarray(array, dtype=np.float64), now=now)
+            arr = np.asarray(array)
+            if arr.dtype != np.float32:
+                # The historical coercion (a no-op view for float64);
+                # float32 data passes through natively so the injector
+                # flips 32-bit patterns instead of silently upcasting.
+                arr = np.asarray(arr, dtype=np.float64)
+            return self.injector.maybe_inject(arr, now=now)
         return array
 
     def run(self, func, *args, flops: float = 0.0, now: float = 0.0, **kwargs):

@@ -26,7 +26,12 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.reliability.bitflip import flip_bit_array, flip_random_bit, relative_perturbation
+from repro.reliability.bitflip import (
+    flip_bit_array,
+    flip_random_bit,
+    max_bit_index,
+    relative_perturbation,
+)
 from repro.reliability.events import FaultEvent
 from repro.reliability.schedule import FaultSchedule, NeverSchedule
 from repro.utils.logging import EventLog
@@ -70,7 +75,7 @@ class InjectionSession:
 
 
 class ArrayInjector:
-    """Schedule-driven random bit-flip injector for float64 arrays.
+    """Schedule-driven random bit-flip injector for float arrays.
 
     Parameters
     ----------
@@ -81,7 +86,11 @@ class ArrayInjector:
         Seed or generator for victim-element and bit selection.
     bit_range:
         Inclusive range of bit positions to flip; ``None`` means the
-        full 0..63 range.
+        full width of the target dtype (0..63 for float64, 0..31 for
+        float32).  An explicit range is clamped to the dtype width when
+        a float32 array comes through, so float64-centric specs like
+        ``bits=52..62`` keep hitting the high (large-error) bits
+        instead of erroring.
     target:
         Label attached to the fault events (useful when one injector
         guards one named data structure).
@@ -109,23 +118,25 @@ class ArrayInjector:
         """Possibly corrupt ``array`` in place, according to the schedule.
 
         Returns the (possibly corrupted) array for call-chaining.  The
-        array must be float64 and writable; zero-size arrays are passed
-        through untouched.
+        array must be float64 or float32 and writable; zero-size arrays
+        are passed through untouched.  The float64 draw sequence is the
+        historical one (victim index, then bit), so existing fault
+        streams replay bit for bit.
         """
         arr = np.asarray(array)
         n_faults = self.schedule.due(now)
         if n_faults == 0 or arr.size == 0:
             return arr
-        if arr.dtype != np.float64:
-            raise TypeError(
-                f"ArrayInjector only corrupts float64 arrays, got {arr.dtype}"
-            )
+        max_bit = max_bit_index(arr.dtype)
         for _ in range(n_faults):
             before_index = None
             flat = arr.reshape(-1)
             # Choose the victim first so we can compute the perturbation.
             flat_index = int(self._rng.integers(0, arr.size))
-            low, high = self.bit_range if self.bit_range is not None else (0, 63)
+            low, high = (
+                self.bit_range if self.bit_range is not None else (0, max_bit)
+            )
+            low, high = min(int(low), max_bit), min(int(high), max_bit)
             bit = int(self._rng.integers(low, high + 1))
             original = float(flat[flat_index])
             flip_bit_array(arr, flat_index, bit, inplace=True)
@@ -203,10 +214,7 @@ class TargetedInjector:
         arr = np.asarray(array)
         if arr.size == 0:
             return arr
-        if arr.dtype != np.float64:
-            raise TypeError(
-                f"TargetedInjector only corrupts float64 arrays, got {arr.dtype}"
-            )
+        max_bit = max_bit_index(arr.dtype)  # TypeError for non-float data
         flat = arr.reshape(-1)
         index = self.index if self.index is not None else int(self._rng.integers(0, arr.size))
         if not 0 <= index < arr.size:
@@ -218,7 +226,7 @@ class TargetedInjector:
             bit = None
             corrupted = float(self.value)
         else:
-            bit = self.bit if self.bit is not None else int(self._rng.integers(0, 64))
+            bit = self.bit if self.bit is not None else int(self._rng.integers(0, max_bit + 1))
             flip_bit_array(arr, index, bit, inplace=True)
             corrupted = float(arr.reshape(-1)[index])
             kind = "bitflip"

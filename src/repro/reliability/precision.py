@@ -1,0 +1,584 @@
+"""Declarative mixed-precision layer: the fourth sweepable axis.
+
+The paper's selective-reliability argument -- bounded-error work in the
+*inner* solve only slows convergence, it cannot corrupt the answer --
+applies verbatim to reduced precision: a float32 matvec is a bounded
+(~2^-24) perturbation of the float64 one.  This module makes precision
+a first-class, serializable axis exactly like faults
+(:class:`~repro.reliability.spec.FaultSpec`) and preconditioners
+(:class:`~repro.precond.spec.PrecondSpec`):
+
+* :class:`PrecisionSpec` -- one precision configuration with the three
+  interchangeable wire forms (compact string / dict / object);
+* a named registry (:func:`default_precision_registry`,
+  :func:`parse_precision`) so campaigns sweep ``"fp32"`` by name;
+* :func:`lowprecision` -- the domain context manager mirroring
+  :func:`~repro.reliability.domain.unreliable`, for *selective*
+  placement: wrap only the operator, only ``M^{-1} v``, or only the
+  FGMRES inner solve, while the outer recurrence, Hessenberg QR and
+  convergence tests stay float64 (the iterative-refinement shape).
+
+String grammar (single-kind, like preconditioner specs)::
+
+    SPEC   := KIND [ ":" PARAM ("," PARAM)* ]
+    PARAM  := NAME "=" VALUE
+
+Kinds and their parameters:
+
+==========  ==========================  ===============================
+kind        parameters (defaults)       meaning
+==========  ==========================  ===============================
+``fp64``    ``storage`` (= kind)        full double precision (default)
+``fp32``    ``storage`` (= kind)        single-precision compute
+==========  ==========================  ===============================
+
+``storage`` narrows the dtype *matrix entries are stored in* without
+changing the compute dtype -- ``"fp32:storage=fp16"`` streams a
+half-precision matrix through single-precision accumulation, halving
+matrix memory traffic again.  Storage wider than the compute dtype is
+rejected (it could only waste bandwidth).
+
+``precision="fp64"`` is the identity configuration: the solver registry
+skips every cast and runs the exact default code path, bit for bit.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.linalg.csr import CsrMatrix
+from repro.reliability.spec import (
+    _NAME_RE,
+    _normalize_value,
+    format_spec_value,
+    parse_kind_params,
+)
+
+__all__ = [
+    "PrecisionSpec",
+    "PRECISION_KINDS",
+    "RegisteredPrecision",
+    "PrecisionRegistry",
+    "default_precision_registry",
+    "precision_names",
+    "parse_precision",
+    "PrecisionDomain",
+    "LowPrecisionOperator",
+    "LowPrecisionPreconditioner",
+    "lowprecision",
+    "cast_operator",
+    "cast_vector",
+]
+
+# kind -> the parameter names it understands.
+PRECISION_KINDS: Dict[str, Tuple[str, ...]] = {
+    "fp64": ("storage",),
+    "fp32": ("storage",),
+}
+
+#: Compute dtype each kind names.
+_COMPUTE_DTYPES: Dict[str, np.dtype] = {
+    "fp64": np.dtype(np.float64),
+    "fp32": np.dtype(np.float32),
+}
+
+#: Dtypes the ``storage`` parameter may name.
+_STORAGE_DTYPES: Dict[str, np.dtype] = {
+    "fp16": np.dtype(np.float16),
+    "fp32": np.dtype(np.float32),
+    "fp64": np.dtype(np.float64),
+}
+
+
+@dataclass(frozen=True)
+class PrecisionSpec:
+    """One declarative precision configuration.
+
+    Attributes
+    ----------
+    kind:
+        Compute precision (``"fp64"`` or ``"fp32"``).  Validated
+        against :data:`PRECISION_KINDS` at construction time.
+    params:
+        Optional parameters; currently just ``storage`` (a dtype name
+        from ``fp16``/``fp32``/``fp64``, no wider than the compute
+        dtype).
+    """
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        kind = self.kind.lower() if isinstance(self.kind, str) else self.kind
+        if kind not in PRECISION_KINDS:
+            raise ValueError(
+                f"unknown precision kind {self.kind!r} "
+                f"(known: {sorted(PRECISION_KINDS)})"
+            )
+        allowed = PRECISION_KINDS[kind]
+        normalized = {}
+        for name in sorted(self.params):
+            if not _NAME_RE.match(name):
+                raise ValueError(f"invalid parameter name {name!r}")
+            if name not in allowed:
+                raise ValueError(
+                    f"precision kind {kind!r} does not take parameter "
+                    f"{name!r} (valid: {list(allowed) or 'none'})"
+                )
+            normalized[name] = _normalize_value(self.params[name])
+        if "storage" in normalized:
+            storage = normalized["storage"]
+            storage = storage.lower() if isinstance(storage, str) else storage
+            if storage not in _STORAGE_DTYPES:
+                raise ValueError(
+                    f"unknown storage dtype {normalized['storage']!r} "
+                    f"(known: {sorted(_STORAGE_DTYPES)})"
+                )
+            if _STORAGE_DTYPES[storage].itemsize > _COMPUTE_DTYPES[kind].itemsize:
+                raise ValueError(
+                    f"storage dtype {storage!r} is wider than the "
+                    f"compute dtype of kind {kind!r}"
+                )
+            normalized["storage"] = storage
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "params", normalized)
+
+    # -- dtype surface -------------------------------------------------
+    @property
+    def compute_dtype(self) -> np.dtype:
+        """NumPy dtype vectors are computed (and accumulated) in."""
+        return _COMPUTE_DTYPES[self.kind]
+
+    @property
+    def storage_dtype(self) -> np.dtype:
+        """NumPy dtype matrix entries are stored in."""
+        storage = self.params.get("storage")
+        if storage is None:
+            return self.compute_dtype
+        return _STORAGE_DTYPES[storage]
+
+    @property
+    def is_default(self) -> bool:
+        """Whether this spec names the exact default (all-fp64) path."""
+        return (
+            self.kind == "fp64"
+            and self.storage_dtype == _COMPUTE_DTYPES["fp64"]
+        )
+
+    # -- parsing -------------------------------------------------------
+    @classmethod
+    def parse(cls, value: Union[str, Mapping, "PrecisionSpec"]) -> "PrecisionSpec":
+        """Coerce a string, dict or PrecisionSpec into a PrecisionSpec."""
+        if isinstance(value, PrecisionSpec):
+            return value
+        if isinstance(value, Mapping):
+            return cls.from_dict(value)
+        if isinstance(value, str):
+            return cls._parse_string(value)
+        raise TypeError(
+            f"cannot parse a precision spec from {type(value).__name__}"
+        )
+
+    @classmethod
+    def _parse_string(cls, text: str) -> "PrecisionSpec":
+        return cls(*parse_kind_params(text, "precision spec"))
+
+    # -- serialization -------------------------------------------------
+    def to_string(self) -> str:
+        """Compact spec-string form; inverse of :meth:`parse`."""
+        if not self.params:
+            return self.kind
+        body = ",".join(
+            f"{name}={format_spec_value(value)}"
+            for name, value in self.params.items()
+        )
+        return f"{self.kind}:{body}"
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict form; inverse of :meth:`from_dict`."""
+        data: Dict[str, Any] = {"kind": self.kind}
+        if self.params:
+            data["params"] = dict(self.params)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PrecisionSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or a loose dict)."""
+        if "kind" not in data:
+            raise ValueError("precision spec dicts need a 'kind' entry")
+        extra = set(data) - {"kind", "params"}
+        if extra:
+            # Loose form: {"kind": "fp32", "storage": "fp16"}.
+            params = {k: data[k] for k in data if k != "kind"}
+            return cls(str(data["kind"]), params)
+        return cls(str(data["kind"]), dict(data.get("params", {})))
+
+    # -- convenience ---------------------------------------------------
+    def with_params(self, **overrides: Any) -> "PrecisionSpec":
+        """Return a copy with ``overrides`` merged into the parameters.
+
+        ``None`` overrides are dropped (they mean "keep the default").
+        """
+        merged = dict(self.params)
+        merged.update({k: v for k, v in overrides.items() if v is not None})
+        return PrecisionSpec(self.kind, merged)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Parameter lookup with a default."""
+        return self.params.get(name, default)
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RegisteredPrecision:
+    """One named precision configuration.
+
+    Attributes
+    ----------
+    name:
+        Stable registry key (``"fp64"``, ``"fp32"``, ...).
+    spec:
+        The declarative configuration the name stands for.
+    title:
+        One-line human description.
+    experiments:
+        Experiment ids whose drivers/benchmarks exercise this precision
+        (drives ``run_benchmarks.py --precision``).
+    """
+
+    name: str
+    spec: PrecisionSpec
+    title: str
+    experiments: Tuple[str, ...] = ()
+
+
+class PrecisionRegistry:
+    """Index of named precision configurations."""
+
+    def __init__(self, entries: Optional[List[RegisteredPrecision]] = None):
+        self._by_name: Dict[str, RegisteredPrecision] = {}
+        for entry in entries if entries is not None else _builtin_precisions():
+            self.add(entry)
+
+    def add(self, entry: RegisteredPrecision) -> None:
+        key = entry.name.lower()
+        if key in self._by_name:
+            raise ValueError(f"duplicate precision name {key!r}")
+        self._by_name[key] = entry
+
+    def get(self, name: str) -> RegisteredPrecision:
+        try:
+            return self._by_name[name.lower()]
+        except KeyError:
+            raise KeyError(
+                f"unknown precision {name!r} "
+                f"(known: {', '.join(self.names())})"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return isinstance(name, str) and name.lower() in self._by_name
+
+    def __iter__(self):
+        return iter(sorted(self._by_name.values(), key=lambda e: e.name))
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+
+def _builtin_precisions() -> List[RegisteredPrecision]:
+    def spec(text: str) -> PrecisionSpec:
+        return PrecisionSpec.parse(text)
+
+    return [
+        RegisteredPrecision(
+            name="fp64",
+            spec=spec("fp64"),
+            title="Full double precision (the default path, bit for bit)",
+            experiments=("E10",),
+        ),
+        RegisteredPrecision(
+            name="fp32",
+            spec=spec("fp32"),
+            title="Single-precision compute (half the memory traffic)",
+            experiments=("E10",),
+        ),
+        RegisteredPrecision(
+            name="fp32_fp16",
+            spec=spec("fp32:storage=fp16"),
+            title="Single-precision compute over half-precision matrix storage",
+            experiments=("E10",),
+        ),
+    ]
+
+
+_DEFAULT: Optional[PrecisionRegistry] = None
+
+
+def default_precision_registry() -> PrecisionRegistry:
+    """The process-wide registry of named precision configurations."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = PrecisionRegistry()
+    return _DEFAULT
+
+
+def precision_names() -> List[str]:
+    """Sorted names of all registered precision configurations."""
+    return default_precision_registry().names()
+
+
+def parse_precision(
+    value: Union[None, str, Mapping, "PrecisionSpec"]
+) -> PrecisionSpec:
+    """Resolve anything precision-shaped into a :class:`PrecisionSpec`.
+
+    ``None`` resolves to the ``"fp64"`` (identity) spec.  Strings are
+    looked up in the registry first; anything else is parsed as a
+    compact spec string.
+    """
+    if value is None:
+        return PrecisionSpec("fp64")
+    if isinstance(value, str) and value in default_precision_registry():
+        return default_precision_registry().get(value).spec
+    return PrecisionSpec.parse(value)
+
+
+# ----------------------------------------------------------------------
+# Casting helpers (used by the solver registry's precision= threading)
+# ----------------------------------------------------------------------
+def cast_vector(x, spec: PrecisionSpec) -> np.ndarray:
+    """Coerce a vector to the spec's compute dtype (no-op when it fits)."""
+    return np.asarray(x, dtype=spec.compute_dtype)
+
+
+class _CallableOperatorCast:
+    """Wrap a callable operator so its results land in the compute dtype.
+
+    The wrapped callable (an :class:`UnreliableOperator`, a
+    :class:`DomainOperator`, a lambda over a dense array, ...) keeps
+    computing in whatever precision it was built with; input is widened
+    to float64 so fault injectors with float64-only bit patterns keep
+    working, and the result is rounded to the compute dtype on the way
+    out -- the same bounded-error contract as a native reduced-precision
+    apply.
+    """
+
+    def __init__(self, operator, dtype: np.dtype):
+        self._operator = operator
+        self._dtype = dtype
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        result = self._operator(np.asarray(x, dtype=np.float64))
+        return np.asarray(result, dtype=self._dtype)
+
+    def __getattr__(self, name):
+        return getattr(self._operator, name)
+
+
+def cast_operator(operator, spec: PrecisionSpec):
+    """Return ``operator`` converted to the spec's compute/storage dtype.
+
+    * :class:`~repro.linalg.csr.CsrMatrix` converts natively (the real
+      memory-traffic win: matvec gathers, multiplies and reduces at the
+      reduced dtype);
+    * dense ndarrays convert via ``astype``;
+    * callables are wrapped so their *results* are rounded to the
+      compute dtype (their internals are opaque);
+    * the identity spec returns the operator untouched.
+    """
+    if spec.is_default:
+        return operator
+    if isinstance(operator, CsrMatrix):
+        if (
+            operator.dtype == spec.compute_dtype
+            and operator.storage_dtype == spec.storage_dtype
+        ):
+            return operator
+        return operator.astype(spec.compute_dtype, storage=spec.storage_dtype)
+    if isinstance(operator, np.ndarray):
+        return operator.astype(spec.storage_dtype)
+    if callable(operator):
+        return _CallableOperatorCast(operator, spec.compute_dtype)
+    raise TypeError(
+        f"cannot cast operator of type {type(operator).__name__} "
+        f"to precision {spec.to_string()!r}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Selective placement: the lowprecision() domain
+# ----------------------------------------------------------------------
+class LowPrecisionOperator:
+    """An operator whose every application runs at reduced precision.
+
+    The precision sibling of
+    :class:`~repro.reliability.domain.DomainOperator`: input is rounded
+    down to the domain's compute dtype, the apply runs there (natively
+    for :class:`CsrMatrix`), and the result is widened back to float64
+    for the caller -- so an outer solver in full precision sees a
+    bounded-error operator, exactly the shape of the paper's unreliable
+    inner stage.
+
+    Attributes
+    ----------
+    applications:
+        Number of operator applications so far.
+    """
+
+    def __init__(self, domain: "PrecisionDomain", operator):
+        self.domain = domain
+        self.applications = 0
+        spec = domain.spec
+        if isinstance(operator, CsrMatrix):
+            self._apply = cast_operator(operator, spec).matvec
+        elif isinstance(operator, np.ndarray):
+            low = cast_operator(operator, spec)
+            self._apply = lambda x: low @ x
+        elif callable(operator):
+            self._apply = cast_operator(operator, spec)
+        else:
+            raise TypeError(
+                f"unsupported operator type {type(operator).__name__}"
+            )
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        self.applications += 1
+        self.domain.operations += 1
+        low = self._apply(self.domain.cast_down(x))
+        return self.domain.cast_up(low)
+
+
+class LowPrecisionPreconditioner:
+    """A preconditioner whose every ``M^{-1} v`` runs at reduced precision.
+
+    Wraps any preconditioner -- an object with an ``apply`` method, a
+    bare callable, or ``None`` (the identity) -- rounding the input
+    vector down to the domain's compute dtype, rounding the result down
+    (the bounded-error contract even when the wrapped object computes
+    internally in float64), then widening back to float64 for the outer
+    solver.  Implements the :class:`repro.linalg.precond.Preconditioner`
+    protocol (``apply`` + ``__call__``), so it slots into every
+    registered solver's ``precond=`` parameter -- and, via FGMRES's
+    ``inner_solve``, into the paper's selective configuration where
+    *only* the inner stage is low precision.
+
+    Attributes
+    ----------
+    applications:
+        Number of preconditioner applications so far.
+    """
+
+    def __init__(self, domain: "PrecisionDomain", preconditioner=None):
+        self.domain = domain
+        self.preconditioner = preconditioner
+        self.applications = 0
+
+    def _base_apply(self, vector: np.ndarray) -> np.ndarray:
+        base = self.preconditioner
+        if base is None:
+            return vector.copy()
+        if hasattr(base, "apply"):
+            return base.apply(vector)
+        return base(vector)
+
+    def apply(self, vector: np.ndarray) -> np.ndarray:
+        """Apply ``M^{-1}`` at reduced precision; result back in float64."""
+        self.applications += 1
+        self.domain.operations += 1
+        low = self.domain.cast_down(self._base_apply(self.domain.cast_down(vector)))
+        return self.domain.cast_up(low)
+
+    def __call__(self, vector: np.ndarray) -> np.ndarray:
+        return self.apply(vector)
+
+
+class PrecisionDomain:
+    """A named compute region running at one (reduced) precision.
+
+    The precision sibling of
+    :class:`~repro.reliability.domain.ReliabilityDomain`: wrap only the
+    pieces that should run at reduced precision and leave the rest of
+    the solve in float64.  Unlike a fault injector the "corruption"
+    here is deterministic rounding, so domains need no seed and no
+    injection log -- just the spec and application counters.
+
+    Parameters
+    ----------
+    spec:
+        Anything :func:`parse_precision` accepts.
+    name:
+        Identifier for reports.
+    """
+
+    def __init__(self, spec="fp32", name: str = "lowprecision"):
+        self.spec = parse_precision(spec)
+        self.name = name
+        self.operations = 0
+
+    @property
+    def compute_dtype(self) -> np.dtype:
+        """Dtype wrapped applications compute in."""
+        return self.spec.compute_dtype
+
+    def cast_down(self, array) -> np.ndarray:
+        """Round an array to the domain's compute dtype (no-op if it fits)."""
+        return np.asarray(array, dtype=self.spec.compute_dtype)
+
+    def cast_up(self, array) -> np.ndarray:
+        """Widen an array back to float64 for the full-precision caller."""
+        return np.asarray(array, dtype=np.float64)
+
+    def operator(self, operator) -> LowPrecisionOperator:
+        """Wrap an operator so every application runs in this domain."""
+        return LowPrecisionOperator(self, operator)
+
+    def preconditioner(self, preconditioner=None) -> LowPrecisionPreconditioner:
+        """Wrap a preconditioner so every ``M^{-1} v`` runs in this domain."""
+        return LowPrecisionPreconditioner(self, preconditioner)
+
+    def inner_solve(self, solve) -> "LowPrecisionPreconditioner":
+        """Wrap an inner-solve callable for FGMRES's ``inner_solve=``.
+
+        ``solve`` maps a residual vector to an approximate
+        ``A^{-1} v``; the wrapper hands it the rounded-down vector and
+        widens the result, so the entire inner solve is the low-
+        precision stage while the flexible outer iteration stays
+        float64 -- the iterative-refinement shape of the paper's
+        inner/outer argument.
+        """
+        return LowPrecisionPreconditioner(self, solve)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PrecisionDomain(name={self.name!r}, "
+            f"spec={self.spec.to_string()!r})"
+        )
+
+
+@contextmanager
+def lowprecision(spec="fp32", *, name: str = "lowprecision"):
+    """Context manager yielding a reduced-precision domain for a spec.
+
+    The precision counterpart of
+    :func:`~repro.reliability.domain.unreliable`::
+
+        with reliability.lowprecision("fp32") as dom:
+            op = dom.operator(A)           # fp32 matvec, fp64 outside
+            result = gmres(op, b)          # outer solve stays fp64
+
+    ``spec`` is anything :func:`parse_precision` accepts -- a registry
+    name, a compact spec string, a dict or a built spec.
+    """
+    yield PrecisionDomain(spec, name=name)

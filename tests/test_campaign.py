@@ -325,13 +325,13 @@ class TestCampaignRunner:
 class TestBuiltinCampaigns:
     def test_names(self):
         assert builtin_campaign_names() == [
-            "default", "precond", "replicas", "smoke", "solvers"
+            "default", "precision", "precond", "replicas", "smoke", "solvers"
         ]
         with pytest.raises(KeyError):
             builtin_campaign("nope")
 
     @pytest.mark.parametrize(
-        "name", ["smoke", "default", "solvers", "precond", "replicas"]
+        "name", ["smoke", "default", "solvers", "precond", "precision", "replicas"]
     )
     def test_shape(self, name):
         scenarios = builtin_campaign(name)
@@ -352,6 +352,11 @@ class TestBuiltinCampaigns:
             assert {s.experiment for s in scenarios} == {"E9"}
             targets = {s.params.get("target") for s in scenarios}
             assert {"precond", "operator"} <= targets
+        elif name == "precision":
+            assert len(scenarios) >= 4
+            assert {s.experiment for s in scenarios} == {"E10"}
+            targets = {s.params.get("target") for s in scenarios}
+            assert {"inner", "outer"} <= targets
         else:
             assert len(scenarios) >= 12
             assert len({s.experiment for s in scenarios}) >= 3

@@ -75,9 +75,24 @@ class TestBitflip:
         out = flip_bit_array(arr, (1, 2), 63)
         assert out[1, 2] == -1.0
 
-    def test_flip_bit_array_requires_float64(self):
+    def test_flip_bit_array_float32_native(self):
+        arr = np.ones(3, dtype=np.float32)
+        out = flip_bit_array(arr, 1, 31)
+        assert out.dtype == np.float32
+        assert out[1] == -1.0
+        assert arr[1] == 1.0  # out of place by default
+        # Involution through the 32-bit pattern.
+        assert flip_bit_array(out, 1, 31)[1] == 1.0
+
+    def test_flip_bit_array_float32_bit_bounds(self):
+        with pytest.raises(ValueError):
+            flip_bit_array(np.ones(3, dtype=np.float32), 0, 32)
+
+    def test_flip_bit_array_rejects_non_float(self):
         with pytest.raises(TypeError):
-            flip_bit_array(np.ones(3, dtype=np.float32), 0, 1)
+            flip_bit_array(np.ones(3, dtype=np.int64), 0, 1)
+        with pytest.raises(TypeError):
+            flip_bit_array(np.ones(3, dtype=np.float16), 0, 1)
 
     def test_flip_bit_array_bounds(self):
         with pytest.raises(IndexError):
@@ -174,10 +189,29 @@ class TestInjectors:
         injector.maybe_inject(arr, now=0.0)
         assert np.sum(arr == -1.0) == 1
 
-    def test_array_injector_requires_float64(self):
+    def test_array_injector_float32_native(self):
+        injector = ArrayInjector(DeterministicSchedule([0.0]), rng=1)
+        arr = np.ones(5, dtype=np.float32)
+        out = injector.maybe_inject(arr, now=0.0)
+        assert out.dtype == np.float32
+        assert injector.n_injected == 1
+        assert np.sum(out != 1.0) == 1
+        assert 0 <= injector.session.events[0].bit <= 31
+
+    def test_array_injector_float32_clamps_bit_range(self):
+        # A float64-centric exponent range keeps working on float32 by
+        # clamping into the 32-bit pattern (here: the sign bit).
+        injector = ArrayInjector(
+            DeterministicSchedule([0.0]), rng=3, bit_range=(52, 62)
+        )
+        arr = np.ones(5, dtype=np.float32)
+        injector.maybe_inject(arr, now=0.0)
+        assert np.sum(arr == -1.0) == 1
+
+    def test_array_injector_rejects_non_float(self):
         injector = ArrayInjector(DeterministicSchedule([0.0]), rng=1)
         with pytest.raises(TypeError):
-            injector.maybe_inject(np.ones(3, dtype=np.float32), now=0.0)
+            injector.maybe_inject(np.ones(3, dtype=np.int32), now=0.0)
 
     def test_array_injector_reset(self):
         injector = ArrayInjector(DeterministicSchedule([0.0]), rng=1)
