@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 tests + registry self-checks (solver / fault /
-# preconditioner / precision axes) + fp64-parity gate + doc-link check
+# preconditioner / precision / analysis-rule axes) + fp64-parity gate
+# + static-analysis gate (repro.analysis, includes the doc-link rule)
 # + golden determinism + smoke, precond and precision campaigns with
 # memoization re-runs + the chaos gate
 # (smoke campaign under worker_crash chaos must reproduce the clean
@@ -165,39 +166,37 @@ print(f"fp64-parity gate OK "
 PY
 
 echo
-echo "== documentation link check =="
-# Fail on dangling relative links in any tracked *.md file.  External
-# (http/https/mailto) links and pure #anchors are skipped; relative
-# targets must exist on disk (anchors on relative targets are checked
-# for file existence only).
-python - <<'PY'
-import pathlib
-import re
-import sys
+echo "== analysis registry self-check =="
+analysis_listing="$(python -m repro.analysis list)"
+grep -q "registered analysis rules" <<<"$analysis_listing" || {
+    echo "ERROR: 'repro.analysis list' does not render the rule table" >&2
+    exit 1
+}
+for rule in determinism spec-strings driver-contract dtype-flow \
+            process-safety doc-links deprecated-import; do
+    grep -qE "^$rule " <<<"$analysis_listing" || {
+        echo "ERROR: analysis rule '$rule' missing from the registry listing" >&2
+        exit 1
+    }
+done
+echo "analysis registry OK (7 rules registered)"
 
-# Match every "](target)" rather than whole "[text](target)" links:
-# link text may itself contain brackets (badges, "[![CI](img)](url)"),
-# and a checker that skips those would wave dangling targets through.
-LINK_RE = re.compile(r"\]\(([^)\s]+)\)")
-root = pathlib.Path(".")
-broken = []
-for path in sorted(root.rglob("*.md")):
-    if any(part.startswith(".") or part == "node_modules" for part in path.parts):
-        continue
-    for match in LINK_RE.finditer(path.read_text(encoding="utf-8")):
-        target = match.group(1)
-        if target.startswith(("http://", "https://", "mailto:", "#")):
-            continue
-        relative = target.split("#", 1)[0]
-        if not relative:
-            continue
-        if not (path.parent / relative).exists():
-            broken.append(f"{path}: dangling link -> {target}")
-if broken:
-    print("\n".join(broken), file=sys.stderr)
-    sys.exit(1)
-print("doc links OK (no dangling relative links in *.md)")
-PY
+echo
+echo "== static-analysis gate =="
+# The whole ruleset over the source tree and the test suite (the
+# doc-links rule additionally sweeps every tracked *.md): any finding
+# that is neither suppressed inline with a justified
+# '# repro: allow(<rule-id>)' nor recorded in
+# scripts/analysis_baseline.json fails the build.  The pass is pure
+# AST + registry lookups, so it must also stay fast: >10s means an
+# analyzer started executing real work.
+ANALYSIS_START="$(date +%s)"
+python -m repro.analysis run src/repro tests
+ANALYSIS_ELAPSED="$(( $(date +%s) - ANALYSIS_START ))"
+if (( ANALYSIS_ELAPSED > 10 )); then
+    echo "ERROR: analysis pass took ${ANALYSIS_ELAPSED}s (budget: 10s)" >&2
+    exit 1
+fi
 
 echo
 echo "== engine parity + registry contract suite, second pass =="

@@ -1,0 +1,66 @@
+"""Rule ``deprecated-import`` -- no new imports of the PR 4 shims.
+
+``repro.faults`` and ``repro.srp`` are DeprecationWarning shims over
+:mod:`repro.reliability`; internal code was swept in PR 4 and must not
+regress.  The shims themselves stay (external users may still import
+them) and the tests that assert the shims *warn* keep importing them
+deliberately -- those sites carry ``# repro: allow(deprecated-import)``
+comments.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.core import Finding, Rule, SourceFile
+
+__all__ = ["DeprecatedImportRule"]
+
+_SHIM_PREFIXES = ("repro.faults", "repro.srp")
+
+
+def _is_shim_module(rel: str) -> bool:
+    return rel.startswith(("src/repro/faults/", "src/repro/srp/")) or (
+        "/repro/faults/" in rel or "/repro/srp/" in rel
+    )
+
+
+class DeprecatedImportRule(Rule):
+    id = "deprecated-import"
+    title = "no imports of the repro.faults / repro.srp shims"
+    rationale = (
+        "the shims exist for external callers only; internal imports "
+        "resurrect two names for every concept and skip the unified "
+        "reliability API"
+    )
+
+    def check_file(self, source: SourceFile, ctx) -> Iterable[Finding]:
+        if _is_shim_module(source.rel):
+            return []  # the shims may (and must) reference themselves
+        tree = source.tree
+        if tree is None:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            modules = []
+            if isinstance(node, ast.Import):
+                modules = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                modules = [node.module or ""]
+            for module in modules:
+                if module in _SHIM_PREFIXES or module.startswith(
+                    tuple(p + "." for p in _SHIM_PREFIXES)
+                ):
+                    findings.append(
+                        Finding(
+                            rule=self.id,
+                            path=source.rel,
+                            line=node.lineno,
+                            message=(
+                                f"import of deprecated shim {module!r}; "
+                                "import from repro.reliability instead"
+                            ),
+                        )
+                    )
+        return findings

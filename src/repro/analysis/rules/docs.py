@@ -1,0 +1,59 @@
+"""Rule ``doc-links`` -- no dangling relative links in tracked *.md.
+
+Consolidates the ad-hoc checker that used to live inline in
+``scripts/verify.sh`` into the lint pass, so a moved or renamed
+document fails the same gate (and the same baseline/report machinery)
+as every other finding.
+
+External links (``http://``, ``https://``, ``mailto:``) and pure
+``#anchor`` references are skipped; relative targets must exist on
+disk.  Anchors on relative targets are checked for file existence
+only.  The regex matches every ``](target)`` rather than whole
+``[text](target)`` links on purpose: link text may itself contain
+brackets (badges, ``[![CI](img)](url)``), and a checker that skips
+those waves dangling targets through.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List
+
+from repro.analysis.core import Finding, Rule
+
+__all__ = ["DocLinksRule"]
+
+_LINK_RE = re.compile(r"\]\(([^)\s]+)\)")
+
+
+class DocLinksRule(Rule):
+    id = "doc-links"
+    title = "relative markdown links resolve to files on disk"
+    rationale = (
+        "README/ARCHITECTURE/CAMPAIGNS cross-reference heavily; a dangling "
+        "link is doc rot the reader hits before any test would"
+    )
+
+    def check_project(self, ctx) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for path in ctx.markdown_files():
+            rel = ctx.rel(path)
+            text = path.read_text(encoding="utf-8")
+            for lineno, line in enumerate(text.splitlines(), start=1):
+                for match in _LINK_RE.finditer(line):
+                    target = match.group(1)
+                    if target.startswith(("http://", "https://", "mailto:", "#")):
+                        continue
+                    relative = target.split("#", 1)[0]
+                    if not relative:
+                        continue
+                    if not (path.parent / relative).exists():
+                        findings.append(
+                            Finding(
+                                rule=self.id,
+                                path=rel,
+                                line=lineno,
+                                message=f"dangling relative link -> {target}",
+                            )
+                        )
+        return findings

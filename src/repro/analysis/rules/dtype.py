@@ -1,0 +1,165 @@
+"""Rule ``dtype-flow`` -- no implicit fp64 promotion in kernel paths.
+
+The PR 8 mixed-precision layer parameterizes the kernel layer
+(``krylov/ops.py``, ``linalg/``, ``krylov/engine/``) over a template
+dtype: fp32 solves must stay fp32 end to end (that is where the
+measured 1.9-2.1x bandwidth win comes from) and the fp64 path must
+stay bit-identical to the pre-precision goldens.  Both invariants die
+silently when an intermediate array is allocated at numpy's fp64
+default and the computation quietly widens.
+
+Flagged, in kernel-path files only:
+
+* ``np.zeros`` / ``np.empty`` / ``np.ones`` / ``np.full`` without an
+  explicit ``dtype=`` -- the allocation silently lands on fp64
+  regardless of the template dtype flowing through the caller;
+* ``np.dot`` / ``np.vdot`` / ``np.inner`` / ``np.matmul`` where
+  exactly one operand is an ``.astype(...)`` cast -- a mixed-dtype
+  product promotes to the wider type and hides the narrow operand's
+  precision;
+* float literals folded into arithmetic inside functions that take a
+  ``dtype`` parameter -- the template-dtype kernels; combine literals
+  through ``ops.as_float`` or dtype-typed scalars instead.
+
+Kernel-path files are those under ``linalg/`` or ``krylov/engine/``
+plus ``krylov/ops.py``; everywhere else numpy's fp64 default is the
+intended behavior and stays unflagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from repro.analysis.core import Finding, Rule, SourceFile, dotted_name
+
+__all__ = ["DtypeFlowRule"]
+
+_ALLOCATORS = {"zeros", "empty", "ones", "full"}
+_PRODUCTS = {"dot", "vdot", "inner", "matmul"}
+
+
+def _in_kernel_path(rel: str) -> bool:
+    parts = rel.split("/")
+    if "linalg" in parts[:-1]:
+        return True
+    if "krylov" in parts:
+        if "engine" in parts[parts.index("krylov"):]:
+            return True
+        if parts[-1] == "ops.py":
+            return True
+    return False
+
+
+def _is_astype_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "astype"
+    )
+
+
+class DtypeFlowRule(Rule):
+    id = "dtype-flow"
+    title = "kernel-path allocations and products carry explicit dtypes"
+    rationale = (
+        "implicit fp64 promotion breaks both the fp64-parity gate (silent "
+        "behavior change) and the fp16/fp32 storage win (silent widening)"
+    )
+
+    def check_file(self, source: SourceFile, ctx) -> Iterable[Finding]:
+        if not _in_kernel_path(source.rel):
+            return []
+        tree = source.tree
+        if tree is None:
+            return []
+        findings: List[Finding] = []
+
+        # Functions parameterized over a template dtype: the scope in
+        # which bare float literals are a promotion hazard.
+        dtype_functions: Set[ast.FunctionDef] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                params = {
+                    a.arg
+                    for a in (
+                        *node.args.posonlyargs,
+                        *node.args.args,
+                        *node.args.kwonlyargs,
+                    )
+                }
+                if "dtype" in params:
+                    dtype_functions.add(node)
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            tail = name.rsplit(".", 1)[-1]
+            is_numpy = name.startswith(("np.", "numpy."))
+            if is_numpy and tail in _ALLOCATORS:
+                has_dtype = any(kw.arg == "dtype" for kw in node.keywords)
+                # np.full's third positional argument is dtype.
+                if tail == "full" and len(node.args) >= 3:
+                    has_dtype = True
+                if not has_dtype:
+                    findings.append(
+                        Finding(
+                            rule=self.id,
+                            path=source.rel,
+                            line=node.lineno,
+                            message=(
+                                f"{name}() without dtype= allocates fp64 "
+                                "regardless of the template dtype; pass the "
+                                "dtype explicitly"
+                            ),
+                        )
+                    )
+            elif is_numpy and tail in _PRODUCTS and len(node.args) >= 2:
+                casts = [_is_astype_call(arg) for arg in node.args[:2]]
+                if casts.count(True) == 1:
+                    findings.append(
+                        Finding(
+                            rule=self.id,
+                            path=source.rel,
+                            line=node.lineno,
+                            message=(
+                                f"{name}() mixes a cast operand with an "
+                                "uncast one; the product silently promotes "
+                                "to the wider dtype -- cast both sides"
+                            ),
+                        )
+                    )
+
+        for fn in dtype_functions:
+            for node in ast.walk(fn):
+                if isinstance(node, ast.BinOp) and isinstance(
+                    node.op,
+                    (ast.Mult, ast.Div, ast.Add, ast.Sub, ast.Pow),
+                ):
+                    operands = (node.left, node.right)
+                    has_float_literal = any(
+                        isinstance(op, ast.Constant) and isinstance(op.value, float)
+                        for op in operands
+                    )
+                    has_name = any(
+                        isinstance(op, (ast.Name, ast.Attribute, ast.Subscript))
+                        for op in operands
+                    )
+                    if has_float_literal and has_name:
+                        findings.append(
+                            Finding(
+                                rule=self.id,
+                                path=source.rel,
+                                line=node.lineno,
+                                message=(
+                                    "bare float literal combined with a value "
+                                    "in a dtype-parameterized kernel; route it "
+                                    "through ops.as_float or a dtype-typed "
+                                    "scalar to keep the template dtype"
+                                ),
+                            )
+                        )
+        return findings

@@ -1,0 +1,320 @@
+"""Rule ``spec-strings`` -- every quoted spec must parse today.
+
+Fault, preconditioner, precision and chaos configurations travel as
+compact spec strings (``"bitflip:p=0.02,bits=52..62"``); campaigns,
+drivers, docstrings and the CAMPAIGNS.md grammar tables all quote
+them.  A renamed kind or parameter silently turns those strings into
+runtime failures (or, worse, into docs describing a grammar the
+parsers no longer accept).  This rule extracts every such literal and
+validates it against the *live* registries and parsers, so spec drift
+fails at lint time.
+
+Collected from python sources:
+
+* literal arguments of the spec entry points
+  (``resolve_faults`` / ``FaultSpec.parse`` / ``parse_precond`` /
+  ``resolve_preconds`` / ``PrecondSpec.parse`` / ``parse_precision`` /
+  ``resolve_precisions`` / ``PrecisionSpec.parse`` /
+  ``ChaosSpec.parse``);
+* literal values of ``faults=`` / ``precond=`` / ``precision=`` /
+  ``chaos=`` keywords in any call;
+* literal values under the ``"faults"`` / ``"precond(s)"`` /
+  ``"precision(s)"`` / ``"chaos"`` keys of dict literals (the builtin
+  campaign sweeps);
+* spec-shaped tokens in docstrings.
+
+Collected from markdown: backtick spans and double-quoted tokens in
+every tracked ``*.md`` file whose leading segment names a known spec
+kind and that carries at least one ``name=value`` parameter.
+
+Fault and chaos strings are validated for grammar plus kind existence;
+preconditioner and precision strings additionally validate parameter
+names through their spec constructors.  Bare registry names
+(``"bitflip_mantissa"``, ``"poly2"``, ``"fp32_fp16"``) resolve through
+the same registries the runtime uses.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.core import Finding, Rule, SourceFile, dotted_name
+
+__all__ = ["SpecStringsRule"]
+
+# Spec flavours by the call that consumes them.
+_CALL_FLAVOURS = {
+    "resolve_faults": "fault",
+    "FaultSpec.parse": "fault",
+    "parse_precond": "precond",
+    "resolve_preconds": "precond",
+    "build_preconditioner": "precond",
+    "PrecondSpec.parse": "precond",
+    "parse_precision": "precision",
+    "resolve_precisions": "precision",
+    "PrecisionSpec.parse": "precision",
+    "ChaosSpec.parse": "chaos",
+}
+
+# Spec flavours by keyword-argument / dict-key name.
+_KEY_FLAVOURS = {
+    "faults": "fault",
+    "precond": "precond",
+    "preconds": "precond",
+    "precision": "precision",
+    "precisions": "precision",
+    "chaos": "chaos",
+}
+
+# A doc token must look like KIND:NAME=VALUE[,...] (optionally
+# "+"-composed) before we bother dispatching it to a parser.
+_DOC_TOKEN_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*:[^:\s]*=")
+_BACKTICK_RE = re.compile(r"`([^`\n]+)`")
+_QUOTED_RE = re.compile(r'"([^"\s]+)"')
+
+
+class _Validators:
+    """Live-registry validation, loaded once per process.
+
+    Importing the registries is what makes this rule *registry-driven*:
+    a kind deleted from ``MODEL_KINDS`` or a parameter dropped from
+    ``PRECOND_KINDS`` immediately invalidates every string that used
+    it, in code and docs alike.
+    """
+
+    def __init__(self) -> None:
+        from repro.campaign.executor import CHAOS_KINDS, ChaosSpec
+        from repro.precond.registry import default_precond_registry
+        from repro.precond.spec import PRECOND_KINDS, PrecondSpec
+        from repro.reliability.models import MODEL_KINDS
+        from repro.reliability.precision import (
+            PRECISION_KINDS,
+            PrecisionSpec,
+            default_precision_registry,
+        )
+        from repro.reliability.registry import default_fault_registry
+        from repro.reliability.spec import FaultSpec
+
+        self._fault_spec = FaultSpec
+        self._precond_spec = PrecondSpec
+        self._precision_spec = PrecisionSpec
+        self._chaos_spec = ChaosSpec
+        self._fault_kinds = set(MODEL_KINDS)
+        self._fault_names = {e.name for e in default_fault_registry()}
+        self._precond_names = {e.name for e in default_precond_registry()}
+        self._precision_names = {e.name for e in default_precision_registry()}
+        # kind -> flavour, for dispatching doc tokens.
+        self.kind_flavours: Dict[str, str] = {}
+        for kind in MODEL_KINDS:
+            self.kind_flavours[kind] = "fault"
+        for kind in PRECOND_KINDS:
+            self.kind_flavours.setdefault(kind, "precond")
+        for kind in PRECISION_KINDS:
+            self.kind_flavours.setdefault(kind, "precision")
+        for kind in CHAOS_KINDS:
+            self.kind_flavours.setdefault(kind, "chaos")
+
+    def validate(self, flavour: str, text: str) -> Optional[str]:
+        """``None`` when ``text`` is a valid ``flavour`` spec, else why not."""
+        try:
+            if flavour == "fault":
+                if text in self._fault_names:
+                    return None
+                spec = self._fault_spec.parse(text)
+                components = (
+                    spec.children if spec.kind == "compose" else (spec,)
+                )
+                for component in components:
+                    if component.kind not in self._fault_kinds:
+                        return (
+                            f"unknown fault kind {component.kind!r} "
+                            f"(known: {sorted(self._fault_kinds)})"
+                        )
+            elif flavour == "precond":
+                if text in self._precond_names:
+                    return None
+                self._precond_spec.parse(text)
+            elif flavour == "precision":
+                if text in self._precision_names:
+                    return None
+                self._precision_spec.parse(text)
+            elif flavour == "chaos":
+                self._chaos_spec.parse(text)
+            else:  # pragma: no cover - registry misconfiguration
+                return f"unknown spec flavour {flavour!r}"
+        except (ValueError, TypeError) as exc:
+            return str(exc)
+        return None
+
+
+_VALIDATORS: Optional[_Validators] = None
+
+
+def _validators() -> _Validators:
+    global _VALIDATORS
+    if _VALIDATORS is None:
+        _VALIDATORS = _Validators()
+    return _VALIDATORS
+
+
+def _direct_strings(node: ast.AST) -> Iterable[Tuple[str, int]]:
+    """String literals that *are* the value (not merely inside it).
+
+    Walking every descendant would misread dict keys and helper-call
+    arguments (``params.pop("faults", ...)``, ``{"kind": ...}``) as
+    spec strings; only constants, literal collections and conditional
+    branches actually flow into the parsers verbatim.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        yield node.value, node.lineno
+    elif isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        for element in node.elts:
+            yield from _direct_strings(element)
+    elif isinstance(node, ast.IfExp):
+        yield from _direct_strings(node.body)
+        yield from _direct_strings(node.orelse)
+    elif isinstance(node, ast.BoolOp):
+        for value in node.values:
+            yield from _direct_strings(value)
+
+
+class SpecStringsRule(Rule):
+    id = "spec-strings"
+    title = "quoted fault/precond/precision/chaos specs parse against live registries"
+    rationale = (
+        "spec strings in campaigns, drivers and docs are executable "
+        "configuration; drift against the registries must fail at lint "
+        "time, not mid-sweep"
+    )
+
+    # -- python sources ------------------------------------------------
+    def check_file(self, source: SourceFile, ctx) -> Iterable[Finding]:
+        if "analysis" in source.rel.split("/"):
+            # The analyzers' own tables quote key names ("faults",
+            # "precond") as data about the grammar, not as specs.
+            return []
+        tree = source.tree
+        if tree is None:
+            return []
+        validators = _validators()
+        findings: List[Finding] = []
+
+        def check(flavour: str, text: str, line: int, context: str) -> None:
+            error = validators.validate(flavour, text)
+            if error is not None:
+                findings.append(
+                    Finding(
+                        rule=self.id,
+                        path=source.rel,
+                        line=line,
+                        message=(
+                            f"invalid {flavour} spec {text!r} ({context}): {error}"
+                        ),
+                    )
+                )
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                flavour = None
+                if name is not None:
+                    tail = name.split(".")
+                    # Match both bare names and dotted access, incl.
+                    # "FaultSpec.parse" via its last two segments.
+                    flavour = _CALL_FLAVOURS.get(tail[-1]) or _CALL_FLAVOURS.get(
+                        ".".join(tail[-2:])
+                    )
+                if flavour and node.args:
+                    for text, line in _direct_strings(node.args[0]):
+                        check(flavour, text, line, f"argument of {name}")
+                for keyword in node.keywords:
+                    key_flavour = _KEY_FLAVOURS.get(keyword.arg or "")
+                    if key_flavour:
+                        for text, line in _direct_strings(keyword.value):
+                            check(
+                                key_flavour, text, line,
+                                f"{keyword.arg}= keyword",
+                            )
+            elif isinstance(node, ast.Dict):
+                for key, value in zip(node.keys, node.values):
+                    if (
+                        isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                        and key.value in _KEY_FLAVOURS
+                    ):
+                        for text, line in _direct_strings(value):
+                            check(
+                                _KEY_FLAVOURS[key.value], text, line,
+                                f"{key.value!r} dict entry",
+                            )
+            elif isinstance(
+                node,
+                (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                docstring = ast.get_docstring(node, clean=False)
+                if docstring:
+                    body = node.body[0]
+                    base_line = getattr(body, "lineno", 1)
+                    for token in _doc_tokens(docstring):
+                        flavour = _token_flavour(token, validators)
+                        if flavour:
+                            check(flavour, token, base_line, "docstring example")
+        return findings
+
+    # -- markdown ------------------------------------------------------
+    def check_project(self, ctx) -> Iterable[Finding]:
+        validators = _validators()
+        findings: List[Finding] = []
+        for path in ctx.markdown_files():
+            text = path.read_text(encoding="utf-8")
+            rel = ctx.rel(path)
+            for token, line in _doc_tokens_with_lines(text):
+                flavour = _token_flavour(token, validators)
+                if flavour is None:
+                    continue
+                error = validators.validate(flavour, token)
+                if error is not None:
+                    findings.append(
+                        Finding(
+                            rule=self.id,
+                            path=rel,
+                            line=line,
+                            message=(
+                                f"invalid {flavour} spec {token!r} "
+                                f"(documentation): {error}"
+                            ),
+                        )
+                    )
+        return findings
+
+
+def _doc_tokens(text: str) -> List[str]:
+    """Spec-shaped candidate tokens in free-form documentation text."""
+    tokens: List[str] = []
+    spans = [m.group(1) for m in _BACKTICK_RE.finditer(text)]
+    spans.extend(m.group(1) for m in _QUOTED_RE.finditer(text))
+    for span in spans:
+        candidates = [span.strip().strip('"')]
+        candidates.extend(m.group(1) for m in _QUOTED_RE.finditer(span))
+        for candidate in candidates:
+            # "..." marks a schematic placeholder ("bitflip:p=...")
+            # in docstrings -- a grammar sketch, not a concrete spec.
+            if _DOC_TOKEN_RE.match(candidate) and "..." not in candidate:
+                tokens.append(candidate)
+    return tokens
+
+
+def _doc_tokens_with_lines(text: str) -> List[Tuple[str, int]]:
+    found: List[Tuple[str, int]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for token in _doc_tokens(line):
+            found.append((token, lineno))
+    return found
+
+
+def _token_flavour(token: str, validators: _Validators) -> Optional[str]:
+    """Dispatch a doc token to a flavour by its leading kind, if known."""
+    kind = token.split(":", 1)[0].split("+", 1)[0].lower()
+    return validators.kind_flavours.get(kind)

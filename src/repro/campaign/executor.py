@@ -618,7 +618,10 @@ def _worker_main(
     pid = os.getpid()
     while True:
         try:
-            task = conn.recv()
+            # The worker's whole job is to sleep until the supervisor
+            # feeds it; an unbounded read of its private pipe is the
+            # design, and EOF (supervisor gone) is its shutdown signal.
+            task = conn.recv()  # repro: allow(process-safety)
         except (EOFError, OSError):
             return
         if task is None:
@@ -924,7 +927,9 @@ class SupervisedExecutor:
                 for conn in ready_conns:
                     worker_id = inflight_conns[conn]
                     try:
-                        message = conn.recv()
+                        # Reads only pipes _wait_for_connections just
+                        # reported ready, so this never blocks.
+                        message = conn.recv()  # repro: allow(process-safety)
                     except (EOFError, OSError):
                         reclaim_crashed(worker_id)
                         continue

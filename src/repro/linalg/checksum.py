@@ -73,7 +73,9 @@ class ChecksummedMatrix:
     def __init__(self, matrix: Union[CsrMatrix, np.ndarray]):
         if isinstance(matrix, CsrMatrix):
             self._matrix = matrix
-            self._column_checksums = matrix.rmatvec(np.ones(matrix.n_rows))
+            self._column_checksums = matrix.rmatvec(
+                np.ones(matrix.n_rows, dtype=np.float64)
+            )
         else:
             dense = np.asarray(matrix, dtype=np.float64)
             if dense.ndim != 2:

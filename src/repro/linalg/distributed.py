@@ -213,7 +213,7 @@ class DistributedRowMatrix:
 
     def diagonal(self) -> DistributedVector:
         """The locally owned part of the global diagonal."""
-        diag_local = np.zeros(self.local_rows)
+        diag_local = np.zeros(self.local_rows, dtype=np.float64)
         for i in range(self.local_rows):
             cols, vals = self.local_block.row(i)
             hits = np.nonzero(cols == i + self.row_offset)[0]

@@ -256,7 +256,7 @@ def diagonally_dominant(
     keep = rows != cols
     rows, cols = rows[keep], cols[keep]
     vals = gen.standard_normal(rows.size)
-    dense_rowsums = np.zeros(n)
+    dense_rowsums = np.zeros(n, dtype=np.float64)
     np.add.at(dense_rowsums, rows, np.abs(vals))
     diag_rows = np.arange(n)
     diag_vals = dominance * (dense_rowsums + 1.0)

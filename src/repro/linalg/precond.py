@@ -184,7 +184,7 @@ class BlockJacobiPreconditioner(Preconditioner):
             if dense is not None:
                 block = dense[start:stop, start:stop]
             else:
-                block = np.zeros((stop - start, stop - start))
+                block = np.zeros((stop - start, stop - start), dtype=np.float64)
                 for i in range(start, stop):
                     cols, vals = matrix.row(i)
                     mask = (cols >= start) & (cols < stop)

@@ -126,10 +126,11 @@ class TestChaosSpec:
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown chaos kind"):
-            ChaosSpec.parse("worker_explode:p=0.5")
+            ChaosSpec.parse("worker_explode:p=0.5")  # repro: allow(spec-strings)
 
     def test_unknown_param_rejected(self):
         with pytest.raises(ValueError, match="does not take parameters"):
+            # repro: allow(spec-strings) -- deliberately malformed fixture
             ChaosSpec.parse("worker_crash:p=0.5,seconds=10")
 
     def test_probability_validated(self):

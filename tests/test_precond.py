@@ -267,6 +267,7 @@ class TestSolverWiring:
         matrix, b = _problem()
         with pytest.raises(ValueError, match="ilu"):
             default_solver_registry().get("gmres").solve(
+                # repro: allow(spec-strings) -- unknown kind is the point
                 matrix, b, precond="ilu", tol=1e-8, maxiter=100
             )
 

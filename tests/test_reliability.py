@@ -762,8 +762,9 @@ class TestDeprecatedShims:
     def test_shim_objects_are_identical(self):
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", DeprecationWarning)
+            # repro: allow(deprecated-import)
             import repro.faults as old_faults
-            import repro.srp as old_srp
+            import repro.srp as old_srp  # repro: allow(deprecated-import)
         from repro.reliability import ArrayInjector, SelectiveReliabilityEnvironment
 
         assert old_faults.ArrayInjector is ArrayInjector
