@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Measure communicator collectives on every runnable backend.
+
+Standalone companion to the ``bench_e*.py`` pytest-benchmark suite
+(deliberately outside its collection pattern: these numbers describe
+the *communication substrate*, not an experiment table, and real
+process launches make poor pytest-benchmark citizens).  For each
+registered, available backend it measures per-call latency of barrier,
+allreduce and bcast across payload sizes at a fixed rank count, plus
+the alpha-beta fit over the allreduce series -- the same probes the E7
+driver uses to hold the machine model against a real transport.
+
+Typical uses::
+
+    # print the measurement table
+    PYTHONPATH=src python benchmarks/bench_comm.py
+
+    # write machine-readable results next to the PR benchmark JSONs
+    PYTHONPATH=src python benchmarks/bench_comm.py \
+        --json benchmarks/BENCH_PR10_COMM.json
+
+Wall-clock numbers are machine-dependent by nature; the JSON exists to
+document the shape of the transport (latency floor, bandwidth slope,
+sim-vs-shmem crossover), not to gate CI on absolute values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+if SRC_DIR not in sys.path:
+    sys.path.insert(0, SRC_DIR)
+
+
+def measure(procs: int, nbytes_list, iterations: int) -> dict:
+    """Collective timings per available backend, plus alpha-beta fits."""
+    from repro.comm import default_backend_registry
+    from repro.experiments import backend_probe
+
+    results = {}
+    for entry in default_backend_registry():
+        ok, reason = entry.available()
+        if not ok:
+            results[entry.name] = {"skipped": reason}
+            continue
+        timings = backend_probe.measure_collectives(
+            f"{entry.name}:procs={procs}",
+            nbytes_list=tuple(nbytes_list),
+            iterations=iterations,
+        )
+        alpha, bandwidth, r_squared = backend_probe.alpha_beta_fit(
+            sorted(timings["allreduce"]),
+            [timings["allreduce"][n] for n in sorted(timings["allreduce"])],
+        )
+        results[entry.name] = {
+            "procs": procs,
+            "iterations": iterations,
+            "seconds_per_call": timings,
+            "allreduce_alpha_beta_fit": {
+                "alpha_seconds": alpha,
+                "bandwidth_bytes_per_s": bandwidth,
+                "r_squared": r_squared,
+            },
+        }
+    return results
+
+
+def render(results: dict) -> str:
+    lines = []
+    for backend, data in results.items():
+        if "skipped" in data:
+            lines.append(f"{backend:8s}  skipped: {data['skipped']}")
+            continue
+        fit = data["allreduce_alpha_beta_fit"]
+        lines.append(
+            f"{backend:8s}  procs={data['procs']}  "
+            f"allreduce fit: alpha={fit['alpha_seconds']:.2e}s  "
+            f"bw={fit['bandwidth_bytes_per_s']:.3g}B/s  r2={fit['r_squared']:.3f}"
+        )
+        for kind, series in data["seconds_per_call"].items():
+            cells = "  ".join(
+                f"{int(n):>8d}B={t * 1e6:8.1f}us" for n, t in sorted(series.items())
+            )
+            lines.append(f"  {kind:10s} {cells}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--procs", type=int, default=4)
+    parser.add_argument(
+        "--nbytes", type=int, nargs="+", default=[1024, 65536, 1048576]
+    )
+    parser.add_argument("--iterations", type=int, default=30)
+    parser.add_argument("--json", help="write results to this JSON file")
+    args = parser.parse_args(argv)
+
+    results = measure(args.procs, args.nbytes, args.iterations)
+    print(render(results))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump({"comm_collectives": results}, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

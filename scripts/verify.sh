@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 tests + registry self-checks (solver / fault /
-# preconditioner / precision / analysis-rule axes) + fp64-parity gate
+# preconditioner / precision / communicator-backend / analysis-rule
+# axes) + backend conformance gate + sim-vs-shmem differential
+# + fp64-parity gate
 # + static-analysis gate (repro.analysis, includes the doc-link rule)
 # + golden determinism + smoke, precond and precision campaigns with
 # memoization re-runs + the chaos gate
@@ -135,6 +137,78 @@ for entry in default_precision_registry():
     assert spec.storage_dtype.itemsize <= spec.compute_dtype.itemsize, entry.name
 print(f"precision registry OK "
       f"({len(default_precision_registry())} precisions round-trip)")
+PY
+
+echo
+echo "== communicator backend registry self-check =="
+grep -q "registered communicator backends" <<<"$listing" || {
+    echo "ERROR: 'campaign list' does not include the backend axis" >&2
+    exit 1
+}
+for entry in sim shmem mpi4py; do
+    grep -qE "^$entry " <<<"$listing" || {
+        echo "ERROR: communicator backend '$entry' missing from the registry listing" >&2
+        exit 1
+    }
+done
+# Every registered backend spec must round-trip through its compact
+# string and dict forms; sim and shmem must be runnable everywhere
+# (mpi4py may be gated); sim stays the default and both runnable
+# backends promise ordered reductions (the bit-identity contract the
+# conformance suite's differential gate leans on).
+python - <<'PY'
+from repro.comm import CommSpec, backend_names, default_backend_registry, resolve_backend
+
+registry = default_backend_registry()
+for name in backend_names():
+    entry = registry.get(name)
+    spec = CommSpec.parse(f"{name}:procs=4")
+    assert CommSpec.parse(spec.to_string()) == spec, name
+    assert CommSpec.from_dict(spec.to_dict()) == spec, name
+for name in ("sim", "shmem"):
+    ok, reason = registry.get(name).available()
+    assert ok, (name, reason)
+    assert registry.get(name).ordered_reduction, name
+assert resolve_backend(None).name == "sim"
+print(f"backend registry OK ({len(registry)} backends round-trip; sim is default)")
+PY
+
+echo
+echo "== backend conformance gate (fresh interpreter) =="
+if [[ "$FAST" == "1" ]]; then
+    echo "(skipped: --fast)"
+else
+    # Ran once inside the tier-1 suite; a fresh interpreter proves the
+    # cross-backend contract (p2p ordering, collectives, deadlock
+    # timeouts, fault observability) holds deterministically twice in
+    # a row -- including the real-process shmem backend, whose forked
+    # ranks and shared-memory segments must leave no residue between
+    # runs.
+    python -m pytest tests/test_comm_conformance.py -q
+fi
+
+echo
+echo "== sim-vs-shmem smoke differential =="
+# The E3 CG anchor, distributed over real OS processes, must reproduce
+# the simulated backend's residual history bit for bit: both backends
+# reduce collective contributions in ascending-rank order, so this is
+# exact equality, not a tolerance check.
+python - <<'PY'
+from repro.experiments import backend_probe
+
+histories = {
+    backend: backend_probe.distributed_solve(
+        f"{backend}:procs=4", "cg", grid=8, tol=1e-8, seed=2013
+    )
+    for backend in ("sim", "shmem")
+}
+sim, shmem = histories["sim"], histories["shmem"]
+assert sim["iterations"] == shmem["iterations"], (sim, shmem)
+assert sim["converged"] and shmem["converged"]
+assert sim["residual_norms"] == shmem["residual_norms"], "histories diverged"
+print(f"sim-vs-shmem differential OK "
+      f"(CG anchor: {sim['iterations']} iterations, "
+      f"{len(sim['residual_norms'])} residual norms bit-identical)")
 PY
 
 echo

@@ -1,7 +1,8 @@
 """Rule ``spec-strings`` -- every quoted spec must parse today.
 
-Fault, preconditioner, precision and chaos configurations travel as
-compact spec strings (``"bitflip:p=0.02,bits=52..62"``); campaigns,
+Fault, preconditioner, precision, chaos and communicator-backend
+configurations travel as compact spec strings
+(``"bitflip:p=0.02,bits=52..62"``, ``"shmem:procs=8"``); campaigns,
 drivers, docstrings and the CAMPAIGNS.md grammar tables all quote
 them.  A renamed kind or parameter silently turns those strings into
 runtime failures (or, worse, into docs describing a grammar the
@@ -15,9 +16,9 @@ Collected from python sources:
   (``resolve_faults`` / ``FaultSpec.parse`` / ``parse_precond`` /
   ``resolve_preconds`` / ``PrecondSpec.parse`` / ``parse_precision`` /
   ``resolve_precisions`` / ``PrecisionSpec.parse`` /
-  ``ChaosSpec.parse``);
+  ``ChaosSpec.parse`` / ``CommSpec.parse`` / ``resolve_backend``);
 * literal values of ``faults=`` / ``precond=`` / ``precision=`` /
-  ``chaos=`` keywords in any call;
+  ``chaos=`` / ``backend=`` keywords in any call;
 * literal values under the ``"faults"`` / ``"precond(s)"`` /
   ``"precision(s)"`` / ``"chaos"`` keys of dict literals (the builtin
   campaign sweeps);
@@ -56,6 +57,8 @@ _CALL_FLAVOURS = {
     "resolve_precisions": "precision",
     "PrecisionSpec.parse": "precision",
     "ChaosSpec.parse": "chaos",
+    "CommSpec.parse": "comm",
+    "resolve_backend": "comm",
 }
 
 # Spec flavours by keyword-argument / dict-key name.
@@ -66,6 +69,7 @@ _KEY_FLAVOURS = {
     "precision": "precision",
     "precisions": "precision",
     "chaos": "chaos",
+    "backend": "comm",
 }
 
 # A doc token must look like KIND:NAME=VALUE[,...] (optionally
@@ -86,6 +90,7 @@ class _Validators:
 
     def __init__(self) -> None:
         from repro.campaign.executor import CHAOS_KINDS, ChaosSpec
+        from repro.comm.spec import COMM_KINDS, CommSpec
         from repro.precond.registry import default_precond_registry
         from repro.precond.spec import PRECOND_KINDS, PrecondSpec
         from repro.reliability.models import MODEL_KINDS
@@ -101,6 +106,7 @@ class _Validators:
         self._precond_spec = PrecondSpec
         self._precision_spec = PrecisionSpec
         self._chaos_spec = ChaosSpec
+        self._comm_spec = CommSpec
         self._fault_kinds = set(MODEL_KINDS)
         self._fault_names = {e.name for e in default_fault_registry()}
         self._precond_names = {e.name for e in default_precond_registry()}
@@ -115,6 +121,8 @@ class _Validators:
             self.kind_flavours.setdefault(kind, "precision")
         for kind in CHAOS_KINDS:
             self.kind_flavours.setdefault(kind, "chaos")
+        for kind in COMM_KINDS:
+            self.kind_flavours.setdefault(kind, "comm")
 
     def validate(self, flavour: str, text: str) -> Optional[str]:
         """``None`` when ``text`` is a valid ``flavour`` spec, else why not."""
@@ -142,6 +150,8 @@ class _Validators:
                 self._precision_spec.parse(text)
             elif flavour == "chaos":
                 self._chaos_spec.parse(text)
+            elif flavour == "comm":
+                self._comm_spec.parse(text)
             else:  # pragma: no cover - registry misconfiguration
                 return f"unknown spec flavour {flavour!r}"
         except (ValueError, TypeError) as exc:
@@ -182,7 +192,10 @@ def _direct_strings(node: ast.AST) -> Iterable[Tuple[str, int]]:
 
 class SpecStringsRule(Rule):
     id = "spec-strings"
-    title = "quoted fault/precond/precision/chaos specs parse against live registries"
+    title = (
+        "quoted fault/precond/precision/chaos/backend specs parse "
+        "against live registries"
+    )
     rationale = (
         "spec strings in campaigns, drivers and docs are executable "
         "configuration; drift against the registries must fail at lint "

@@ -6,7 +6,7 @@ List every sweepable axis and built-in campaign::
 
     python -m repro.campaign list
 
-``list`` prints six tables, one per registry:
+``list`` prints seven tables, one per registry:
 
 * **registered experiments** -- the auto-discovered E1-E10 drivers
   (:mod:`repro.campaign.registry`): id, short name, tags, the
@@ -23,6 +23,10 @@ List every sweepable axis and built-in campaign::
 * **registered precisions** -- the named precision specs
   (:mod:`repro.reliability.precision`): name, compact spec string, the
   experiments exercising it, title.
+* **registered communicator backends** -- the backend axis
+  (:mod:`repro.comm.registry`): name, whether reductions are
+  ascending-rank ordered (bit-identical across such backends),
+  availability in this environment, title.
 * **built-in campaigns** -- name, scenario count, experiments covered.
 
 Show the scenarios of a campaign::
@@ -238,6 +242,19 @@ def _cmd_list(args) -> int:
             ",".join(entry.experiments), entry.title,
         )
     print(precisions.render())
+    print()
+    from repro.comm.registry import default_backend_registry
+
+    backend_registry = default_backend_registry()
+    backends = Table(["backend", "ordered_reduction", "available", "title"],
+                     title=f"registered communicator backends ({len(backend_registry)})")
+    for entry in backend_registry:
+        ok, reason = entry.available()
+        backends.add_row(
+            entry.name, entry.ordered_reduction,
+            "yes" if ok else f"no ({reason})", entry.title,
+        )
+    print(backends.render())
     print()
     campaigns = Table(["campaign", "scenarios", "experiments"],
                       title="built-in campaigns")

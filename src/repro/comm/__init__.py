@@ -1,0 +1,62 @@
+"""Pluggable communicator backends behind one abstract interface.
+
+This package extracts the SPMD communicator contract from the
+simulated runtime (:class:`repro.simmpi.comm.Comm`) into
+:class:`~repro.comm.base.BaseCommunicator`, and puts interchangeable
+backends behind a serializable :class:`~repro.comm.spec.CommSpec`:
+
+========  ==========================================================
+``sim``    the deterministic simulator, unchanged and bit-identical
+``shmem``  real OS processes over pipes + ``shared_memory`` buffers
+``mpi4py`` real MPI, import-gated (listing-stable, launch-gated)
+========  ==========================================================
+
+The same :class:`FaultSpec` strings drive fault injection on every
+backend -- ``proc_fail`` is a virtual death on ``sim`` and a real
+SIGKILL on ``shmem``; ``msg_corrupt`` draws the identical corruption
+stream on both -- and ``tests/test_comm_conformance.py`` pins one
+contract suite plus a sim-vs-shmem differential across all of them.
+
+Typical use::
+
+    from repro.comm import resolve_backend
+
+    backend = resolve_backend("shmem:procs=4")
+    values = backend.launch(my_rank_func, faults="proc_fail:times=0.5,ranks=1")
+"""
+
+from repro.comm.base import BaseCommunicator
+
+# Importing the sim adapter virtually registers the simulator's Comm
+# with BaseCommunicator, so isinstance checks hold before any backend
+# is resolved.
+import repro.comm.sim  # noqa: E402,F401  (registration side effect)
+from repro.comm.errors import (
+    BackendUnavailableError,
+    CommTimeoutError,
+    ProcFailure,
+)
+from repro.comm.registry import (
+    BackendRegistry,
+    BoundBackend,
+    RegisteredBackend,
+    backend_names,
+    default_backend_registry,
+    resolve_backend,
+)
+from repro.comm.spec import COMM_KINDS, CommSpec
+
+__all__ = [
+    "BackendRegistry",
+    "BackendUnavailableError",
+    "BaseCommunicator",
+    "BoundBackend",
+    "COMM_KINDS",
+    "CommSpec",
+    "CommTimeoutError",
+    "ProcFailure",
+    "RegisteredBackend",
+    "backend_names",
+    "default_backend_registry",
+    "resolve_backend",
+]

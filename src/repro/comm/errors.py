@@ -1,0 +1,63 @@
+"""Backend-neutral communicator errors.
+
+Every backend reports the same two failure conditions through the same
+exception types, so recovery layers and the conformance suite are
+backend-agnostic:
+
+* :class:`ProcFailure` -- an operation depended on a rank that is gone.
+  This *is* :class:`repro.simmpi.errors.RankFailedError` (the simulated
+  runtime's ULFM-style notification); the shared-memory backend raises
+  the identical type when a peer OS process has been SIGKILLed, so
+  ``except RankFailedError`` written against the simulator keeps
+  working unchanged on real processes.
+* :class:`CommTimeoutError` -- a bounded wait expired with no progress.
+  It subclasses :class:`repro.simmpi.errors.SimDeadlockError` (the
+  simulator's watchdog verdict), so "deadlock-freedom under timeout"
+  is one assertion on every backend: the operation raises, it never
+  hangs.
+
+:mod:`repro.simmpi.errors` is pure stdlib (no numpy, no runtime state),
+so importing it here cannot create an import cycle with the backends.
+"""
+
+from __future__ import annotations
+
+from repro.simmpi.errors import RankFailedError, SimDeadlockError, SimMpiError
+
+__all__ = [
+    "BackendUnavailableError",
+    "CommTimeoutError",
+    "ProcFailure",
+    "RankFailedError",
+    "SimMpiError",
+]
+
+#: The backend-neutral name for "a rank this operation depends on is
+#: dead".  Survivors of a SIGKILLed shmem rank and survivors of a
+#: simulated hard fault both catch exactly this type.
+ProcFailure = RankFailedError
+
+
+class CommTimeoutError(SimDeadlockError):
+    """A bounded communicator wait expired without completing.
+
+    Raised by the shared-memory backend when a blocking receive or a
+    collective exceeds its deadline (mismatched communication in the
+    program, or a peer wedged without dying).  Subclassing the
+    simulator's :class:`~repro.simmpi.errors.SimDeadlockError` lets the
+    conformance suite assert the same exception on every backend.
+    """
+
+
+class BackendUnavailableError(SimMpiError):
+    """A registered backend cannot run in this environment.
+
+    The registry keeps the entry visible (so listings and specs stay
+    stable across machines) but :meth:`launch` fails loudly, e.g. the
+    ``mpi4py`` backend on a machine without the package installed.
+    """
+
+    def __init__(self, name: str, reason: str):
+        super().__init__(f"communicator backend {name!r} unavailable: {reason}")
+        self.name = name
+        self.reason = reason

@@ -7,8 +7,11 @@ unchanged on
   dense ndarray or callable operator (sequential execution), and
 * :class:`~repro.linalg.distributed.DistributedVector` operands with a
   :class:`~repro.linalg.distributed.DistributedRowMatrix` operator
-  (execution over the simulated MPI runtime, with every global
-  reduction paying the collective cost of the machine model).
+  (execution over any :class:`~repro.comm.base.BaseCommunicator`
+  backend -- the simulated MPI runtime, where every global reduction
+  pays the collective cost of the machine model, or the shared-memory
+  multiprocess runtime, where the reductions are real inter-process
+  collectives with the identical ascending-rank reduction order).
 
 Besides the single-vector helpers, this module provides the
 :class:`KrylovBasis` block store used by every Arnoldi-type solver: the

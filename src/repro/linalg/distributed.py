@@ -1,4 +1,4 @@
-"""Row-distributed vectors and matrices over the simulated runtime.
+"""Row-distributed vectors and matrices over any communicator backend.
 
 The distributed objects follow the simplest row-block decomposition:
 rank ``r`` owns a contiguous block of rows/entries.  Reductions (dot
@@ -14,13 +14,15 @@ solvers.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
 from repro.linalg.csr import CsrMatrix
-from repro.simmpi.comm import Comm
 from repro.simmpi.ops import SUM, MAX
+
+if TYPE_CHECKING:  # annotation-only: keeps repro.comm free to import linalg
+    from repro.comm.base import BaseCommunicator
 from repro.utils.validation import check_integer
 
 __all__ = ["block_ranges", "DistributedVector", "DistributedRowMatrix"]
@@ -62,7 +64,7 @@ class DistributedVector:
         Global index of this rank's first entry.
     """
 
-    def __init__(self, comm: Comm, local: np.ndarray, global_size: int, offset: int):
+    def __init__(self, comm: BaseCommunicator, local: np.ndarray, global_size: int, offset: int):
         self.comm = comm
         self.local = np.array(local, dtype=np.float64, copy=True)
         self.global_size = int(global_size)
@@ -70,7 +72,7 @@ class DistributedVector:
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_global(cls, comm: Comm, global_vector: np.ndarray) -> "DistributedVector":
+    def from_global(cls, comm: BaseCommunicator, global_vector: np.ndarray) -> "DistributedVector":
         """Create by slicing a replicated global vector (test helper)."""
         global_vector = np.asarray(global_vector, dtype=np.float64)
         ranges = block_ranges(global_vector.size, comm.size)
@@ -84,7 +86,7 @@ class DistributedVector:
 
     @classmethod
     def from_local_view(
-        cls, comm: Comm, local: np.ndarray, global_size: int, offset: int
+        cls, comm: BaseCommunicator, local: np.ndarray, global_size: int, offset: int
     ) -> "DistributedVector":
         """Wrap existing local storage WITHOUT copying.
 
@@ -177,7 +179,7 @@ class DistributedRowMatrix:
     the data volume is pessimistic.
     """
 
-    def __init__(self, comm: Comm, local_block: CsrMatrix, global_shape: Tuple[int, int],
+    def __init__(self, comm: BaseCommunicator, local_block: CsrMatrix, global_shape: Tuple[int, int],
                  row_offset: int):
         self.comm = comm
         self.local_block = local_block
@@ -187,7 +189,7 @@ class DistributedRowMatrix:
             raise ValueError("local block must use global column indices")
 
     @classmethod
-    def from_global(cls, comm: Comm, matrix: CsrMatrix) -> "DistributedRowMatrix":
+    def from_global(cls, comm: BaseCommunicator, matrix: CsrMatrix) -> "DistributedRowMatrix":
         """Distribute a replicated global matrix by row blocks."""
         ranges = block_ranges(matrix.n_rows, comm.size)
         start, stop = ranges[comm.rank]

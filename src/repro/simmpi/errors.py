@@ -63,6 +63,16 @@ class RankFailedError(SimMpiError):
         self.operation = operation
         self.detected_at = detected_at
 
+    def __reduce__(self):
+        # BaseException pickles via self.args (the formatted message),
+        # which does not match this constructor; rebuild from the real
+        # fields so the error survives a process boundary (the shmem
+        # backend ships rank outcomes through pipes).
+        return (
+            type(self),
+            (sorted(self.failed_ranks), self.operation, self.detected_at),
+        )
+
 
 class SimDeadlockError(SimMpiError):
     """The runtime's wall-clock watchdog expired while a rank was waiting.
@@ -80,3 +90,8 @@ class SimDeadlockError(SimMpiError):
         self.rank = rank
         self.operation = operation
         self.waited = waited
+
+    def __reduce__(self):
+        # See RankFailedError.__reduce__; type(self) keeps subclasses
+        # (repro.comm.errors.CommTimeoutError) pickling as themselves.
+        return (type(self), (self.rank, self.operation, self.waited))

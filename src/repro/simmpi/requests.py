@@ -12,9 +12,9 @@ exactly the latency-hiding mechanism the RBSP model exposes.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-__all__ = ["Request", "CompletedRequest"]
+__all__ = ["Request", "CompletedRequest", "waitall", "waitany"]
 
 
 class Request:
@@ -78,3 +78,31 @@ class CompletedRequest(Request):
         super().__init__(wait_fn=lambda _req: result, operation=operation)
         self._done = True
         self._result = result
+
+
+def waitall(requests: Sequence[Request]) -> List[Any]:
+    """Complete every request; results in *request* order.
+
+    The MPI ``Waitall`` analogue: the result list lines up with the
+    input list regardless of the order completions actually happen in,
+    so ``waitall([isend(...), irecv(...)])[1]`` is always the received
+    payload.
+    """
+    return [request.wait() for request in requests]
+
+
+def waitany(requests: Sequence[Request]) -> Tuple[int, Any]:
+    """Complete one request; returns ``(index, result)``.
+
+    The MPI ``Waitany`` analogue.  Already-completed requests (their
+    :meth:`~Request.test` is true) are preferred -- lowest index first
+    -- so overlapped work that has finished is drained before anything
+    blocks; only when none has completed is the first pending request
+    waited on.
+    """
+    if not requests:
+        raise ValueError("waitany requires at least one request")
+    for index, request in enumerate(requests):
+        if request.test():
+            return index, request.wait()
+    return 0, requests[0].wait()

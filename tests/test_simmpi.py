@@ -568,3 +568,121 @@ class TestCartTopology:
     def test_balanced_constructor(self):
         topo = CartTopology.balanced(12, 2)
         assert topo.size == 12 and topo.ndim == 2
+
+    def test_balanced_dims_sorted_descending_and_prime(self):
+        assert balanced_dims(16, 2) == (4, 4)
+        assert balanced_dims(12, 2) == (4, 3)
+        # A prime rank count cannot be split: all factors land in one dim.
+        assert balanced_dims(7, 2) == (7, 1)
+        assert balanced_dims(13, 3) == (13, 1, 1)
+        for n, ndim in ((24, 3), (100, 2), (64, 3)):
+            dims = balanced_dims(n, ndim)
+            assert dims == tuple(sorted(dims, reverse=True))
+
+    def test_balanced_dims_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            balanced_dims(0, 2)
+        with pytest.raises(ValueError):
+            balanced_dims(4, 0)
+
+    def test_rank_periodic_modulo(self):
+        # Periodic axes accept out-of-range coords and wrap them, the
+        # non-periodic axis still validates.
+        topo = CartTopology((3, 4), periodic=(True, False))
+        assert topo.rank((-1, 2)) == topo.rank((2, 2))
+        assert topo.rank((4, 0)) == topo.rank((1, 0))
+        with pytest.raises(ValueError):
+            topo.rank((0, 4))
+        with pytest.raises(ValueError):
+            topo.rank((0, 0, 0))  # wrong arity
+
+    def test_shift_large_displacement_multiwrap(self):
+        periodic = CartTopology((3,), periodic=(True,))
+        assert periodic.shift(0, 0, 7) == 1  # 7 mod 3
+        assert periodic.shift(1, 0, -4) == 0
+        flat = CartTopology((3,))
+        assert flat.shift(0, 0, 2) == 2
+        assert flat.shift(0, 0, 3) is None
+        with pytest.raises(ValueError):
+            flat.shift(0, axis=1, displacement=1)
+
+    def test_neighbors_dedup_tiny_periodic_dims(self):
+        # On a periodic dim of size 2, -1 and +1 land on the same rank:
+        # the neighbour list must deduplicate it.
+        topo = CartTopology((2,), periodic=(True,))
+        assert topo.neighbors(0) == [1]
+        # On a periodic dim of size 1 the only "neighbour" is yourself,
+        # which is excluded entirely.
+        assert CartTopology((1,), periodic=(True,)).neighbors(0) == []
+        # Mixed: the size-2 periodic axis contributes one neighbour,
+        # the size-3 periodic axis two.
+        mixed = CartTopology((2, 3), periodic=(True, True))
+        assert len(mixed.neighbors(mixed.rank((0, 1)))) == 3
+
+    def test_single_rank_topology_has_no_neighbors(self):
+        topo = CartTopology((1, 1))
+        assert topo.size == 1
+        assert topo.neighbors(0) == []
+        assert topo.shift(0, 0, 1) is None
+
+
+class TestRequestHelpers:
+    """waitall/waitany over the simulated runtime's requests."""
+
+    def test_waitall_returns_results_in_request_order(self):
+        from repro.simmpi.requests import waitall
+
+        def program(comm):
+            if comm.rank == 0:
+                reqs = [comm.isend(("a", 1), 1, tag=1), comm.isend(("a", 2), 1, tag=2)]
+                waitall(reqs)
+                return "sent"
+            # Issue the receives in reverse tag order: waitall must
+            # still return results matching *request* order.
+            reqs = [comm.irecv(0, tag=2), comm.irecv(0, tag=1)]
+            return waitall(reqs)
+
+        results = run_spmd(2, program)
+        assert results[1] == [("a", 2), ("a", 1)]
+
+    def test_waitany_prefers_already_completed(self):
+        from repro.simmpi.requests import CompletedRequest, waitany
+
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("payload", 1)
+                return None
+            pending = comm.irecv(0)
+            done = CompletedRequest("instant")
+            # The blocking request sits first, but waitany must pick
+            # the already-completed one without waiting on it.
+            index, value = waitany([pending, done])
+            assert (index, value) == (1, "instant")
+            return pending.wait()
+
+        results = run_spmd(2, program)
+        assert results[1] == "payload"
+
+    def test_waitany_waits_when_nothing_is_complete(self):
+        from repro.simmpi.requests import waitany
+
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("late", 1)
+                return None
+            index, value = waitany([comm.irecv(0)])
+            return (index, value)
+
+        results = run_spmd(2, program)
+        assert results[1] == (0, "late")
+
+    def test_waitany_rejects_empty(self):
+        from repro.simmpi.requests import waitany
+
+        with pytest.raises(ValueError):
+            waitany([])
+
+    def test_waitall_empty_is_empty(self):
+        from repro.simmpi.requests import waitall
+
+        assert waitall([]) == []
